@@ -1,0 +1,159 @@
+// E6 — ablation of the signature-grouping model counter.
+//
+// The paper computes N_sol(Γ) "by generating all the possible global
+// databases (in exponential time)". We implement that literally (the
+// LinearSystem 2^N enumeration) and compare it with the signature counter,
+// which exploits the exchangeability of same-signature facts. Both must
+// return identical counts; the speedup is the point of the ablation.
+
+#include <chrono>
+#include <cstdio>
+
+#include "benchmark/benchmark.h"
+#include "psc/counting/linear_system.h"
+#include "psc/counting/dp_counter.h"
+#include "psc/counting/model_counter.h"
+#include "psc/util/combinatorics.h"
+
+namespace psc {
+namespace {
+
+std::vector<Value> IntDomain(int64_t n) {
+  std::vector<Value> domain;
+  for (int64_t i = 0; i < n; ++i) domain.push_back(Value(i));
+  return domain;
+}
+
+SourceCollection OverlappingCollection() {
+  Relation v1 = {{Value(int64_t{0})}, {Value(int64_t{1})}};
+  Relation v2 = {{Value(int64_t{1})}, {Value(int64_t{2})}};
+  auto s1 = SourceDescriptor::Create("S1", ConjunctiveQuery::Identity("R", 1),
+                                     v1, Rational(1, 2), Rational(1, 2));
+  auto s2 = SourceDescriptor::Create("S2", ConjunctiveQuery::Identity("R", 1),
+                                     v2, Rational(1, 2), Rational(1, 2));
+  return *SourceCollection::Create({*s1, *s2});
+}
+
+void PrintTable() {
+  std::printf(
+      "=== E6: signature counter vs 2^N enumeration (identical counts) "
+      "===\n");
+  std::printf("%4s | %16s | %12s | %12s | %14s | %10s\n", "N",
+              "|poss(S)|", "shapes ms", "dp ms", "2^N ms", "speedup");
+  const SourceCollection collection = OverlappingCollection();
+  for (const int64_t n : {4, 8, 12, 16, 20, 22}) {
+    auto instance = IdentityInstance::Create(collection, IntDomain(n));
+    if (!instance.ok()) continue;
+
+    auto start = std::chrono::high_resolution_clock::now();
+    BinomialTable binomials;
+    SignatureCounter counter(&*instance, &binomials);
+    auto outcome = counter.Count();
+    const double counter_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::high_resolution_clock::now() - start)
+            .count();
+
+    start = std::chrono::high_resolution_clock::now();
+    DpCounter dp(&*instance);
+    auto dp_outcome = dp.Count();
+    const double dp_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::high_resolution_clock::now() - start)
+            .count();
+
+    start = std::chrono::high_resolution_clock::now();
+    auto system = LinearSystem::FromIdentityInstance(*instance);
+    auto brute = system->CountSolutionsBruteForce(/*max_vars=*/24);
+    const double brute_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::high_resolution_clock::now() - start)
+            .count();
+
+    if (!outcome.ok() || !dp_outcome.ok() || !brute.ok()) continue;
+    const bool match = outcome->world_count == *brute &&
+                       dp_outcome->world_count == *brute;
+    std::printf("%4lld | %16s | %12.3f | %12.3f | %14.3f | %9.1fx%s\n",
+                static_cast<long long>(n),
+                outcome->world_count.ToString().c_str(), counter_ms, dp_ms,
+                brute_ms, brute_ms / std::max(counter_ms, 1e-6),
+                match ? "" : "  !! MISMATCH");
+  }
+  // Beyond the 2^N horizon the exact counters keep going.
+  for (const int64_t n : {64, 256, 1024, 8192}) {
+    auto instance = IdentityInstance::Create(collection, IntDomain(n));
+    if (!instance.ok()) continue;
+    auto start = std::chrono::high_resolution_clock::now();
+    BinomialTable binomials;
+    SignatureCounter counter(&*instance, &binomials);
+    auto outcome = counter.Count();
+    const double counter_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::high_resolution_clock::now() - start)
+            .count();
+    start = std::chrono::high_resolution_clock::now();
+    DpCounter dp(&*instance);
+    auto dp_outcome = dp.Count();
+    const double dp_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::high_resolution_clock::now() - start)
+            .count();
+    if (!outcome.ok() || !dp_outcome.ok()) continue;
+    const bool match = outcome->world_count == dp_outcome->world_count;
+    std::printf("%4lld | %16s | %12.3f | %12.3f | %14s | %10s%s\n",
+                static_cast<long long>(n),
+                outcome->world_count.ToString().c_str(), counter_ms, dp_ms,
+                "2^N n/a", "-", match ? "" : "  !! MISMATCH");
+  }
+  std::printf(
+      "(shape: identical counts from three algorithms; the 2^N baseline "
+      "doubles per fact, shape enumeration grows with the largest group, "
+      "and the aggregate-sum DP stays polynomial in the domain size.)\n\n");
+}
+
+void BM_SignatureCounter(benchmark::State& state) {
+  const SourceCollection collection = OverlappingCollection();
+  auto instance =
+      IdentityInstance::Create(collection, IntDomain(state.range(0)));
+  for (auto _ : state) {
+    BinomialTable binomials;
+    SignatureCounter counter(&*instance, &binomials);
+    auto outcome = counter.Count();
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_SignatureCounter)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_DpCounter(benchmark::State& state) {
+  const SourceCollection collection = OverlappingCollection();
+  auto instance =
+      IdentityInstance::Create(collection, IntDomain(state.range(0)));
+  for (auto _ : state) {
+    DpCounter counter(&*instance);
+    auto outcome = counter.Count();
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_DpCounter)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_BruteForceCount(benchmark::State& state) {
+  const SourceCollection collection = OverlappingCollection();
+  auto instance =
+      IdentityInstance::Create(collection, IntDomain(state.range(0)));
+  auto system = LinearSystem::FromIdentityInstance(*instance);
+  for (auto _ : state) {
+    auto count = system->CountSolutionsBruteForce(/*max_vars=*/24);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BruteForceCount)->Arg(8)->Arg(16)->Arg(20);
+
+}  // namespace
+}  // namespace psc
+
+int main(int argc, char** argv) {
+  psc::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

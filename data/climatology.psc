@@ -1,0 +1,22 @@
+# The paper's Section 1.1 climatology federation, miniaturized.
+#
+#   psc check data/climatology.psc
+source S0 {
+  view: V0(s, lat, lon, c) <- Station(s, lat, lon, c)
+  completeness: 1
+  soundness: 1
+  facts: V0(100, 45, -75, "Canada"), V0(200, 40, -74, "US")
+}
+source S1 {
+  view: V1(s, y, m, v) <- Temperature(s, y, m, v),
+                          Station(s, lat, lon, "Canada"), After(y, 1900)
+  completeness: 1/2
+  soundness: 1/2
+  facts: V1(100, 1990, 1, -105), V1(100, 1990, 2, -80)
+}
+source S3 {
+  view: V3(y, m, v) <- Temperature(200, y, m, v)
+  completeness: 1
+  soundness: 1
+  facts: V3(1990, 1, 30)
+}

@@ -1,0 +1,22 @@
+# Three catalogs with over-confident claims; the federation is
+# inconsistent.
+#
+#   psc audit data/conflicted.psc
+source CatalogA {
+  view: VA(p) <- Product(p)
+  completeness: 1
+  soundness: 1
+  facts: VA(101), VA(102), VA(103)
+}
+source CatalogB {
+  view: VB(p) <- Product(p)
+  completeness: 1
+  soundness: 1
+  facts: VB(102), VB(103), VB(104)
+}
+source CatalogC {
+  view: VC(p) <- Product(p)
+  completeness: 1/2
+  soundness: 2/3
+  facts: VC(101), VC(104), VC(105)
+}

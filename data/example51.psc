@@ -1,0 +1,18 @@
+# Example 5.1 of Mendelzon & Mihaila (PODS 2001): two half-sound,
+# half-complete mirrors of a unary relation R.
+#
+#   psc check data/example51.psc
+#   psc confidences data/example51.psc --domain a,b,c,d1,d2
+#   psc answer data/example51.psc 'Ans(x) <- R(x)' --domain a,b,c,d1
+source S1 {
+  view: V1(x) <- R(x)
+  completeness: 0.5
+  soundness: 0.5
+  facts: V1("a"), V1("b")
+}
+source S2 {
+  view: V2(x) <- R(x)
+  completeness: 0.5
+  soundness: 0.5
+  facts: V2("b"), V2("c")
+}

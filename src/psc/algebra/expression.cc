@@ -1,0 +1,253 @@
+#include "psc/algebra/expression.h"
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+AlgebraExprPtr AlgebraExpr::Base(std::string name, size_t arity) {
+  auto* expr = new AlgebraExpr();
+  expr->kind_ = Kind::kBase;
+  expr->base_name_ = std::move(name);
+  expr->output_arity_ = arity;
+  return AlgebraExprPtr(expr);
+}
+
+AlgebraExprPtr AlgebraExpr::Project(AlgebraExprPtr child,
+                                    std::vector<size_t> columns) {
+  PSC_CHECK(child != nullptr);
+  auto* expr = new AlgebraExpr();
+  expr->kind_ = Kind::kProject;
+  expr->output_arity_ = columns.size();
+  expr->columns_ = std::move(columns);
+  expr->left_ = std::move(child);
+  return AlgebraExprPtr(expr);
+}
+
+AlgebraExprPtr AlgebraExpr::Select(AlgebraExprPtr child,
+                                   std::vector<Condition> conditions) {
+  PSC_CHECK(child != nullptr);
+  auto* expr = new AlgebraExpr();
+  expr->kind_ = Kind::kSelect;
+  expr->output_arity_ = child->OutputArity();
+  expr->conditions_ = std::move(conditions);
+  expr->left_ = std::move(child);
+  return AlgebraExprPtr(expr);
+}
+
+AlgebraExprPtr AlgebraExpr::Product(AlgebraExprPtr left,
+                                    AlgebraExprPtr right) {
+  PSC_CHECK(left != nullptr && right != nullptr);
+  auto* expr = new AlgebraExpr();
+  expr->kind_ = Kind::kProduct;
+  expr->output_arity_ = left->OutputArity() + right->OutputArity();
+  expr->left_ = std::move(left);
+  expr->right_ = std::move(right);
+  return AlgebraExprPtr(expr);
+}
+
+AlgebraExprPtr AlgebraExpr::Join(
+    AlgebraExprPtr left, AlgebraExprPtr right,
+    std::vector<std::pair<size_t, size_t>> join_columns) {
+  PSC_CHECK(left != nullptr && right != nullptr);
+  auto* expr = new AlgebraExpr();
+  expr->kind_ = Kind::kJoin;
+  expr->output_arity_ =
+      left->OutputArity() + right->OutputArity() - join_columns.size();
+  expr->join_columns_ = std::move(join_columns);
+  expr->left_ = std::move(left);
+  expr->right_ = std::move(right);
+  return AlgebraExprPtr(expr);
+}
+
+AlgebraExprPtr AlgebraExpr::Union(AlgebraExprPtr left, AlgebraExprPtr right) {
+  PSC_CHECK(left != nullptr && right != nullptr);
+  PSC_CHECK_MSG(left->OutputArity() == right->OutputArity(),
+                "union of mismatched arities");
+  auto* expr = new AlgebraExpr();
+  expr->kind_ = Kind::kUnion;
+  expr->output_arity_ = left->OutputArity();
+  expr->left_ = std::move(left);
+  expr->right_ = std::move(right);
+  return AlgebraExprPtr(expr);
+}
+
+std::set<std::string> AlgebraExpr::BaseRelations() const {
+  std::set<std::string> names;
+  if (kind_ == Kind::kBase) {
+    names.insert(base_name_);
+    return names;
+  }
+  if (left_ != nullptr) {
+    for (const std::string& name : left_->BaseRelations()) names.insert(name);
+  }
+  if (right_ != nullptr) {
+    for (const std::string& name : right_->BaseRelations()) {
+      names.insert(name);
+    }
+  }
+  return names;
+}
+
+Result<ProbRelation> AlgebraExpr::EvalConfidence(
+    const std::map<std::string, ProbRelation>& base) const {
+  switch (kind_) {
+    case Kind::kBase: {
+      auto it = base.find(base_name_);
+      if (it == base.end()) {
+        return Status::NotFound(
+            StrCat("no confidence relation for base '", base_name_, "'"));
+      }
+      if (it->second.arity() != output_arity_) {
+        return Status::InvalidArgument(
+            StrCat("base '", base_name_, "' has arity ", it->second.arity(),
+                   ", plan expects ", output_arity_));
+      }
+      return it->second;
+    }
+    case Kind::kProject: {
+      PSC_ASSIGN_OR_RETURN(const ProbRelation child,
+                           left_->EvalConfidence(base));
+      return psc::Project(child, columns_);
+    }
+    case Kind::kSelect: {
+      PSC_ASSIGN_OR_RETURN(const ProbRelation child,
+                           left_->EvalConfidence(base));
+      return psc::Select(child, conditions_);
+    }
+    case Kind::kProduct: {
+      PSC_ASSIGN_OR_RETURN(const ProbRelation lhs,
+                           left_->EvalConfidence(base));
+      PSC_ASSIGN_OR_RETURN(const ProbRelation rhs,
+                           right_->EvalConfidence(base));
+      return psc::CrossProduct(lhs, rhs);
+    }
+    case Kind::kJoin: {
+      PSC_ASSIGN_OR_RETURN(const ProbRelation lhs,
+                           left_->EvalConfidence(base));
+      PSC_ASSIGN_OR_RETURN(const ProbRelation rhs,
+                           right_->EvalConfidence(base));
+      return psc::EquiJoin(lhs, rhs, join_columns_);
+    }
+    case Kind::kUnion: {
+      PSC_ASSIGN_OR_RETURN(const ProbRelation lhs,
+                           left_->EvalConfidence(base));
+      PSC_ASSIGN_OR_RETURN(const ProbRelation rhs,
+                           right_->EvalConfidence(base));
+      return psc::Union(lhs, rhs);
+    }
+  }
+  return Status::Internal("unreachable algebra kind");
+}
+
+Result<Relation> AlgebraExpr::EvalInWorld(const Database& db) const {
+  switch (kind_) {
+    case Kind::kBase:
+      return db.GetRelation(base_name_);
+    case Kind::kProject: {
+      PSC_ASSIGN_OR_RETURN(const Relation child, left_->EvalInWorld(db));
+      return ProjectRelation(child, left_->OutputArity(), columns_);
+    }
+    case Kind::kSelect: {
+      PSC_ASSIGN_OR_RETURN(const Relation child, left_->EvalInWorld(db));
+      return SelectRelation(child, conditions_);
+    }
+    case Kind::kProduct: {
+      PSC_ASSIGN_OR_RETURN(const Relation lhs, left_->EvalInWorld(db));
+      PSC_ASSIGN_OR_RETURN(const Relation rhs, right_->EvalInWorld(db));
+      return CrossProductRelation(lhs, rhs);
+    }
+    case Kind::kJoin: {
+      PSC_ASSIGN_OR_RETURN(const Relation lhs, left_->EvalInWorld(db));
+      PSC_ASSIGN_OR_RETURN(const Relation rhs, right_->EvalInWorld(db));
+      return EquiJoinRelation(lhs, left_->OutputArity(), rhs,
+                              right_->OutputArity(), join_columns_);
+    }
+    case Kind::kUnion: {
+      PSC_ASSIGN_OR_RETURN(const Relation lhs, left_->EvalInWorld(db));
+      PSC_ASSIGN_OR_RETURN(const Relation rhs, right_->EvalInWorld(db));
+      return UnionRelation(lhs, rhs);
+    }
+  }
+  return Status::Internal("unreachable algebra kind");
+}
+
+Result<Relation> AlgebraExpr::EvalCertainWithNulls(
+    const Database& naive_table, const NullPredicate& is_null) const {
+  switch (kind_) {
+    case Kind::kBase:
+      return naive_table.GetRelation(base_name_);
+    case Kind::kProject: {
+      PSC_ASSIGN_OR_RETURN(const Relation child,
+                           left_->EvalCertainWithNulls(naive_table, is_null));
+      return ProjectRelation(child, left_->OutputArity(), columns_);
+    }
+    case Kind::kSelect: {
+      PSC_ASSIGN_OR_RETURN(const Relation child,
+                           left_->EvalCertainWithNulls(naive_table, is_null));
+      return SelectRelationCertain(child, conditions_, is_null);
+    }
+    case Kind::kProduct: {
+      PSC_ASSIGN_OR_RETURN(const Relation lhs,
+                           left_->EvalCertainWithNulls(naive_table, is_null));
+      PSC_ASSIGN_OR_RETURN(const Relation rhs,
+                           right_->EvalCertainWithNulls(naive_table, is_null));
+      return CrossProductRelation(lhs, rhs);
+    }
+    case Kind::kJoin: {
+      PSC_ASSIGN_OR_RETURN(const Relation lhs,
+                           left_->EvalCertainWithNulls(naive_table, is_null));
+      PSC_ASSIGN_OR_RETURN(const Relation rhs,
+                           right_->EvalCertainWithNulls(naive_table, is_null));
+      return EquiJoinRelationCertain(lhs, left_->OutputArity(), rhs,
+                                     right_->OutputArity(), join_columns_,
+                                     is_null);
+    }
+    case Kind::kUnion: {
+      PSC_ASSIGN_OR_RETURN(const Relation lhs,
+                           left_->EvalCertainWithNulls(naive_table, is_null));
+      PSC_ASSIGN_OR_RETURN(const Relation rhs,
+                           right_->EvalCertainWithNulls(naive_table, is_null));
+      return UnionRelation(lhs, rhs);
+    }
+  }
+  return Status::Internal("unreachable algebra kind");
+}
+
+std::string AlgebraExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kBase:
+      return base_name_;
+    case Kind::kProject: {
+      std::vector<std::string> parts;
+      parts.reserve(columns_.size());
+      for (const size_t column : columns_) {
+        parts.push_back(std::to_string(column));
+      }
+      return StrCat("π{", ::psc::Join(parts, ","), "}(", left_->ToString(), ")");
+    }
+    case Kind::kSelect: {
+      std::vector<std::string> parts;
+      parts.reserve(conditions_.size());
+      for (const Condition& condition : conditions_) {
+        parts.push_back(condition.ToString());
+      }
+      return StrCat("σ{", ::psc::Join(parts, " ∧ "), "}(", left_->ToString(), ")");
+    }
+    case Kind::kProduct:
+      return StrCat("(", left_->ToString(), " × ", right_->ToString(), ")");
+    case Kind::kJoin: {
+      std::vector<std::string> parts;
+      parts.reserve(join_columns_.size());
+      for (const auto& [l, r] : join_columns_) {
+        parts.push_back(StrCat(l, "=", r));
+      }
+      return StrCat("(", left_->ToString(), " ⋈{", ::psc::Join(parts, ","), "} ",
+                    right_->ToString(), ")");
+    }
+    case Kind::kUnion:
+      return StrCat("(", left_->ToString(), " ∪ ", right_->ToString(), ")");
+  }
+  return "?";
+}
+
+}  // namespace psc

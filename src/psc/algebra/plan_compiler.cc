@@ -1,0 +1,127 @@
+#include "psc/algebra/plan_compiler.h"
+
+#include <map>
+
+#include "psc/relational/builtin.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+namespace {
+
+/// Comparison with operands swapped: After(c, y) ≡ Before(y, c).
+Result<std::string> SwapComparison(const std::string& op) {
+  if (op == "After") return std::string("Before");
+  if (op == "Before") return std::string("After");
+  if (op == "Lt") return std::string("Gt");
+  if (op == "Gt") return std::string("Lt");
+  if (op == "Le") return std::string("Ge");
+  if (op == "Ge") return std::string("Le");
+  if (op == "Eq" || op == "Ne") return op;
+  return Status::Unimplemented(StrCat("cannot swap built-in '", op, "'"));
+}
+
+}  // namespace
+
+Result<AlgebraExprPtr> CompileQuery(const ConjunctiveQuery& query) {
+  if (query.relational_body().empty()) {
+    return Status::Unimplemented(
+        "plan compilation requires at least one relational body atom");
+  }
+
+  // Accumulated plan and the first column bound to each variable.
+  AlgebraExprPtr plan;
+  std::map<std::string, size_t> column_of;
+  size_t width = 0;
+
+  for (const Atom& atom : query.relational_body()) {
+    AlgebraExprPtr scan = AlgebraExpr::Base(atom.predicate(), atom.arity());
+    // Atom-local conditions: embedded constants and repeated variables
+    // within this atom.
+    std::vector<Condition> local;
+    std::map<std::string, size_t> local_column;
+    for (size_t pos = 0; pos < atom.arity(); ++pos) {
+      const Term& term = atom.terms()[pos];
+      if (term.is_constant()) {
+        local.push_back(Condition::WithConstant(pos, "Eq", term.constant()));
+        continue;
+      }
+      auto [it, inserted] = local_column.emplace(term.var_name(), pos);
+      if (!inserted) {
+        local.push_back(Condition::WithColumn(pos, "Eq", it->second));
+      }
+    }
+    if (!local.empty()) {
+      scan = AlgebraExpr::Select(std::move(scan), std::move(local));
+    }
+
+    if (plan == nullptr) {
+      plan = std::move(scan);
+    } else {
+      plan = AlgebraExpr::Product(std::move(plan), std::move(scan));
+    }
+
+    // Cross-atom join conditions, and first-binding registration.
+    std::vector<Condition> joins;
+    for (const auto& [var, local_pos] : local_column) {
+      const size_t global_pos = width + local_pos;
+      auto [it, inserted] = column_of.emplace(var, global_pos);
+      if (!inserted) {
+        joins.push_back(Condition::WithColumn(global_pos, "Eq", it->second));
+      }
+    }
+    if (!joins.empty()) {
+      plan = AlgebraExpr::Select(std::move(plan), std::move(joins));
+    }
+    width += atom.arity();
+  }
+
+  // Built-in filters.
+  std::vector<Condition> filters;
+  for (const Atom& builtin : query.builtin_body()) {
+    const Term& lhs = builtin.terms()[0];
+    const Term& rhs = builtin.terms()[1];
+    if (lhs.is_variable()) {
+      const size_t lhs_col = column_of.at(lhs.var_name());
+      if (rhs.is_variable()) {
+        filters.push_back(Condition::WithColumn(
+            lhs_col, builtin.predicate(), column_of.at(rhs.var_name())));
+      } else {
+        filters.push_back(Condition::WithConstant(
+            lhs_col, builtin.predicate(), rhs.constant()));
+      }
+    } else if (rhs.is_variable()) {
+      PSC_ASSIGN_OR_RETURN(const std::string swapped,
+                           SwapComparison(builtin.predicate()));
+      filters.push_back(Condition::WithConstant(
+          column_of.at(rhs.var_name()), swapped, lhs.constant()));
+    } else {
+      // Ground built-in: decide now; an always-false one empties the plan.
+      PSC_ASSIGN_OR_RETURN(
+          const bool holds,
+          EvalBuiltin(builtin.predicate(),
+                      {lhs.constant(), rhs.constant()}));
+      if (!holds) {
+        filters.push_back(Condition::WithColumn(0, "Ne", 0));
+      }
+    }
+  }
+  if (!filters.empty()) {
+    plan = AlgebraExpr::Select(std::move(plan), std::move(filters));
+  }
+
+  // Head projection.
+  std::vector<size_t> head_columns;
+  for (const Term& term : query.head().terms()) {
+    if (term.is_constant()) {
+      return Status::Unimplemented(
+          StrCat("head constant ", term.ToString(),
+                 " not supported by plan compilation; bind it with an Eq "
+                 "built-in instead"));
+    }
+    head_columns.push_back(column_of.at(term.var_name()));
+  }
+  return AlgebraExpr::Project(std::move(plan), std::move(head_columns));
+}
+
+}  // namespace psc

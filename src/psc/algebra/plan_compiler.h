@@ -1,0 +1,36 @@
+#ifndef PSC_ALGEBRA_PLAN_COMPILER_H_
+#define PSC_ALGEBRA_PLAN_COMPILER_H_
+
+#include "psc/algebra/expression.h"
+#include "psc/relational/conjunctive_query.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Compiles a safe conjunctive query into a relational-algebra plan.
+///
+/// The paper writes queries in conjunctive-query notation (Section 5)
+/// but defines confidence propagation over relational algebra
+/// (Definition 5.1); this compiler connects the two:
+///
+///   Ans(s, v) ← Temperature(s, y, m, v), Station(s, lat, lon, "Canada"),
+///               After(y, 1900)
+///
+/// becomes π(σ(Temperature × Station)), with selections for head-to-body
+/// bindings, repeated variables, embedded constants and built-ins. The
+/// compiled plan satisfies, for every database D,
+///
+///   plan->EvalInWorld(D) == query.Evaluate(D)
+///
+/// (verified by randomized property tests), so the same query can be run
+/// exactly (possible-world enumeration) or compositionally
+/// (Definition 5.1) through the facade.
+///
+/// Restrictions: the head must consist of variables (use a built-in Eq
+/// filter for constant outputs), and at least one relational atom is
+/// required. Violations are Unimplemented/InvalidArgument.
+Result<AlgebraExprPtr> CompileQuery(const ConjunctiveQuery& query);
+
+}  // namespace psc
+
+#endif  // PSC_ALGEBRA_PLAN_COMPILER_H_

@@ -1,0 +1,85 @@
+#include "psc/algebra/prob_relation.h"
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+namespace {
+
+Status ValidateEntry(size_t arity, const Tuple& tuple, double confidence) {
+  if (tuple.size() != arity) {
+    return Status::InvalidArgument(
+        StrCat("tuple ", TupleToString(tuple), " has arity ", tuple.size(),
+               ", relation expects ", arity));
+  }
+  if (!(confidence >= 0.0 && confidence <= 1.0)) {
+    return Status::InvalidArgument(
+        StrCat("confidence ", confidence, " outside [0,1] for tuple ",
+               TupleToString(tuple)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ProbRelation::Insert(Tuple tuple, double confidence) {
+  PSC_RETURN_NOT_OK(ValidateEntry(arity_, tuple, confidence));
+  if (confidence == 0.0) return Status::OK();
+  auto [it, inserted] = tuples_.emplace(std::move(tuple), confidence);
+  if (!inserted) {
+    return Status::InvalidArgument(
+        StrCat("duplicate tuple ", TupleToString(it->first),
+               "; use Merge for independent-or combination"));
+  }
+  return Status::OK();
+}
+
+Status ProbRelation::Merge(Tuple tuple, double confidence) {
+  PSC_RETURN_NOT_OK(ValidateEntry(arity_, tuple, confidence));
+  if (confidence == 0.0) return Status::OK();
+  auto [it, inserted] = tuples_.emplace(std::move(tuple), confidence);
+  if (!inserted) {
+    it->second = 1.0 - (1.0 - it->second) * (1.0 - confidence);
+  }
+  return Status::OK();
+}
+
+Result<double> ProbRelation::ConfidenceOf(const Tuple& tuple) const {
+  if (tuple.size() != arity_) {
+    return Status::InvalidArgument(
+        StrCat("tuple ", TupleToString(tuple), " has arity ", tuple.size(),
+               ", relation expects ", arity_));
+  }
+  auto it = tuples_.find(tuple);
+  return it == tuples_.end() ? 0.0 : it->second;
+}
+
+std::vector<Tuple> ProbRelation::TuplesWithConfidenceAtLeast(
+    double threshold) const {
+  std::vector<Tuple> result;
+  for (const auto& [tuple, confidence] : tuples_) {
+    if (confidence >= threshold) result.push_back(tuple);
+  }
+  return result;
+}
+
+ProbRelation ProbRelation::FromRelation(const Relation& relation,
+                                        size_t arity) {
+  ProbRelation result(arity);
+  for (const Tuple& tuple : relation) {
+    const Status status = result.Insert(tuple, 1.0);
+    PSC_CHECK_MSG(status.ok(), status.ToString());
+  }
+  return result;
+}
+
+std::string ProbRelation::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(tuples_.size());
+  for (const auto& [tuple, confidence] : tuples_) {
+    lines.push_back(StrCat(TupleToString(tuple), " : ", confidence));
+  }
+  return Join(lines, "\n");
+}
+
+}  // namespace psc

@@ -1,0 +1,62 @@
+#ifndef PSC_ALGEBRA_PROB_RELATION_H_
+#define PSC_ALGEBRA_PROB_RELATION_H_
+
+#include <map>
+#include <string>
+
+#include "psc/relational/database.h"
+#include "psc/relational/value.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief A relation whose tuples carry confidence values in [0,1] — the
+/// carrier of the Definition 5.1 compositional semantics.
+///
+/// Tuples with confidence 0 are never stored (absent ⟺ confidence 0), so a
+/// ProbRelation is exactly "the possible answer annotated with
+/// confidences".
+class ProbRelation {
+ public:
+  /// An empty nullary relation; prefer the arity constructor.
+  ProbRelation() = default;
+  explicit ProbRelation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// \brief Inserts a tuple with the given confidence.
+  ///
+  /// Errors: wrong arity; confidence outside [0,1]; duplicate tuple (use
+  /// `Merge` for ⊕-combination). Confidence 0 is accepted and dropped.
+  Status Insert(Tuple tuple, double confidence);
+
+  /// \brief ⊕-combines `confidence` into the tuple's entry:
+  /// new = 1 − (1−old)(1−confidence) — the independent-or used by
+  /// projection and union.
+  Status Merge(Tuple tuple, double confidence);
+
+  /// Confidence of `tuple`; 0 when absent. Errors on arity mismatch.
+  Result<double> ConfidenceOf(const Tuple& tuple) const;
+
+  /// The underlying (tuple → confidence) map in canonical tuple order.
+  const std::map<Tuple, double>& entries() const { return tuples_; }
+
+  /// Tuples with confidence ≥ `threshold` (e.g. 1.0 for certain answers).
+  std::vector<Tuple> TuplesWithConfidenceAtLeast(double threshold) const;
+
+  /// \brief Lifts a deterministic relation: every tuple gets confidence 1.
+  static ProbRelation FromRelation(const Relation& relation, size_t arity);
+
+  /// Multi-line "tuple : confidence" rendering.
+  std::string ToString() const;
+
+ private:
+  size_t arity_ = 0;
+  std::map<Tuple, double> tuples_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_ALGEBRA_PROB_RELATION_H_

@@ -1,0 +1,191 @@
+#include "psc/consistency/general_consistency.h"
+
+#include <algorithm>
+
+#include "psc/consistency/identity_consistency.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/tableau/template_builder.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+const char* ConsistencyVerdictToString(ConsistencyVerdict verdict) {
+  switch (verdict) {
+    case ConsistencyVerdict::kConsistent:
+      return "CONSISTENT";
+    case ConsistencyVerdict::kInconsistent:
+      return "INCONSISTENT";
+    case ConsistencyVerdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Canonical-freeze pass: try every allowable combination's frozen tableau
+/// as a concrete witness. Sound for acceptance only.
+Result<std::optional<Database>> TryCanonicalFreeze(
+    const SourceCollection& collection,
+    const GeneralConsistencyChecker::Options& options,
+    ConsistencyReport* report, bool* hit_limits) {
+  TemplateBuilder builder(&collection);
+  std::optional<Database> witness;
+  Status deferred_error;
+  PSC_ASSIGN_OR_RETURN(
+      const bool completed,
+      builder.ForEachAllowableCombination([&](const Combination& combination) {
+        if (report->combinations_tried >= options.max_combinations) {
+          *hit_limits = true;
+          return false;
+        }
+        ++report->combinations_tried;
+        auto built = builder.BuildTableau(combination);
+        if (!built.ok()) {
+          if (built.status().code() == StatusCode::kUnimplemented) {
+            // A built-in constrains an existential variable; this
+            // combination cannot be frozen faithfully.
+            *hit_limits = true;
+            return true;
+          }
+          deferred_error = built.status();
+          return false;
+        }
+        if (!built->has_value()) return true;  // rep(𝒯^U) = ∅
+
+        // Two candidates: merged freezing reuses constants already forced
+        // by other sources (needed under exact catalogs), fresh freezing
+        // keeps existential witnesses distinct. Acceptance is verified, so
+        // trying both is sound.
+        Database candidates[2] = {FreezeTableauWithGroundMerge(**built),
+                                  FreezeTableau(**built)};
+        const size_t tries = candidates[0] == candidates[1] ? 1 : 2;
+        for (size_t t = 0; t < tries; ++t) {
+          ++report->candidates_checked;
+          auto possible = collection.IsPossibleWorld(candidates[t]);
+          if (!possible.ok()) {
+            deferred_error = possible.status();
+            return false;
+          }
+          if (*possible) {
+            witness = std::move(candidates[t]);
+            return false;
+          }
+        }
+        return true;
+      }));
+  if (!completed && !deferred_error.ok()) return deferred_error;
+  return witness;
+}
+
+}  // namespace
+
+Result<ConsistencyReport> GeneralConsistencyChecker::Check(
+    const SourceCollection& collection) const {
+  ConsistencyReport report;
+
+  if (collection.size() == 0) {
+    // No constraints: every database (e.g. the empty one) is possible.
+    report.verdict = ConsistencyVerdict::kConsistent;
+    report.witness = Database();
+    report.method = "trivial";
+    return report;
+  }
+
+  // Strategy 1: exact identity-view decision procedure.
+  if (collection.AllIdentityViews()) {
+    auto identity = CheckIdentityConsistency(collection, options_.max_shapes);
+    if (identity.ok()) {
+      report.method = "identity-counter";
+      report.verdict = identity->consistent ? ConsistencyVerdict::kConsistent
+                                            : ConsistencyVerdict::kInconsistent;
+      report.witness = identity->witness;
+      return report;
+    }
+    if (identity.status().code() != StatusCode::kResourceExhausted) {
+      return identity.status();
+    }
+    report.unknown_reason = identity.status().message();
+    return report;
+  }
+
+  // Strategy 2: canonical freezing of Theorem 4.1 templates.
+  bool hit_limits = false;
+  PSC_ASSIGN_OR_RETURN(
+      std::optional<Database> witness,
+      TryCanonicalFreeze(collection, options_, &report, &hit_limits));
+  if (witness.has_value()) {
+    report.verdict = ConsistencyVerdict::kConsistent;
+    report.witness = std::move(witness);
+    report.method = "canonical-freeze";
+    return report;
+  }
+
+  // Strategy 3: exhaustive search over the canonical domain within the
+  // Lemma 3.1 bound.
+  if (options_.enable_exhaustive) {
+    std::vector<Value> domain = collection.MentionedConstants();
+    // The Theorem 3.2 NP procedure fixes m·p·k constants; we add fresh ones
+    // up to the configured cap and remember whether we reached the bound.
+    size_t max_body = 0;
+    size_t max_arity = 1;
+    for (const SourceDescriptor& source : collection.sources()) {
+      max_body = std::max(max_body, source.view().RelationalBodySize());
+    }
+    for (const std::string& name : collection.schema().RelationNames()) {
+      auto arity = collection.schema().Arity(name);
+      if (arity.ok()) max_arity = std::max(max_arity, *arity);
+    }
+    const size_t constants_needed =
+        max_body * collection.TotalExtensionSize() * max_arity;
+    const size_t fresh_needed =
+        constants_needed > domain.size() ? constants_needed - domain.size()
+                                         : 0;
+    const size_t fresh_added =
+        std::min(fresh_needed, options_.max_fresh_constants);
+    for (size_t i = 0; i < fresh_added; ++i) {
+      domain.push_back(Value(StrCat("\xE2\x8A\xA5", i)));  // "⊥i"
+    }
+    const bool domain_complete = fresh_added == fresh_needed;
+
+    BruteForceWorldEnumerator::Options brute_options;
+    brute_options.max_universe_bits = options_.max_exhaustive_bits;
+    BruteForceWorldEnumerator enumerator(&collection, domain, brute_options);
+    std::optional<Database> found;
+    auto completed = enumerator.ForEachPossibleWorld([&](const Database& db) {
+      ++report.candidates_checked;
+      found = db;
+      return false;
+    });
+    if (completed.ok()) {
+      if (found.has_value()) {
+        report.verdict = ConsistencyVerdict::kConsistent;
+        report.witness = std::move(found);
+        report.method = "exhaustive";
+        return report;
+      }
+      if (domain_complete) {
+        report.verdict = ConsistencyVerdict::kInconsistent;
+        report.method = "exhaustive";
+        return report;
+      }
+      report.unknown_reason = StrCat(
+          "no witness over a truncated canonical domain (needed ",
+          fresh_needed, " fresh constants, searched with ", fresh_added, ")");
+      return report;
+    }
+    if (completed.status().code() != StatusCode::kResourceExhausted) {
+      return completed.status();
+    }
+    report.unknown_reason = completed.status().message();
+    return report;
+  }
+
+  report.unknown_reason =
+      hit_limits ? "canonical-freeze pass hit resource limits"
+                 : "canonical-freeze found no witness and the exhaustive "
+                   "fallback is disabled";
+  return report;
+}
+
+}  // namespace psc

@@ -1,0 +1,79 @@
+#ifndef PSC_CONSISTENCY_GENERAL_CONSISTENCY_H_
+#define PSC_CONSISTENCY_GENERAL_CONSISTENCY_H_
+
+#include <optional>
+#include <string>
+
+#include "psc/relational/database.h"
+#include "psc/source/source_collection.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Three-valued consistency verdict. The general problem is
+/// NP-complete (Theorem 3.2), so the checker reports kUnknown when every
+/// exact strategy exceeds its resource budget instead of guessing.
+enum class ConsistencyVerdict {
+  kConsistent,
+  kInconsistent,
+  kUnknown,
+};
+
+const char* ConsistencyVerdictToString(ConsistencyVerdict verdict);
+
+/// \brief Outcome of a general consistency check.
+struct ConsistencyReport {
+  ConsistencyVerdict verdict = ConsistencyVerdict::kUnknown;
+  /// A witness possible world when consistent.
+  std::optional<Database> witness;
+  /// Which strategy decided ("identity-counter", "canonical-freeze",
+  /// "exhaustive", "none").
+  std::string method = "none";
+  /// Why the verdict is kUnknown, when it is.
+  std::string unknown_reason;
+  /// Allowable combinations U examined by the template strategies.
+  uint64_t combinations_tried = 0;
+  /// Candidate databases tested against poss(S).
+  uint64_t candidates_checked = 0;
+};
+
+/// \brief Exact / best-effort consistency checking for arbitrary
+/// conjunctive views, the Theorem 3.2 NP procedure made concrete.
+///
+/// Strategy pipeline:
+///  1. **identity-counter** — if every view is the identity over one
+///     relation, delegate to the exact signature-group checker (complete).
+///  2. **canonical-freeze** — enumerate allowable combinations U
+///     (Theorem 4.1); for each, build 𝒯^U(S), freeze its tableau with
+///     fresh constants and test the frozen database against poss(S).
+///     Accepting is sound (a concrete witness is exhibited); rejection of
+///     every candidate is *not* a proof of inconsistency, because a
+///     satisfying world may require merging existential variables.
+///  3. **exhaustive** — enumerate all databases over the canonical domain
+///     (mentioned constants plus fresh ones) within the Lemma 3.1 size
+///     bound. Complete but exponential; only attempted while the fact
+///     universe stays within `max_exhaustive_bits`.
+class GeneralConsistencyChecker {
+ public:
+  struct Options {
+    uint64_t max_shapes = uint64_t{1} << 26;
+    uint64_t max_combinations = uint64_t{1} << 20;
+    /// Universe-size cap for the exhaustive fallback (2^N subsets).
+    size_t max_exhaustive_bits = 22;
+    /// Extra fresh constants added to the canonical domain, capped.
+    size_t max_fresh_constants = 4;
+    bool enable_exhaustive = true;
+  };
+
+  GeneralConsistencyChecker() : options_() {}
+  explicit GeneralConsistencyChecker(Options options) : options_(options) {}
+
+  Result<ConsistencyReport> Check(const SourceCollection& collection) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_CONSISTENCY_GENERAL_CONSISTENCY_H_

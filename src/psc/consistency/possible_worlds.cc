@@ -1,0 +1,72 @@
+#include "psc/consistency/possible_worlds.h"
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+BruteForceWorldEnumerator::BruteForceWorldEnumerator(
+    const SourceCollection* collection, std::vector<Value> domain)
+    : BruteForceWorldEnumerator(collection, std::move(domain), Options()) {}
+
+BruteForceWorldEnumerator::BruteForceWorldEnumerator(
+    const SourceCollection* collection, std::vector<Value> domain,
+    Options options)
+    : collection_(collection), domain_(std::move(domain)), options_(options) {
+  PSC_CHECK(collection_ != nullptr);
+}
+
+Result<std::vector<Fact>> BruteForceWorldEnumerator::Universe() const {
+  // The subset enumeration is 2^N, so the universe itself must stay below
+  // max_universe_bits facts.
+  PSC_ASSIGN_OR_RETURN(std::vector<Fact> universe,
+                       EnumerateFactUniverse(collection_->schema(), domain_,
+                                             options_.max_universe_bits));
+  return universe;
+}
+
+Result<bool> BruteForceWorldEnumerator::ForEachPossibleWorld(
+    const std::function<bool(const Database&)>& fn) const {
+  PSC_ASSIGN_OR_RETURN(const std::vector<Fact> universe, Universe());
+  const uint64_t limit = uint64_t{1} << universe.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Database db;
+    for (size_t j = 0; j < universe.size(); ++j) {
+      if ((mask >> j) & 1) db.AddFact(universe[j]);
+    }
+    PSC_ASSIGN_OR_RETURN(const bool possible,
+                         collection_->IsPossibleWorld(db));
+    if (possible && !fn(db)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Database>> BruteForceWorldEnumerator::CollectPossibleWorlds(
+    size_t max_worlds) const {
+  std::vector<Database> worlds;
+  bool overflow = false;
+  PSC_ASSIGN_OR_RETURN(const bool completed,
+                       ForEachPossibleWorld([&](const Database& db) {
+                         if (worlds.size() >= max_worlds) {
+                           overflow = true;
+                           return false;
+                         }
+                         worlds.push_back(db);
+                         return true;
+                       }));
+  if (!completed && overflow) {
+    return Status::ResourceExhausted(
+        StrCat("more than ", max_worlds, " possible worlds"));
+  }
+  return worlds;
+}
+
+Result<uint64_t> BruteForceWorldEnumerator::CountPossibleWorlds() const {
+  uint64_t count = 0;
+  PSC_RETURN_NOT_OK(ForEachPossibleWorld([&](const Database&) {
+                      ++count;
+                      return true;
+                    }).status());
+  return count;
+}
+
+}  // namespace psc

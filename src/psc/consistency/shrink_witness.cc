@@ -1,0 +1,48 @@
+#include "psc/consistency/shrink_witness.h"
+
+#include "psc/source/measures.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+Result<Database> ShrinkWitness(const SourceCollection& collection,
+                               const Database& world) {
+  PSC_ASSIGN_OR_RETURN(const bool possible,
+                       collection.IsPossibleWorld(world));
+  if (!possible) {
+    return Status::InvalidArgument(
+        "ShrinkWitness requires a database in poss(S) (Lemma 3.1's "
+        "hypothesis)");
+  }
+
+  Database shrunk;
+  for (const SourceDescriptor& source : collection.sources()) {
+    const ConjunctiveQuery& view = source.view();
+    // Facts of φᵢ(G) ∩ vᵢ: iterate the (small) extension and keep the
+    // tuples the view produces on G.
+    for (const Tuple& claimed : source.extension()) {
+      PSC_ASSIGN_OR_RETURN(const std::vector<Valuation> witnesses,
+                           view.WitnessValuations(world, claimed));
+      if (witnesses.empty()) continue;  // claimed ∉ φᵢ(G)
+      // One valuation suffices (the paper picks an arbitrary θ_u).
+      const Valuation& theta = witnesses.front();
+      for (const Atom& atom : view.relational_body()) {
+        PSC_ASSIGN_OR_RETURN(Tuple grounded,
+                             GroundTerms(atom.terms(), theta));
+        shrunk.AddFact(atom.predicate(), std::move(grounded));
+      }
+    }
+  }
+
+  // The proof guarantees membership; verify as a defensive invariant.
+  PSC_ASSIGN_OR_RETURN(const bool shrunk_possible,
+                       collection.IsPossibleWorld(shrunk));
+  if (!shrunk_possible) {
+    return Status::Internal(
+        "Lemma 3.1 construction produced a non-world; this indicates a bug "
+        "in view evaluation");
+  }
+  return shrunk;
+}
+
+}  // namespace psc

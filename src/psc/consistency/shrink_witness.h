@@ -1,0 +1,31 @@
+#ifndef PSC_CONSISTENCY_SHRINK_WITNESS_H_
+#define PSC_CONSISTENCY_SHRINK_WITNESS_H_
+
+#include "psc/relational/database.h"
+#include "psc/source/source_collection.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief The constructive step of Lemma 3.1: given any possible world G,
+/// extracts a sub-database D ⊆ G with
+///
+///   |D| ≤ maxᵢ|body(φᵢ)| · Σᵢ|vᵢ|
+///
+/// that is itself a possible world.
+///
+/// Construction (verbatim from the paper's proof): for every source i and
+/// every fact u ∈ φᵢ(G) ∩ vᵢ, pick one witness valuation θ_u embedding
+/// body(φᵢ) into G with head(φᵢ)θ_u = u, and take D as the union of all
+/// the instantiated body atoms. The proof shows φᵢ(D) ∩ vᵢ = φᵢ(G) ∩ vᵢ
+/// while |φᵢ(D)| ≤ |φᵢ(G)|, so every soundness and completeness bound
+/// carries over.
+///
+/// Errors: InvalidArgument when `world` is not in poss(S) (the lemma's
+/// hypothesis).
+Result<Database> ShrinkWitness(const SourceCollection& collection,
+                               const Database& world);
+
+}  // namespace psc
+
+#endif  // PSC_CONSISTENCY_SHRINK_WITNESS_H_

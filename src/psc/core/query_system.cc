@@ -1,0 +1,200 @@
+#include "psc/core/query_system.h"
+
+#include <map>
+
+#include "psc/algebra/plan_compiler.h"
+#include "psc/counting/identity_instance.h"
+#include "psc/counting/world_enumerator.h"
+#include "psc/counting/world_sampler.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/util/random.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+namespace {
+
+/// Near-1 threshold for deriving certain answers from floating-point
+/// confidences in the compositional path.
+constexpr double kCertainEpsilon = 1e-9;
+
+/// Accumulates per-world query results into certain/possible sets and
+/// containment counts.
+class AnswerAccumulator {
+ public:
+  explicit AnswerAccumulator(const AlgebraExprPtr& query) : query_(query) {}
+
+  Status Add(const Database& world) {
+    PSC_ASSIGN_OR_RETURN(const Relation answer, query_->EvalInWorld(world));
+    if (worlds_ == 0) {
+      certain_ = answer;
+    } else {
+      Relation still_certain;
+      for (const Tuple& tuple : certain_) {
+        if (answer.count(tuple) > 0) still_certain.insert(tuple);
+      }
+      certain_ = std::move(still_certain);
+    }
+    for (const Tuple& tuple : answer) {
+      possible_.insert(tuple);
+      ++containment_[tuple];
+    }
+    ++worlds_;
+    return Status::OK();
+  }
+
+  Result<QueryAnswer> Finish(const std::string& method) const {
+    if (worlds_ == 0) {
+      return Status::Inconsistent(
+          "poss(S) is empty: query answers are undefined");
+    }
+    QueryAnswer answer;
+    answer.method = method;
+    answer.worlds_used = worlds_;
+    answer.certain = certain_;
+    answer.possible = possible_;
+    answer.confidences = ProbRelation(query_->OutputArity());
+    for (const auto& [tuple, count] : containment_) {
+      PSC_RETURN_NOT_OK(answer.confidences.Insert(
+          tuple, static_cast<double>(count) / static_cast<double>(worlds_)));
+    }
+    return answer;
+  }
+
+ private:
+  const AlgebraExprPtr& query_;
+  uint64_t worlds_ = 0;
+  Relation certain_;
+  Relation possible_;
+  std::map<Tuple, uint64_t> containment_;
+};
+
+}  // namespace
+
+Result<QuerySystem> QuerySystem::Create(SourceCollection collection) {
+  return Create(std::move(collection), Options());
+}
+
+Result<QuerySystem> QuerySystem::Create(SourceCollection collection,
+                                        Options options) {
+  return QuerySystem(std::move(collection), options);
+}
+
+Result<ConsistencyReport> QuerySystem::CheckConsistency() const {
+  GeneralConsistencyChecker::Options options;
+  options.max_shapes = options_.max_shapes;
+  options.max_exhaustive_bits = options_.max_universe_bits;
+  const GeneralConsistencyChecker checker(options);
+  return checker.Check(collection_);
+}
+
+Result<ConfidenceTable> QuerySystem::BaseConfidences(
+    const std::vector<Value>& domain) const {
+  PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
+                       IdentityInstance::Create(collection_, domain));
+  return ComputeBaseFactConfidences(instance, options_.max_shapes);
+}
+
+Result<QueryAnswer> QuerySystem::AnswerExact(
+    const AlgebraExprPtr& query, const std::vector<Value>& domain) const {
+  if (query == nullptr) return Status::InvalidArgument("null query plan");
+  AnswerAccumulator accumulator(query);
+  Status world_error;
+  const auto consume = [&](const Database& world) {
+    world_error = accumulator.Add(world);
+    return world_error.ok();
+  };
+
+  if (collection_.AllIdentityViews()) {
+    PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
+                         IdentityInstance::Create(collection_, domain));
+    IdentityWorldEnumerator enumerator(&instance);
+    PSC_ASSIGN_OR_RETURN(
+        const bool completed,
+        enumerator.ForEachWorld(consume, options_.max_worlds,
+                                options_.max_shapes));
+    if (!completed) return world_error;
+    return accumulator.Finish("exact-enumeration");
+  }
+
+  BruteForceWorldEnumerator::Options brute_options;
+  brute_options.max_universe_bits = options_.max_universe_bits;
+  BruteForceWorldEnumerator enumerator(&collection_, domain, brute_options);
+  PSC_ASSIGN_OR_RETURN(const bool completed,
+                       enumerator.ForEachPossibleWorld(consume));
+  if (!completed) return world_error;
+  return accumulator.Finish("exact-enumeration");
+}
+
+Result<QueryAnswer> QuerySystem::AnswerCompositional(
+    const AlgebraExprPtr& query, const std::vector<Value>& domain) const {
+  if (query == nullptr) return Status::InvalidArgument("null query plan");
+  if (!collection_.AllIdentityViews()) {
+    return Status::Unimplemented(
+        "compositional confidences require identity views (the Section 5.1 "
+        "special case that defines base-fact confidences)");
+  }
+  PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
+                       IdentityInstance::Create(collection_, domain));
+  PSC_ASSIGN_OR_RETURN(const ConfidenceTable table,
+                       ComputeBaseFactConfidences(instance,
+                                                  options_.max_shapes));
+  ProbRelation base_relation(instance.arity());
+  for (const TupleConfidence& entry : table.entries) {
+    PSC_RETURN_NOT_OK(base_relation.Insert(entry.tuple, entry.confidence));
+  }
+  std::map<std::string, ProbRelation> base;
+  base.emplace(instance.relation(), std::move(base_relation));
+
+  QueryAnswer answer;
+  answer.method = "compositional";
+  PSC_ASSIGN_OR_RETURN(answer.confidences, query->EvalConfidence(base));
+  for (const auto& [tuple, confidence] : answer.confidences.entries()) {
+    answer.possible.insert(tuple);
+    if (confidence >= 1.0 - kCertainEpsilon) answer.certain.insert(tuple);
+  }
+  return answer;
+}
+
+Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
+    const AlgebraExprPtr& query, const std::vector<Value>& domain,
+    uint64_t samples, uint64_t seed) const {
+  if (query == nullptr) return Status::InvalidArgument("null query plan");
+  if (samples == 0) return Status::InvalidArgument("samples must be >= 1");
+  if (!collection_.AllIdentityViews()) {
+    return Status::Unimplemented(
+        "Monte-Carlo answering requires identity views (uniform world "
+        "sampling uses the signature-group representation)");
+  }
+  PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
+                       IdentityInstance::Create(collection_, domain));
+  PSC_ASSIGN_OR_RETURN(const WorldSampler sampler,
+                       WorldSampler::Create(&instance, options_.max_worlds));
+  Rng rng(seed);
+  AnswerAccumulator accumulator(query);
+  for (uint64_t i = 0; i < samples; ++i) {
+    PSC_RETURN_NOT_OK(accumulator.Add(sampler.Sample(&rng)));
+  }
+  return accumulator.Finish("monte-carlo");
+}
+
+Result<QueryAnswer> QuerySystem::AnswerExact(
+    const ConjunctiveQuery& query, const std::vector<Value>& domain) const {
+  PSC_ASSIGN_OR_RETURN(const AlgebraExprPtr plan, CompileQuery(query));
+  return AnswerExact(plan, domain);
+}
+
+Result<QueryAnswer> QuerySystem::AnswerCompositional(
+    const ConjunctiveQuery& query, const std::vector<Value>& domain) const {
+  PSC_ASSIGN_OR_RETURN(const AlgebraExprPtr plan, CompileQuery(query));
+  return AnswerCompositional(plan, domain);
+}
+
+Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
+    const ConjunctiveQuery& query, const std::vector<Value>& domain,
+    uint64_t samples, uint64_t seed) const {
+  PSC_ASSIGN_OR_RETURN(const AlgebraExprPtr plan, CompileQuery(query));
+  return AnswerMonteCarlo(plan, domain, samples, seed);
+}
+
+}  // namespace psc

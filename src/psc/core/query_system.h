@@ -1,0 +1,113 @@
+#ifndef PSC_CORE_QUERY_SYSTEM_H_
+#define PSC_CORE_QUERY_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psc/algebra/expression.h"
+#include "psc/algebra/prob_relation.h"
+#include "psc/consistency/general_consistency.h"
+#include "psc/counting/confidence.h"
+#include "psc/source/source_collection.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Answer to a query over a source collection, under the Section 5
+/// semantics.
+struct QueryAnswer {
+  /// Tuple → confidence_Q(t) = Pr(t ∈ Q(D) | D ∈ poss(S)). Exact for the
+  /// "exact" method, compositional (Definition 5.1) or estimated otherwise.
+  ProbRelation confidences;
+  /// Q₊(S) = ⋂_D Q(D) — the certain answer.
+  Relation certain;
+  /// Q*(S) = ⋃_D Q(D) — the possible answer.
+  Relation possible;
+  /// Possible worlds evaluated (exact) or sampled (Monte Carlo).
+  uint64_t worlds_used = 0;
+  /// "exact-enumeration", "compositional", "monte-carlo".
+  std::string method;
+};
+
+/// \brief The user-facing facade: a source collection plus query answering,
+/// consistency checking and confidence computation.
+///
+/// Typical flow:
+///
+///   auto system = QuerySystem::Create(ParseCollection(text).value());
+///   auto report = system->CheckConsistency();
+///   auto answer = system->AnswerExact(plan, domain);
+class QuerySystem {
+ public:
+  struct Options {
+    uint64_t max_shapes = uint64_t{1} << 26;
+    uint64_t max_worlds = uint64_t{1} << 22;
+    /// Universe-size cap (bits) for brute-force fallbacks on non-identity
+    /// collections.
+    size_t max_universe_bits = 22;
+  };
+
+  /// Builds a system over `collection`.
+  static Result<QuerySystem> Create(SourceCollection collection);
+  static Result<QuerySystem> Create(SourceCollection collection,
+                                    Options options);
+
+  const SourceCollection& collection() const { return collection_; }
+
+  /// \brief Decides whether poss(S) ≠ ∅ (Section 3), choosing the best
+  /// strategy for the collection's shape.
+  Result<ConsistencyReport> CheckConsistency() const;
+
+  /// \brief Section 5.1: exact confidences for every base fact over the
+  /// fact universe dom^arity. Identity-view collections only.
+  Result<ConfidenceTable> BaseConfidences(
+      const std::vector<Value>& domain) const;
+
+  /// \brief Exact query answering by possible-world enumeration:
+  /// certain/possible answers and exact confidences. Exponential; bounded
+  /// by Options::max_worlds. Works for identity collections over `domain`
+  /// (group enumeration) and falls back to brute force otherwise.
+  Result<QueryAnswer> AnswerExact(const AlgebraExprPtr& query,
+                                  const std::vector<Value>& domain) const;
+
+  /// \brief Definition 5.1 compositional answering: exact base confidences
+  /// feed the π/σ/× confidence propagation. Fast, but the confidences of
+  /// derived tuples assume independence (see Theorem 5.1 and experiment
+  /// E5). Certain/possible sets are derived from confidences (= 1 / > 0).
+  Result<QueryAnswer> AnswerCompositional(
+      const AlgebraExprPtr& query, const std::vector<Value>& domain) const;
+
+  /// \brief Monte-Carlo answering: `samples` exact-uniform worlds from
+  /// poss(S); confidences are sample frequencies. The certain/possible
+  /// sets are *estimates* (tuples seen in every / any sampled world).
+  Result<QueryAnswer> AnswerMonteCarlo(const AlgebraExprPtr& query,
+                                       const std::vector<Value>& domain,
+                                       uint64_t samples, uint64_t seed) const;
+
+  /// \name Conjunctive-query overloads
+  ///
+  /// Accept the paper's query notation directly; the query is compiled
+  /// into an algebra plan (see plan_compiler.h) and dispatched to the
+  /// corresponding method above.
+  /// @{
+  Result<QueryAnswer> AnswerExact(const ConjunctiveQuery& query,
+                                  const std::vector<Value>& domain) const;
+  Result<QueryAnswer> AnswerCompositional(
+      const ConjunctiveQuery& query, const std::vector<Value>& domain) const;
+  Result<QueryAnswer> AnswerMonteCarlo(const ConjunctiveQuery& query,
+                                       const std::vector<Value>& domain,
+                                       uint64_t samples, uint64_t seed) const;
+  /// @}
+
+ private:
+  QuerySystem(SourceCollection collection, Options options)
+      : collection_(std::move(collection)), options_(options) {}
+
+  SourceCollection collection_;
+  Options options_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_CORE_QUERY_SYSTEM_H_

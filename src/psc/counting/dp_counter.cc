@@ -1,0 +1,112 @@
+#include "psc/counting/dp_counter.h"
+
+#include <map>
+
+#include "psc/util/combinatorics.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+namespace {
+
+using Int128 = __int128;
+
+/// DP state: (T₁, …, Tₙ, |D|).
+using State = std::vector<int64_t>;
+using StateMap = std::map<State, BigInt>;
+
+/// One DP pass. When `marked_group` is non-negative, one designated fact
+/// of that group is forced into every world: its group contributes
+/// C(n_g−1, k−1) for k ≥ 1 instead of C(n_g, k).
+Result<BigInt> RunPass(const IdentityInstance& instance,
+                       BinomialTable& binomials, int64_t marked_group,
+                       uint64_t max_states, uint64_t* peak_states,
+                       uint64_t* feasible_states) {
+  const size_t n = instance.num_sources();
+  StateMap states;
+  states.emplace(State(n + 1, 0), BigInt(1));
+
+  for (size_t g = 0; g < instance.groups().size(); ++g) {
+    const IdentityInstance::Group& group = instance.groups()[g];
+    const bool marked = static_cast<int64_t>(g) == marked_group;
+    StateMap next;
+    for (const auto& [state, weight] : states) {
+      const int64_t k_min = marked ? 1 : 0;
+      for (int64_t k = k_min; k <= group.size; ++k) {
+        const BigInt& combinations =
+            marked ? binomials.Choose(group.size - 1, k - 1)
+                   : binomials.Choose(group.size, k);
+        if (combinations.IsZero()) continue;
+        State successor = state;
+        for (size_t i = 0; i < n; ++i) {
+          if ((group.signature & (uint64_t{1} << i)) != 0) {
+            successor[i] += k;
+          }
+        }
+        successor[n] += k;
+        next[std::move(successor)] += weight * combinations;
+      }
+    }
+    states = std::move(next);
+    *peak_states = std::max<uint64_t>(*peak_states, states.size());
+    if (states.size() > max_states) {
+      return Status::ResourceExhausted(
+          StrCat("DP state count ", states.size(), " exceeds the budget of ",
+                 max_states));
+    }
+  }
+
+  BigInt total;
+  for (const auto& [state, weight] : states) {
+    const int64_t world_size = state[n];
+    bool feasible = true;
+    for (size_t i = 0; i < n && feasible; ++i) {
+      const IdentityInstance::SourceConstraint& constraint =
+          instance.constraints()[i];
+      if (state[i] < constraint.min_sound) {
+        feasible = false;
+        break;
+      }
+      const Int128 lhs =
+          Int128(constraint.completeness.numerator()) * world_size;
+      const Int128 rhs =
+          Int128(constraint.completeness.denominator()) * state[i];
+      feasible = lhs <= rhs;
+    }
+    if (feasible) {
+      total += weight;
+      if (feasible_states != nullptr) ++*feasible_states;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+DpCounter::DpCounter(const IdentityInstance* instance) : instance_(instance) {
+  PSC_CHECK(instance_ != nullptr);
+}
+
+Result<CountingOutcome> DpCounter::Count(uint64_t max_states) {
+  BinomialTable binomials;
+  CountingOutcome outcome;
+  uint64_t peak = 0;
+  uint64_t feasible = 0;
+  PSC_ASSIGN_OR_RETURN(outcome.world_count,
+                       RunPass(*instance_, binomials, /*marked_group=*/-1,
+                               max_states, &peak, &feasible));
+  outcome.feasible_shapes = feasible;
+  const size_t num_groups = instance_->groups().size();
+  outcome.worlds_containing.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (instance_->groups()[g].size == 0) continue;
+    PSC_ASSIGN_OR_RETURN(outcome.worlds_containing[g],
+                         RunPass(*instance_, binomials,
+                                 static_cast<int64_t>(g), max_states, &peak,
+                                 nullptr));
+  }
+  outcome.visited_shapes = peak;
+  return outcome;
+}
+
+}  // namespace psc

@@ -1,0 +1,109 @@
+#ifndef PSC_COUNTING_IDENTITY_INSTANCE_H_
+#define PSC_COUNTING_IDENTITY_INSTANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "psc/source/source_collection.h"
+#include "psc/util/rational.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief A compiled instance of the Section 5.1 special case: every view is
+/// the identity over one global relation R and the domain is finite.
+///
+/// A global database is then just a subset D of a finite *fact universe*
+/// (all tuples over R with constants in dom, in the paper's enumeration
+/// t₁,…,t_N), and D ∈ poss(S) iff for every source i
+///
+///   |D ∩ vᵢ| ≥ ⌈sᵢ·|vᵢ|⌉      (soundness)
+///   |D ∩ vᵢ| ≥ cᵢ·|D|          (completeness; φᵢ(D) = D for identities)
+///
+/// The key structural observation (used by SignatureCounter): two universe
+/// tuples belong to exactly the same extensions — have the same *signature*
+/// bitmask over the sources — are exchangeable: every constraint depends
+/// only on *how many* tuples are picked from each signature group, not on
+/// which ones. Grouping reduces the 2^N search space to count vectors.
+class IdentityInstance {
+ public:
+  /// Per-source constraint data, precomputed with exact arithmetic.
+  struct SourceConstraint {
+    std::string name;
+    int64_t extension_size = 0;  ///< kᵢ = |vᵢ|
+    int64_t min_sound = 0;       ///< tᵢ ≥ ⌈sᵢ·kᵢ⌉
+    Rational completeness;       ///< cᵢ
+    Rational soundness;          ///< sᵢ
+  };
+
+  /// A signature group: the universe tuples contained in exactly the
+  /// sources set in `signature`.
+  struct Group {
+    uint64_t signature = 0;       ///< bit i set ⟺ member of source i's vᵢ
+    int64_t size = 0;             ///< n_g
+    std::vector<size_t> members;  ///< indices into universe()
+  };
+
+  /// Empty, invalid instance; use a factory.
+  IdentityInstance() = default;
+
+  /// \brief Compiles `collection` over the full universe dom^arity.
+  ///
+  /// `domain` must contain every constant mentioned in the extensions.
+  /// Fails if a view is not an identity, sources > 63, or the universe
+  /// exceeds `max_universe`.
+  static Result<IdentityInstance> Create(const SourceCollection& collection,
+                                         const std::vector<Value>& domain,
+                                         size_t max_universe = 1u << 22);
+
+  /// \brief Compiles over the universe ⋃ᵢ vᵢ only.
+  ///
+  /// Sufficient for deciding consistency: facts outside every extension
+  /// can only lower each completeness ratio and never help soundness, so
+  /// poss(S) ≠ ∅ iff a witness exists inside ⋃ᵢ vᵢ.
+  static Result<IdentityInstance> CreateOverExtensions(
+      const SourceCollection& collection);
+
+  /// \brief Compiles over an explicit universe (must cover every vᵢ).
+  static Result<IdentityInstance> CreateWithUniverse(
+      const SourceCollection& collection, std::vector<Tuple> universe);
+
+  /// The common global relation name R.
+  const std::string& relation() const { return relation_; }
+  size_t arity() const { return arity_; }
+
+  /// The fact universe t₁,…,t_N (deterministic order, no duplicates).
+  const std::vector<Tuple>& universe() const { return universe_; }
+
+  /// Signature groups, in increasing signature order. Every universe tuple
+  /// belongs to exactly one group; the signature-0 group (if present) holds
+  /// the tuples outside every extension.
+  const std::vector<Group>& groups() const { return groups_; }
+
+  const std::vector<SourceConstraint>& constraints() const {
+    return constraints_;
+  }
+  size_t num_sources() const { return constraints_.size(); }
+
+  /// Group index of a universe tuple; NotFound for tuples outside.
+  Result<size_t> GroupIndexOf(const Tuple& tuple) const;
+
+  /// \brief Checks a per-group count vector against every source constraint
+  /// (the Γ system evaluated on the group abstraction). `counts[g]` is the
+  /// number of tuples picked from group g; requires 0 ≤ counts[g] ≤ n_g.
+  bool CheckCounts(const std::vector<int64_t>& counts) const;
+
+ private:
+  std::string relation_;
+  size_t arity_ = 0;
+  std::vector<Tuple> universe_;
+  std::vector<Group> groups_;
+  std::vector<SourceConstraint> constraints_;
+  std::map<Tuple, size_t> group_of_tuple_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_COUNTING_IDENTITY_INSTANCE_H_

@@ -1,0 +1,177 @@
+#include "psc/counting/model_counter.h"
+
+#include <functional>
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+SignatureCounter::SignatureCounter(const IdentityInstance* instance,
+                                   BinomialTable* binomials)
+    : instance_(instance), binomials_(binomials) {
+  PSC_CHECK(instance_ != nullptr && binomials_ != nullptr);
+  BuildSuffixCapacity();
+}
+
+void SignatureCounter::BuildSuffixCapacity() {
+  const auto& groups = instance_->groups();
+  const size_t n = instance_->num_sources();
+  suffix_max_.assign(n, std::vector<int64_t>(groups.size() + 1, 0));
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit = uint64_t{1} << i;
+    for (size_t g = groups.size(); g-- > 0;) {
+      suffix_max_[i][g] = suffix_max_[i][g + 1] +
+                          ((groups[g].signature & bit) != 0 ? groups[g].size
+                                                            : 0);
+    }
+  }
+}
+
+namespace {
+
+/// Shared DFS over per-group count vectors with soundness pruning.
+/// `visit(counts, weight)` is called for every feasible leaf and returns
+/// false to stop the whole enumeration.
+class ShapeEnumerator {
+ public:
+  ShapeEnumerator(const IdentityInstance& instance, BinomialTable& binomials,
+                  const std::vector<std::vector<int64_t>>& suffix_max,
+                  uint64_t max_shapes)
+      : instance_(instance),
+        binomials_(binomials),
+        suffix_max_(suffix_max),
+        max_shapes_(max_shapes) {}
+
+  /// Returns false iff the visitor requested an early stop.
+  Result<bool> Run(const std::function<bool(const std::vector<int64_t>&,
+                                            const BigInt&)>& visit) {
+    visit_ = &visit;
+    counts_.assign(instance_.groups().size(), 0);
+    partial_in_extension_.assign(instance_.num_sources(), 0);
+    visited_ = 0;
+    return Recurse(0, BigInt(1));
+  }
+
+  uint64_t visited() const { return visited_; }
+
+ private:
+  Result<bool> Recurse(size_t g, const BigInt& weight) {
+    // Soundness pruning: some source can no longer reach its minimum.
+    for (size_t i = 0; i < instance_.num_sources(); ++i) {
+      if (partial_in_extension_[i] + suffix_max_[i][g] <
+          instance_.constraints()[i].min_sound) {
+        return true;
+      }
+    }
+    if (g == instance_.groups().size()) {
+      if (++visited_ > max_shapes_) {
+        return Status::ResourceExhausted(
+            StrCat("shape enumeration exceeded ", max_shapes_,
+                   " count vectors"));
+      }
+      if (instance_.CheckCounts(counts_)) {
+        return (*visit_)(counts_, weight);
+      }
+      return true;
+    }
+    const IdentityInstance::Group& group = instance_.groups()[g];
+    for (int64_t k = 0; k <= group.size; ++k) {
+      counts_[g] = k;
+      for (size_t i = 0; i < instance_.num_sources(); ++i) {
+        if ((group.signature & (uint64_t{1} << i)) != 0) {
+          partial_in_extension_[i] += k;
+        }
+      }
+      BigInt child_weight = weight * binomials_.Choose(group.size, k);
+      auto deeper = Recurse(g + 1, child_weight);
+      for (size_t i = 0; i < instance_.num_sources(); ++i) {
+        if ((group.signature & (uint64_t{1} << i)) != 0) {
+          partial_in_extension_[i] -= k;
+        }
+      }
+      if (!deeper.ok()) return deeper.status();
+      if (!*deeper) {
+        counts_[g] = 0;
+        return false;
+      }
+    }
+    counts_[g] = 0;
+    return true;
+  }
+
+  const IdentityInstance& instance_;
+  BinomialTable& binomials_;
+  const std::vector<std::vector<int64_t>>& suffix_max_;
+  const uint64_t max_shapes_;
+  const std::function<bool(const std::vector<int64_t>&, const BigInt&)>*
+      visit_ = nullptr;
+  std::vector<int64_t> counts_;
+  std::vector<int64_t> partial_in_extension_;
+  uint64_t visited_ = 0;
+};
+
+}  // namespace
+
+Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes) {
+  CountingOutcome outcome;
+  const auto& groups = instance_->groups();
+  // Σ over feasible shapes of weight·k_g, later divided by n_g.
+  std::vector<BigInt> marked_sums(groups.size());
+
+  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes);
+  PSC_RETURN_NOT_OK(
+      enumerator
+          .Run([&](const std::vector<int64_t>& counts, const BigInt& weight) {
+            ++outcome.feasible_shapes;
+            outcome.world_count += weight;
+            for (size_t g = 0; g < groups.size(); ++g) {
+              if (counts[g] == 0) continue;
+              BigInt term = weight;
+              term.MulU32(static_cast<uint32_t>(counts[g]));
+              marked_sums[g] += term;
+            }
+            return true;
+          })
+          .status());
+  outcome.visited_shapes = enumerator.visited();
+
+  outcome.worlds_containing.resize(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (marked_sums[g].IsZero()) continue;
+    // C(n,k)·k = n·C(n−1,k−1), so the sum is divisible by n_g termwise.
+    outcome.worlds_containing[g] =
+        marked_sums[g].DivExactU32(static_cast<uint32_t>(groups[g].size));
+  }
+  return outcome;
+}
+
+Result<std::vector<WorldShape>> SignatureCounter::FeasibleShapes(
+    uint64_t max_shapes) {
+  std::vector<WorldShape> shapes;
+  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes);
+  PSC_RETURN_NOT_OK(
+      enumerator
+          .Run([&](const std::vector<int64_t>& counts, const BigInt& weight) {
+            shapes.push_back(WorldShape{counts, weight});
+            return true;
+          })
+          .status());
+  return shapes;
+}
+
+Result<std::optional<WorldShape>> SignatureCounter::FirstFeasibleShape(
+    uint64_t max_shapes, uint64_t* visited) {
+  std::optional<WorldShape> first;
+  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes);
+  PSC_RETURN_NOT_OK(
+      enumerator
+          .Run([&](const std::vector<int64_t>& counts, const BigInt& weight) {
+            first = WorldShape{counts, weight};
+            return false;
+          })
+          .status());
+  if (visited != nullptr) *visited = enumerator.visited();
+  return first;
+}
+
+}  // namespace psc

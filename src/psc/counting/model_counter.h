@@ -1,0 +1,80 @@
+#ifndef PSC_COUNTING_MODEL_COUNTER_H_
+#define PSC_COUNTING_MODEL_COUNTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "psc/counting/identity_instance.h"
+#include "psc/util/bigint.h"
+#include "psc/util/combinatorics.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief A feasible "world shape": how many tuples each signature group
+/// contributes, together with the number of concrete worlds of that shape,
+/// weight = ∏_g C(n_g, counts[g]).
+struct WorldShape {
+  std::vector<int64_t> counts;
+  BigInt weight;
+};
+
+/// \brief The result of an exact count of poss(S).
+struct CountingOutcome {
+  /// N_sol(Γ) = |poss(S)| over the instance's universe.
+  BigInt world_count;
+  /// Per group g: the number of possible worlds containing any designated
+  /// tuple of group g — i.e. N_sol(Γ[x_p/1]) for every p in group g.
+  /// confidence(t_p) = worlds_containing[group(p)] / world_count.
+  std::vector<BigInt> worlds_containing;
+  /// Number of feasible count vectors (shapes).
+  uint64_t feasible_shapes = 0;
+  /// Number of count vectors visited by the enumeration (pruning metric).
+  uint64_t visited_shapes = 0;
+};
+
+/// \brief Exact model counter for the Section 5.1 linear system Γ, using
+/// signature-group symmetry.
+///
+/// Instead of the paper's "generate all possible global databases (in
+/// exponential time)", the counter enumerates per-group count vectors
+/// (k_g)_g — feasibility depends only on counts — and weighs each feasible
+/// vector by ∏ C(n_g, k_g) concrete worlds. For the marked counts it uses
+/// C(n_g−1, k_g−1) = C(n_g, k_g)·k_g/n_g, accumulating Σ weight·k_g and
+/// dividing by n_g at the end (exact: each term is divisible).
+///
+/// A soundness-based branch-and-bound prunes count prefixes that cannot
+/// reach tᵢ = ⌈sᵢkᵢ⌉ for some source i.
+class SignatureCounter {
+ public:
+  /// `instance` and `binomials` must outlive the counter.
+  SignatureCounter(const IdentityInstance* instance, BinomialTable* binomials);
+
+  /// \brief Counts all worlds and per-group containment counts.
+  ///
+  /// Fails with ResourceExhausted after visiting `max_shapes` count vectors.
+  Result<CountingOutcome> Count(uint64_t max_shapes = uint64_t{1} << 26);
+
+  /// \brief Enumerates the feasible shapes themselves (for world sampling
+  /// and world enumeration). Fails if more than `max_shapes` are feasible.
+  Result<std::vector<WorldShape>> FeasibleShapes(
+      uint64_t max_shapes = uint64_t{1} << 22);
+
+  /// \brief Stops at the first feasible shape — a constructive consistency
+  /// check. nullopt when poss(S) is empty over the instance's universe.
+  Result<std::optional<WorldShape>> FirstFeasibleShape(
+      uint64_t max_shapes = uint64_t{1} << 26, uint64_t* visited = nullptr);
+
+ private:
+  /// suffix_max_[i][g] = max tuples sources i can still gain from groups ≥ g.
+  void BuildSuffixCapacity();
+
+  const IdentityInstance* instance_;
+  BinomialTable* binomials_;
+  std::vector<std::vector<int64_t>> suffix_max_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_COUNTING_MODEL_COUNTER_H_

@@ -1,0 +1,39 @@
+#ifndef PSC_COUNTING_WORLD_ENUMERATOR_H_
+#define PSC_COUNTING_WORLD_ENUMERATOR_H_
+
+#include <functional>
+
+#include "psc/counting/identity_instance.h"
+#include "psc/relational/database.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Enumerates every concrete possible world of an identity-view
+/// instance, by expanding each feasible world shape into all its
+/// ∏ C(n_g, k_g) subset choices.
+///
+/// Exponential in general; `max_worlds` bounds the number of worlds
+/// visited. Deterministic order (shapes in DFS order, subsets
+/// lexicographic).
+class IdentityWorldEnumerator {
+ public:
+  /// `instance` must outlive the enumerator.
+  explicit IdentityWorldEnumerator(const IdentityInstance* instance)
+      : instance_(instance) {}
+
+  /// \brief Calls `fn` for every world D ∈ poss(S) over the instance's
+  /// universe; `fn` returns false to stop early. Result is false iff
+  /// stopped early. Fails with ResourceExhausted past `max_worlds` worlds
+  /// or `max_shapes` shapes.
+  Result<bool> ForEachWorld(const std::function<bool(const Database&)>& fn,
+                            uint64_t max_worlds = uint64_t{1} << 22,
+                            uint64_t max_shapes = uint64_t{1} << 22) const;
+
+ private:
+  const IdentityInstance* instance_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_COUNTING_WORLD_ENUMERATOR_H_

@@ -1,0 +1,56 @@
+#include "psc/counting/world_sampler.h"
+
+#include <algorithm>
+
+#include "psc/util/combinatorics.h"
+
+namespace psc {
+
+Result<WorldSampler> WorldSampler::Create(const IdentityInstance* instance,
+                                          uint64_t max_shapes) {
+  PSC_CHECK(instance != nullptr);
+  BinomialTable binomials;
+  SignatureCounter counter(instance, &binomials);
+  PSC_ASSIGN_OR_RETURN(std::vector<WorldShape> shapes,
+                       counter.FeasibleShapes(max_shapes));
+  std::vector<BigInt> cumulative;
+  cumulative.reserve(shapes.size());
+  BigInt total;
+  for (const WorldShape& shape : shapes) {
+    total += shape.weight;
+    cumulative.push_back(total);
+  }
+  if (total.IsZero()) {
+    return Status::Inconsistent(
+        "poss(S) is empty: cannot sample possible worlds");
+  }
+  return WorldSampler(instance, std::move(shapes), std::move(cumulative),
+                      std::move(total));
+}
+
+Database WorldSampler::Sample(Rng* rng) const {
+  PSC_CHECK(rng != nullptr);
+  const BigInt target = BigInt::RandomBelow(total_, rng->engine());
+  // First shape whose cumulative weight exceeds `target`.
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(),
+                                   target);
+  PSC_CHECK(it != cumulative_.end());
+  const WorldShape& shape =
+      shapes_[static_cast<size_t>(it - cumulative_.begin())];
+
+  Database world;
+  const auto& groups = instance_->groups();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const int64_t k = shape.counts[g];
+    if (k == 0) continue;
+    const std::vector<int64_t> picks =
+        rng->SampleWithoutReplacement(groups[g].size, k);
+    for (const int64_t pick : picks) {
+      const size_t member = groups[g].members[static_cast<size_t>(pick)];
+      world.AddFact(instance_->relation(), instance_->universe()[member]);
+    }
+  }
+  return world;
+}
+
+}  // namespace psc

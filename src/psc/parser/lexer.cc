@@ -1,0 +1,243 @@
+#include "psc/parser/lexer.h"
+
+#include <cctype>
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return StrCat("identifier '", text, "'");
+    case TokenKind::kInteger:
+      return StrCat("integer ", int_value);
+    case TokenKind::kDecimal:
+      return StrCat("decimal ", text);
+    case TokenKind::kString:
+      return StrCat("string \"", text, "\"");
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kArrow:
+      return "'<-'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (AtEnd()) {
+        token.kind = TokenKind::kEnd;
+        tokens.push_back(token);
+        return tokens;
+      }
+      const char c = Peek();
+      if (c == '(') {
+        token.kind = TokenKind::kLParen;
+        Advance();
+      } else if (c == ')') {
+        token.kind = TokenKind::kRParen;
+        Advance();
+      } else if (c == '{') {
+        token.kind = TokenKind::kLBrace;
+        Advance();
+      } else if (c == '}') {
+        token.kind = TokenKind::kRBrace;
+        Advance();
+      } else if (c == ',') {
+        token.kind = TokenKind::kComma;
+        Advance();
+      } else if (c == ':') {
+        token.kind = TokenKind::kColon;
+        Advance();
+      } else if (c == '<') {
+        Advance();
+        if (AtEnd() || Peek() != '-') {
+          return Error("expected '-' after '<'");
+        }
+        Advance();
+        token.kind = TokenKind::kArrow;
+      } else if (c == '"') {
+        PSC_RETURN_NOT_OK(LexString(&token));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && HasDigitAfterMinus())) {
+        PSC_RETURN_NOT_OK(LexNumber(&token));
+      } else if (c == '/') {
+        // '//' comments were consumed above, so this is the rational slash.
+        token.kind = TokenKind::kSlash;
+        Advance();
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexIdentifier(&token);
+      } else {
+        return Error(StrCat("unexpected character '", std::string(1, c), "'"));
+      }
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  bool HasDigitAfterMinus() const {
+    return std::isdigit(static_cast<unsigned char>(PeekAt(1)));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#' || (c == '/' && PeekAt(1) == '/')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status LexString(Token* token) {
+    Advance();  // opening quote
+    std::string payload;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      const char c = Peek();
+      if (c == '"') {
+        Advance();
+        token->kind = TokenKind::kString;
+        token->text = std::move(payload);
+        return Status::OK();
+      }
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) return Error("dangling escape in string literal");
+        const char esc = Peek();
+        switch (esc) {
+          case '"':
+            payload += '"';
+            break;
+          case '\\':
+            payload += '\\';
+            break;
+          case 'n':
+            payload += '\n';
+            break;
+          case 't':
+            payload += '\t';
+            break;
+          default:
+            return Error(StrCat("unknown escape '\\", std::string(1, esc),
+                                "' in string literal"));
+        }
+        Advance();
+      } else {
+        payload += c;
+        Advance();
+      }
+    }
+  }
+
+  Status LexNumber(Token* token) {
+    std::string digits;
+    if (Peek() == '-') {
+      digits += '-';
+      Advance();
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Peek();
+      Advance();
+    }
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+      digits += '.';
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Peek();
+        Advance();
+      }
+      token->kind = TokenKind::kDecimal;
+      token->text = std::move(digits);
+      return Status::OK();
+    }
+    token->kind = TokenKind::kInteger;
+    token->text = digits;
+    try {
+      token->int_value = std::stoll(digits);
+    } catch (...) {
+      return Error(StrCat("integer literal '", digits, "' out of range"));
+    }
+    return Status::OK();
+  }
+
+  void LexIdentifier(Token* token) {
+    std::string name;
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        name += c;
+        Advance();
+      } else {
+        break;
+      }
+    }
+    token->kind = TokenKind::kIdentifier;
+    token->text = std::move(name);
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(
+        StrCat(message, " at ", line_, ":", column_));
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  Lexer lexer(input);
+  return lexer.Run();
+}
+
+}  // namespace psc

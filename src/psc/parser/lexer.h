@@ -1,0 +1,49 @@
+#ifndef PSC_PARSER_LEXER_H_
+#define PSC_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Token kinds of the source-description language.
+enum class TokenKind {
+  kIdentifier,  // Temperature, V1, x, source, view, …
+  kInteger,     // 1900, -3
+  kDecimal,     // 0.75 (kept as text; parsed into a Rational)
+  kString,      // "Canada" (text holds the unescaped payload)
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kSlash,       // rational bounds: 3/4
+  kArrow,       // <-
+  kEnd,
+};
+
+/// \brief One lexed token with its 1-based source position.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // raw or unescaped payload
+  int64_t int_value = 0;   // valid when kind == kInteger
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+/// \brief Tokenizes `input`.
+///
+/// Comments run from '#' or '//' to end of line. Strings support the
+/// escapes \" \\ \n \t. Integers may carry a leading '-'. Errors report
+/// line:column.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace psc
+
+#endif  // PSC_PARSER_LEXER_H_

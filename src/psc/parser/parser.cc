@@ -1,0 +1,287 @@
+#include "psc/parser/parser.h"
+
+#include <vector>
+
+#include "psc/parser/lexer.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+namespace {
+
+/// Recursive-descent parser over a token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Match(kind)) return Status::OK();
+    return Error(StrCat("expected ", what, ", found ", Peek().Describe()));
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& token = Peek();
+    return Status::ParseError(
+        StrCat(message, " at ", token.line, ":", token.column));
+  }
+
+  /// True iff the next token is the contextual keyword `word`.
+  bool CheckKeyword(const std::string& word) const {
+    return Check(TokenKind::kIdentifier) && Peek().text == word;
+  }
+
+  Result<Term> ParseTerm() {
+    if (Check(TokenKind::kInteger)) {
+      return Term::ConstInt(Advance().int_value);
+    }
+    if (Check(TokenKind::kString)) {
+      return Term::ConstStr(Advance().text);
+    }
+    if (Check(TokenKind::kIdentifier)) {
+      return Term::Var(Advance().text);
+    }
+    return Error(StrCat("expected a term, found ", Peek().Describe()));
+  }
+
+  Result<Atom> ParseAtom() {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error(
+          StrCat("expected a predicate name, found ", Peek().Describe()));
+    }
+    const std::string predicate = Advance().text;
+    PSC_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    std::vector<Term> terms;
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        PSC_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        terms.push_back(std::move(term));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    PSC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return Atom(predicate, std::move(terms));
+  }
+
+  Result<ConjunctiveQuery> ParseQuery() {
+    PSC_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+    PSC_RETURN_NOT_OK(Expect(TokenKind::kArrow, "'<-'"));
+    std::vector<Atom> body;
+    while (true) {
+      PSC_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      body.push_back(std::move(atom));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    return ConjunctiveQuery::Create(std::move(head), std::move(body));
+  }
+
+  Result<Rational> ParseBound() {
+    if (Check(TokenKind::kDecimal)) {
+      return Rational::Parse(Advance().text);
+    }
+    if (Check(TokenKind::kInteger)) {
+      const int64_t numerator = Advance().int_value;
+      if (Match(TokenKind::kSlash)) {
+        if (!Check(TokenKind::kInteger)) {
+          return Error(StrCat("expected a denominator, found ",
+                              Peek().Describe()));
+        }
+        const int64_t denominator = Advance().int_value;
+        if (denominator == 0) return Error("zero denominator");
+        return Rational(numerator, denominator);
+      }
+      return Rational(numerator);
+    }
+    return Error(StrCat("expected a bound (integer, decimal, or fraction), "
+                        "found ",
+                        Peek().Describe()));
+  }
+
+  /// Parses one fact of a `facts:` list. Accepts `Pred(1, "x")` (checked
+  /// against `head_predicate`) or the bare-tuple shorthand `(1, "x")`.
+  Result<Tuple> ParseExtensionFact(const std::string& head_predicate) {
+    if (Match(TokenKind::kLParen)) {
+      Tuple tuple;
+      if (!Check(TokenKind::kRParen)) {
+        while (true) {
+          PSC_ASSIGN_OR_RETURN(Term term, ParseTerm());
+          if (term.is_variable()) {
+            return Error(StrCat("variable '", term.var_name(),
+                                "' not allowed in a fact"));
+          }
+          tuple.push_back(term.constant());
+          if (!Match(TokenKind::kComma)) break;
+        }
+      }
+      PSC_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return tuple;
+    }
+    PSC_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    if (atom.predicate() != head_predicate) {
+      return Error(StrCat("fact predicate '", atom.predicate(),
+                          "' does not match view head '", head_predicate,
+                          "'"));
+    }
+    Tuple tuple;
+    tuple.reserve(atom.arity());
+    for (const Term& term : atom.terms()) {
+      if (term.is_variable()) {
+        return Error(
+            StrCat("variable '", term.var_name(), "' not allowed in a fact"));
+      }
+      tuple.push_back(term.constant());
+    }
+    return tuple;
+  }
+
+  Result<SourceDescriptor> ParseSourceBlock() {
+    if (!CheckKeyword("source")) {
+      return Error(StrCat("expected 'source', found ", Peek().Describe()));
+    }
+    Advance();
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error(StrCat("expected a source name, found ", Peek().Describe()));
+    }
+    const std::string name = Advance().text;
+    PSC_RETURN_NOT_OK(Expect(TokenKind::kLBrace, "'{'"));
+
+    bool have_view = false;
+    bool have_completeness = false;
+    bool have_soundness = false;
+    ConjunctiveQuery view;
+    Rational completeness;
+    Rational soundness;
+    Relation extension;
+
+    while (!Match(TokenKind::kRBrace)) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return Error(StrCat("expected a field name or '}', found ",
+                            Peek().Describe()));
+      }
+      const std::string field = Advance().text;
+      PSC_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+      if (field == "view") {
+        if (have_view) return Error("duplicate 'view' field");
+        PSC_ASSIGN_OR_RETURN(view, ParseQuery());
+        have_view = true;
+      } else if (field == "completeness") {
+        if (have_completeness) return Error("duplicate 'completeness' field");
+        PSC_ASSIGN_OR_RETURN(completeness, ParseBound());
+        have_completeness = true;
+      } else if (field == "soundness") {
+        if (have_soundness) return Error("duplicate 'soundness' field");
+        PSC_ASSIGN_OR_RETURN(soundness, ParseBound());
+        have_soundness = true;
+      } else if (field == "facts") {
+        if (!have_view) {
+          return Error("'facts' must come after the 'view' field");
+        }
+        while (true) {
+          PSC_ASSIGN_OR_RETURN(Tuple tuple,
+                               ParseExtensionFact(view.head().predicate()));
+          extension.insert(std::move(tuple));
+          if (!Match(TokenKind::kComma)) break;
+        }
+      } else {
+        return Error(StrCat("unknown field '", field, "'"));
+      }
+    }
+    if (!have_view) return Error(StrCat("source '", name, "' missing 'view'"));
+    if (!have_completeness) {
+      return Error(StrCat("source '", name, "' missing 'completeness'"));
+    }
+    if (!have_soundness) {
+      return Error(StrCat("source '", name, "' missing 'soundness'"));
+    }
+    return SourceDescriptor::Create(name, std::move(view),
+                                    std::move(extension), completeness,
+                                    soundness);
+  }
+
+  Result<SourceCollection> ParseCollection() {
+    std::vector<SourceDescriptor> sources;
+    while (!AtEnd()) {
+      PSC_ASSIGN_OR_RETURN(SourceDescriptor source, ParseSourceBlock());
+      sources.push_back(std::move(source));
+    }
+    return SourceCollection::Create(std::move(sources));
+  }
+
+  Status ExpectEnd() {
+    if (AtEnd()) return Status::OK();
+    return Error(StrCat("trailing input: ", Peek().Describe()));
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Parser> MakeParser(const std::string& text) {
+  PSC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens));
+}
+
+}  // namespace
+
+Result<Atom> ParseAtom(const std::string& text) {
+  PSC_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  PSC_ASSIGN_OR_RETURN(Atom atom, parser.ParseAtom());
+  PSC_RETURN_NOT_OK(parser.ExpectEnd());
+  return atom;
+}
+
+Result<Fact> ParseFact(const std::string& text) {
+  PSC_ASSIGN_OR_RETURN(Atom atom, ParseAtom(text));
+  Tuple tuple;
+  tuple.reserve(atom.arity());
+  for (const Term& term : atom.terms()) {
+    if (term.is_variable()) {
+      return Status::ParseError(
+          StrCat("variable '", term.var_name(), "' not allowed in a fact"));
+    }
+    tuple.push_back(term.constant());
+  }
+  return Fact(atom.predicate(), std::move(tuple));
+}
+
+Result<ConjunctiveQuery> ParseQuery(const std::string& text) {
+  PSC_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  PSC_ASSIGN_OR_RETURN(ConjunctiveQuery query, parser.ParseQuery());
+  PSC_RETURN_NOT_OK(parser.ExpectEnd());
+  return query;
+}
+
+Result<Rational> ParseBound(const std::string& text) {
+  PSC_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  PSC_ASSIGN_OR_RETURN(Rational bound, parser.ParseBound());
+  PSC_RETURN_NOT_OK(parser.ExpectEnd());
+  return bound;
+}
+
+Result<SourceDescriptor> ParseSource(const std::string& text) {
+  PSC_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  PSC_ASSIGN_OR_RETURN(SourceDescriptor source, parser.ParseSourceBlock());
+  PSC_RETURN_NOT_OK(parser.ExpectEnd());
+  return source;
+}
+
+Result<SourceCollection> ParseCollection(const std::string& text) {
+  PSC_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  return parser.ParseCollection();
+}
+
+}  // namespace psc

@@ -1,0 +1,68 @@
+#ifndef PSC_PARSER_PARSER_H_
+#define PSC_PARSER_PARSER_H_
+
+#include <string>
+
+#include "psc/relational/atom.h"
+#include "psc/relational/conjunctive_query.h"
+#include "psc/source/source_collection.h"
+#include "psc/source/source_descriptor.h"
+#include "psc/util/rational.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Text syntax for the paper's objects.
+///
+/// The paper writes view definitions in conjunctive-query notation; this
+/// module gives that notation a concrete grammar:
+///
+///   atom    := Name '(' term (',' term)* ')'
+///   term    := integer | "string" | identifier        (identifier = variable)
+///   query   := atom '<-' atom (',' atom)*
+///   fact    := ground atom
+///   bound   := integer | decimal | integer '/' integer
+///   source  := 'source' Name '{'
+///                 'view' ':' query
+///                 'completeness' ':' bound
+///                 'soundness' ':' bound
+///                 [ 'facts' ':' fact (',' fact)* ]
+///              '}'
+///   collection := source*
+///
+/// Facts inside a `source` block must use the view's head predicate (or the
+/// shorthand bare tuple `(1, 2)`), and `#`/`//` start comments.
+///
+/// Example:
+///
+///   source S1 {
+///     view: V1(s, y, m, v) <- Temperature(s, y, m, v),
+///                             Station(s, lat, lon, "Canada"), After(y, 1900)
+///     completeness: 0.8
+///     soundness: 3/4
+///     facts: V1(438432, 1990, 1, 125), V1(438432, 1990, 2, 130)
+///   }
+///
+/// All entry points report errors with 1-based line:column positions.
+
+/// Parses a single (possibly non-ground) atom.
+Result<Atom> ParseAtom(const std::string& text);
+
+/// Parses a ground atom into a Fact; errors if any term is a variable.
+Result<Fact> ParseFact(const std::string& text);
+
+/// Parses "Head(…) <- b₁(…), …, bₙ(…)" into a validated ConjunctiveQuery.
+Result<ConjunctiveQuery> ParseQuery(const std::string& text);
+
+/// Parses "3", "0.75" or "3/4" into a Rational.
+Result<Rational> ParseBound(const std::string& text);
+
+/// Parses one `source Name { … }` block.
+Result<SourceDescriptor> ParseSource(const std::string& text);
+
+/// Parses a whole collection: a sequence of `source` blocks.
+Result<SourceCollection> ParseCollection(const std::string& text);
+
+}  // namespace psc
+
+#endif  // PSC_PARSER_PARSER_H_

@@ -1,0 +1,41 @@
+#include "psc/relational/atom.h"
+
+namespace psc {
+
+bool Atom::IsGround() const {
+  for (const Term& term : terms_) {
+    if (term.is_variable()) return false;
+  }
+  return true;
+}
+
+std::set<std::string> Atom::Variables() const {
+  std::set<std::string> vars;
+  for (const Term& term : terms_) {
+    if (term.is_variable()) vars.insert(term.var_name());
+  }
+  return vars;
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate_ + "(";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Atom Fact::ToAtom() const {
+  std::vector<Term> terms;
+  terms.reserve(tuple_.size());
+  for (const Value& value : tuple_) terms.push_back(Term::Const(value));
+  return Atom(relation_, std::move(terms));
+}
+
+std::string Fact::ToString() const {
+  return relation_ + TupleToString(tuple_);
+}
+
+}  // namespace psc

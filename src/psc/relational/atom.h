@@ -1,0 +1,84 @@
+#ifndef PSC_RELATIONAL_ATOM_H_
+#define PSC_RELATIONAL_ATOM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "psc/relational/term.h"
+#include "psc/relational/value.h"
+
+namespace psc {
+
+/// \brief An atom R(e₁,…,e_k): a predicate name applied to terms.
+///
+/// Atoms appear in view-definition bodies, query bodies, tableaux and
+/// constraints. The predicate may be a global relation name or a built-in
+/// (see builtin.h).
+class Atom {
+ public:
+  Atom() = default;
+  Atom(std::string predicate, std::vector<Term> terms)
+      : predicate_(std::move(predicate)), terms_(std::move(terms)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  size_t arity() const { return terms_.size(); }
+
+  /// True iff no term is a variable.
+  bool IsGround() const;
+
+  /// The set of variable names occurring in this atom.
+  std::set<std::string> Variables() const;
+
+  bool operator==(const Atom& o) const {
+    return predicate_ == o.predicate_ && terms_ == o.terms_;
+  }
+  bool operator!=(const Atom& o) const { return !(*this == o); }
+  bool operator<(const Atom& o) const {
+    if (predicate_ != o.predicate_) return predicate_ < o.predicate_;
+    return terms_ < o.terms_;
+  }
+
+  /// "R(x, 1, \"Canada\")".
+  std::string ToString() const;
+
+ private:
+  std::string predicate_;
+  std::vector<Term> terms_;
+};
+
+/// \brief A fact: a ground atom, stored as predicate name + constant tuple.
+class Fact {
+ public:
+  Fact() = default;
+  Fact(std::string relation, Tuple tuple)
+      : relation_(std::move(relation)), tuple_(std::move(tuple)) {}
+
+  const std::string& relation() const { return relation_; }
+  const Tuple& tuple() const { return tuple_; }
+  size_t arity() const { return tuple_.size(); }
+
+  /// The fact viewed as a (ground) atom.
+  Atom ToAtom() const;
+
+  bool operator==(const Fact& o) const {
+    return relation_ == o.relation_ && tuple_ == o.tuple_;
+  }
+  bool operator!=(const Fact& o) const { return !(*this == o); }
+  bool operator<(const Fact& o) const {
+    if (relation_ != o.relation_) return relation_ < o.relation_;
+    return tuple_ < o.tuple_;
+  }
+
+  /// "R(1, \"Canada\")".
+  std::string ToString() const;
+
+ private:
+  std::string relation_;
+  Tuple tuple_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_RELATIONAL_ATOM_H_

@@ -1,0 +1,82 @@
+#include "psc/relational/builtin.h"
+
+#include <algorithm>
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+namespace {
+
+enum class Cmp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+struct BuiltinSpec {
+  const char* name;
+  Cmp cmp;
+};
+
+constexpr BuiltinSpec kBuiltins[] = {
+    {"After", Cmp::kGt}, {"Before", Cmp::kLt}, {"Lt", Cmp::kLt},
+    {"Le", Cmp::kLe},    {"Gt", Cmp::kGt},     {"Ge", Cmp::kGe},
+    {"Eq", Cmp::kEq},    {"Ne", Cmp::kNe},
+};
+
+const BuiltinSpec* FindBuiltin(const std::string& name) {
+  for (const BuiltinSpec& spec : kBuiltins) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool IsBuiltinPredicate(const std::string& name) {
+  return FindBuiltin(name) != nullptr;
+}
+
+Result<bool> EvalBuiltin(const std::string& name,
+                         const std::vector<Value>& args) {
+  const BuiltinSpec* spec = FindBuiltin(name);
+  if (spec == nullptr) {
+    return Status::NotFound(StrCat("unknown built-in predicate '", name, "'"));
+  }
+  if (args.size() != 2) {
+    return Status::InvalidArgument(
+        StrCat("built-in '", name, "' expects 2 arguments, got ", args.size()));
+  }
+  const Value& a = args[0];
+  const Value& b = args[1];
+  switch (spec->cmp) {
+    case Cmp::kEq:
+      return a == b;
+    case Cmp::kNe:
+      return a != b;
+    default:
+      break;
+  }
+  switch (spec->cmp) {
+    case Cmp::kLt:
+      return a < b;
+    case Cmp::kLe:
+      return a <= b;
+    case Cmp::kGt:
+      return a > b;
+    case Cmp::kGe:
+      return a >= b;
+    default:
+      return Status::Internal("unreachable comparison");
+  }
+}
+
+const std::vector<std::string>& BuiltinPredicateNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>(
+      [] {
+        std::vector<std::string> result;
+        for (const BuiltinSpec& spec : kBuiltins) result.push_back(spec.name);
+        std::sort(result.begin(), result.end());
+        return result;
+      }());
+  return names;
+}
+
+}  // namespace psc

@@ -1,0 +1,43 @@
+#ifndef PSC_RELATIONAL_BUILTIN_H_
+#define PSC_RELATIONAL_BUILTIN_H_
+
+#include <string>
+#include <vector>
+
+#include "psc/relational/value.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Built-in global relations, evaluated rather than stored.
+///
+/// The paper's motivating example uses `After(y, 1900)` as "a built-in
+/// global relation"; we provide it plus the usual binary comparisons. A
+/// built-in atom in a query body acts as a filter: it must become fully
+/// ground during evaluation (range restriction), at which point it is
+/// evaluated to true/false.
+///
+/// Supported predicates (all binary):
+///   After  — strictly greater (the paper's predicate, year semantics)
+///   Before — strictly less
+///   Lt, Le, Gt, Ge, Eq, Ne — comparisons on the Value total order
+///
+/// Ordered comparisons use the total order on values: integers numerically,
+/// strings lexicographically, and every integer before every string. The
+/// order being total keeps evaluation defined on heterogeneous candidate
+/// databases (e.g. tableaux frozen with fresh string constants).
+bool IsBuiltinPredicate(const std::string& name);
+
+/// \brief Evaluates built-in `name` on ground arguments.
+///
+/// Errors: NotFound for unknown predicates, InvalidArgument for wrong arity
+/// or mixed-kind ordered comparison.
+Result<bool> EvalBuiltin(const std::string& name,
+                         const std::vector<Value>& args);
+
+/// Names of all built-in predicates (sorted).
+const std::vector<std::string>& BuiltinPredicateNames();
+
+}  // namespace psc
+
+#endif  // PSC_RELATIONAL_BUILTIN_H_

@@ -1,0 +1,280 @@
+#include "psc/relational/conjunctive_query.h"
+
+#include <optional>
+
+#include "psc/relational/builtin.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+Result<Tuple> GroundTerms(const std::vector<Term>& terms,
+                          const Valuation& valuation) {
+  Tuple tuple;
+  tuple.reserve(terms.size());
+  for (const Term& term : terms) {
+    if (term.is_constant()) {
+      tuple.push_back(term.constant());
+    } else {
+      auto it = valuation.find(term.var_name());
+      if (it == valuation.end()) {
+        return Status::InvalidArgument(
+            StrCat("unbound variable '", term.var_name(), "'"));
+      }
+      tuple.push_back(it->second);
+    }
+  }
+  return tuple;
+}
+
+ConjunctiveQuery::ConjunctiveQuery(Atom head, std::vector<Atom> body)
+    : head_(std::move(head)), body_(std::move(body)) {
+  for (const Atom& atom : body_) {
+    if (IsBuiltinPredicate(atom.predicate())) {
+      builtin_body_.push_back(atom);
+    } else {
+      relational_body_.push_back(atom);
+    }
+  }
+}
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Create(Atom head,
+                                                  std::vector<Atom> body) {
+  if (IsBuiltinPredicate(head.predicate())) {
+    return Status::InvalidArgument(
+        StrCat("head predicate '", head.predicate(), "' is a built-in"));
+  }
+  std::set<std::string> relational_vars;
+  std::map<std::string, size_t> arities;
+  for (const Atom& atom : body) {
+    if (IsBuiltinPredicate(atom.predicate())) {
+      if (atom.arity() != 2) {
+        return Status::InvalidArgument(
+            StrCat("built-in '", atom.predicate(), "' expects 2 arguments, got ",
+                   atom.arity()));
+      }
+      continue;
+    }
+    auto [it, inserted] = arities.emplace(atom.predicate(), atom.arity());
+    if (!inserted && it->second != atom.arity()) {
+      return Status::InvalidArgument(
+          StrCat("relation '", atom.predicate(), "' used with arities ",
+                 it->second, " and ", atom.arity()));
+    }
+    for (const std::string& var : atom.Variables()) {
+      relational_vars.insert(var);
+    }
+  }
+  for (const std::string& var : head.Variables()) {
+    if (relational_vars.count(var) == 0) {
+      return Status::InvalidArgument(
+          StrCat("unsafe query: head variable '", var,
+                 "' does not occur in a relational body atom"));
+    }
+  }
+  for (const Atom& atom : body) {
+    if (!IsBuiltinPredicate(atom.predicate())) continue;
+    for (const std::string& var : atom.Variables()) {
+      if (relational_vars.count(var) == 0) {
+        return Status::InvalidArgument(
+            StrCat("unsafe query: built-in variable '", var,
+                   "' does not occur in a relational body atom"));
+      }
+    }
+  }
+  return ConjunctiveQuery(std::move(head), std::move(body));
+}
+
+ConjunctiveQuery ConjunctiveQuery::Identity(const std::string& relation,
+                                            size_t arity,
+                                            const std::string& view_name) {
+  std::vector<Term> terms;
+  terms.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    terms.push_back(Term::Var(StrCat("x", i + 1)));
+  }
+  const std::string name = view_name.empty() ? "V_" + relation : view_name;
+  Atom head(name, terms);
+  Atom body_atom(relation, terms);
+  auto result = Create(std::move(head), {std::move(body_atom)});
+  PSC_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result).ValueOrDie();
+}
+
+bool ConjunctiveQuery::IsIdentity() const {
+  if (!builtin_body_.empty() || relational_body_.size() != 1) return false;
+  const Atom& atom = relational_body_[0];
+  if (atom.terms() != head_.terms()) return false;
+  std::set<Term> distinct(atom.terms().begin(), atom.terms().end());
+  if (distinct.size() != atom.arity()) return false;
+  for (const Term& term : atom.terms()) {
+    if (!term.is_variable()) return false;
+  }
+  return true;
+}
+
+std::set<std::string> ConjunctiveQuery::Variables() const {
+  std::set<std::string> vars = head_.Variables();
+  for (const Atom& atom : body_) {
+    for (const std::string& var : atom.Variables()) vars.insert(var);
+  }
+  return vars;
+}
+
+Status ConjunctiveQuery::InferSchema(Schema* schema) const {
+  for (const Atom& atom : relational_body_) {
+    PSC_RETURN_NOT_OK(schema->AddRelation(atom.predicate(), atom.arity()));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Depth-first join over the relational body atoms. Built-ins are evaluated
+/// eagerly as soon as all their arguments are bound, pruning the search.
+class Evaluator {
+ public:
+  Evaluator(const ConjunctiveQuery& query, const Database& db,
+            const std::function<bool(const Valuation&)>& fn)
+      : query_(query), db_(db), fn_(fn) {}
+
+  /// Returns false iff the callback requested an early stop.
+  Result<bool> Run(const Valuation& initial) {
+    valuation_ = initial;
+    std::vector<char> builtin_done(query_.builtin_body().size(), 0);
+    return Recurse(0, builtin_done);
+  }
+
+ private:
+  Result<bool> Recurse(size_t index, std::vector<char> builtin_done) {
+    // Evaluate any built-in whose arguments just became fully bound.
+    for (size_t j = 0; j < query_.builtin_body().size(); ++j) {
+      if (builtin_done[j]) continue;
+      const Atom& atom = query_.builtin_body()[j];
+      auto ground = GroundTerms(atom.terms(), valuation_);
+      if (!ground.ok()) continue;  // not yet fully bound
+      PSC_ASSIGN_OR_RETURN(const bool holds,
+                           EvalBuiltin(atom.predicate(), *ground));
+      if (!holds) return true;  // prune this branch, keep searching
+      builtin_done[j] = 1;
+    }
+    if (index == query_.relational_body().size()) {
+      return fn_(valuation_);
+    }
+    const Atom& atom = query_.relational_body()[index];
+    const Relation& relation = db_.GetRelation(atom.predicate());
+    for (const Tuple& tuple : relation) {
+      if (tuple.size() != atom.arity()) continue;
+      std::vector<std::string> newly_bound;
+      if (TryUnify(atom, tuple, &newly_bound)) {
+        auto deeper = Recurse(index + 1, builtin_done);
+        Unbind(newly_bound);
+        if (!deeper.ok()) return deeper.status();
+        if (!*deeper) return false;
+      } else {
+        Unbind(newly_bound);
+      }
+    }
+    return true;
+  }
+
+  bool TryUnify(const Atom& atom, const Tuple& tuple,
+                std::vector<std::string>* newly_bound) {
+    for (size_t pos = 0; pos < tuple.size(); ++pos) {
+      const Term& term = atom.terms()[pos];
+      if (term.is_constant()) {
+        if (term.constant() != tuple[pos]) return false;
+        continue;
+      }
+      auto [it, inserted] = valuation_.emplace(term.var_name(), tuple[pos]);
+      if (inserted) {
+        newly_bound->push_back(term.var_name());
+      } else if (it->second != tuple[pos]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Unbind(const std::vector<std::string>& names) {
+    for (const std::string& name : names) valuation_.erase(name);
+  }
+
+  const ConjunctiveQuery& query_;
+  const Database& db_;
+  const std::function<bool(const Valuation&)>& fn_;
+  Valuation valuation_;
+};
+
+}  // namespace
+
+Result<bool> ConjunctiveQuery::ForEachValuation(
+    const Database& db, const Valuation& initial,
+    const std::function<bool(const Valuation&)>& fn) const {
+  Evaluator evaluator(*this, db, fn);
+  return evaluator.Run(initial);
+}
+
+Result<Relation> ConjunctiveQuery::Evaluate(const Database& db) const {
+  Relation result;
+  Status ground_error;
+  PSC_ASSIGN_OR_RETURN(
+      const bool completed,
+      ForEachValuation(db, Valuation(),
+                       [&](const Valuation& valuation) {
+                         auto tuple = GroundTerms(head_.terms(), valuation);
+                         if (!tuple.ok()) {
+                           ground_error = tuple.status();
+                           return false;
+                         }
+                         result.insert(std::move(*tuple));
+                         return true;
+                       }));
+  if (!completed && !ground_error.ok()) return ground_error;
+  return result;
+}
+
+Result<std::optional<Valuation>> ConjunctiveQuery::UnifyHead(
+    const Tuple& head_tuple) const {
+  if (head_tuple.size() != head_.arity()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", head_tuple.size(), " != head arity ",
+               head_.arity()));
+  }
+  Valuation valuation;
+  for (size_t pos = 0; pos < head_tuple.size(); ++pos) {
+    const Term& term = head_.terms()[pos];
+    if (term.is_constant()) {
+      if (term.constant() != head_tuple[pos]) return std::optional<Valuation>();
+      continue;
+    }
+    auto [it, inserted] = valuation.emplace(term.var_name(), head_tuple[pos]);
+    if (!inserted && it->second != head_tuple[pos]) {
+      return std::optional<Valuation>();
+    }
+  }
+  return std::optional<Valuation>(std::move(valuation));
+}
+
+Result<std::vector<Valuation>> ConjunctiveQuery::WitnessValuations(
+    const Database& db, const Tuple& head_tuple) const {
+  PSC_ASSIGN_OR_RETURN(std::optional<Valuation> initial,
+                       UnifyHead(head_tuple));
+  std::vector<Valuation> witnesses;
+  if (!initial.has_value()) return witnesses;
+  PSC_RETURN_NOT_OK(ForEachValuation(db, *initial,
+                                     [&](const Valuation& valuation) {
+                                       witnesses.push_back(valuation);
+                                       return true;
+                                     })
+                        .status());
+  return witnesses;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(body_.size());
+  for (const Atom& atom : body_) parts.push_back(atom.ToString());
+  return StrCat(head_.ToString(), " <- ", Join(parts, ", "));
+}
+
+}  // namespace psc

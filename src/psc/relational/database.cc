@@ -1,0 +1,136 @@
+#include "psc/relational/database.h"
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+bool Database::AddFact(const Fact& fact) {
+  return relations_[fact.relation()].insert(fact.tuple()).second;
+}
+
+bool Database::AddFact(const std::string& relation, Tuple tuple) {
+  return relations_[relation].insert(std::move(tuple)).second;
+}
+
+bool Database::RemoveFact(const Fact& fact) {
+  auto it = relations_.find(fact.relation());
+  if (it == relations_.end()) return false;
+  const bool removed = it->second.erase(fact.tuple()) > 0;
+  if (it->second.empty()) relations_.erase(it);
+  return removed;
+}
+
+bool Database::Contains(const Fact& fact) const {
+  return Contains(fact.relation(), fact.tuple());
+}
+
+bool Database::Contains(const std::string& relation,
+                        const Tuple& tuple) const {
+  auto it = relations_.find(relation);
+  return it != relations_.end() && it->second.count(tuple) > 0;
+}
+
+const Relation& Database::GetRelation(const std::string& relation) const {
+  static const Relation kEmpty;
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? kEmpty : it->second;
+}
+
+size_t Database::size() const {
+  size_t total = 0;
+  for (const auto& [name, tuples] : relations_) total += tuples.size();
+  return total;
+}
+
+std::vector<Fact> Database::AllFacts() const {
+  std::vector<Fact> facts;
+  facts.reserve(size());
+  for (const auto& [name, tuples] : relations_) {
+    for (const Tuple& tuple : tuples) facts.emplace_back(name, tuple);
+  }
+  return facts;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, tuples] : relations_) {
+    if (!tuples.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+void Database::UnionWith(const Database& other) {
+  for (const auto& [name, tuples] : other.relations_) {
+    relations_[name].insert(tuples.begin(), tuples.end());
+  }
+}
+
+bool Database::IsSubsetOf(const Database& other) const {
+  for (const auto& [name, tuples] : relations_) {
+    const Relation& theirs = other.GetRelation(name);
+    for (const Tuple& tuple : tuples) {
+      if (theirs.count(tuple) == 0) return false;
+    }
+  }
+  return true;
+}
+
+bool Database::operator==(const Database& o) const {
+  return relations_ == o.relations_;
+}
+
+bool Database::operator<(const Database& o) const {
+  return relations_ < o.relations_;
+}
+
+std::string Database::ToString() const {
+  std::vector<std::string> lines;
+  for (const Fact& fact : AllFacts()) lines.push_back(fact.ToString());
+  return Join(lines, "\n");
+}
+
+Result<std::vector<Fact>> EnumerateFactUniverse(
+    const Schema& schema, const std::vector<Value>& domain,
+    size_t max_facts) {
+  std::vector<Fact> universe;
+  for (const std::string& name : schema.RelationNames()) {
+    PSC_ASSIGN_OR_RETURN(const size_t arity, schema.Arity(name));
+    // Count |dom|^arity with overflow protection.
+    size_t count = 1;
+    for (size_t i = 0; i < arity; ++i) {
+      if (domain.empty() || count > max_facts / domain.size()) {
+        return Status::ResourceExhausted(
+            StrCat("fact universe for ", name, "/", arity, " over a domain of ",
+                   domain.size(), " constants exceeds ", max_facts));
+      }
+      count *= domain.size();
+    }
+    if (universe.size() + count > max_facts) {
+      return Status::ResourceExhausted(
+          StrCat("fact universe exceeds ", max_facts, " facts"));
+    }
+    // Odometer over the tuple positions.
+    std::vector<size_t> odo(arity, 0);
+    while (true) {
+      Tuple tuple;
+      tuple.reserve(arity);
+      for (size_t i = 0; i < arity; ++i) tuple.push_back(domain[odo[i]]);
+      universe.emplace_back(name, std::move(tuple));
+      bool wrapped = true;
+      size_t pos = arity;
+      while (pos > 0) {
+        --pos;
+        if (++odo[pos] < domain.size()) {
+          wrapped = false;
+          break;
+        }
+        odo[pos] = 0;
+      }
+      if (wrapped) break;  // covers arity == 0 as well
+    }
+  }
+  return universe;
+}
+
+}  // namespace psc

@@ -1,0 +1,80 @@
+#ifndef PSC_RELATIONAL_DATABASE_H_
+#define PSC_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "psc/relational/atom.h"
+#include "psc/relational/schema.h"
+#include "psc/relational/value.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief A relation extension: a canonical (sorted, duplicate-free) set of
+/// tuples.
+using Relation = std::set<Tuple>;
+
+/// \brief A global database D: a finite set of facts, grouped by relation.
+///
+/// Databases compare structurally, so they can key sets of possible worlds.
+class Database {
+ public:
+  Database() = default;
+
+  /// \brief Inserts a fact; returns true if it was not already present.
+  bool AddFact(const Fact& fact);
+  bool AddFact(const std::string& relation, Tuple tuple);
+
+  /// \brief Removes a fact; returns true if it was present.
+  bool RemoveFact(const Fact& fact);
+
+  bool Contains(const Fact& fact) const;
+  bool Contains(const std::string& relation, const Tuple& tuple) const;
+
+  /// \brief The extension D(R); empty for unknown relations.
+  const Relation& GetRelation(const std::string& relation) const;
+
+  /// Total number of facts |D|.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// All facts in deterministic (relation, tuple) order.
+  std::vector<Fact> AllFacts() const;
+
+  /// Relation names with at least one tuple, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  /// \brief Inserts every fact of `other` (set union).
+  void UnionWith(const Database& other);
+
+  /// True iff every fact of this database is in `other`.
+  bool IsSubsetOf(const Database& other) const;
+
+  bool operator==(const Database& o) const;
+  bool operator!=(const Database& o) const { return !(*this == o); }
+  /// Lexicographic order on the canonical fact list (for use as a map key).
+  bool operator<(const Database& o) const;
+
+  /// Multi-line "R(1, 2)\nS(\"x\")" listing in canonical order.
+  std::string ToString() const;
+
+ private:
+  // Empty relations are never stored, keeping operator== structural.
+  std::map<std::string, Relation> relations_;
+};
+
+/// \brief Enumerates every fact over `schema` with constants drawn from
+/// `domain` — the fact universe of a finite-domain instance
+/// (N = Σ_R |dom|^arity(R) facts). Order is deterministic.
+///
+/// Fails with ResourceExhausted if the universe would exceed `max_facts`.
+Result<std::vector<Fact>> EnumerateFactUniverse(const Schema& schema,
+                                                const std::vector<Value>& domain,
+                                                size_t max_facts = 1u << 22);
+
+}  // namespace psc
+
+#endif  // PSC_RELATIONAL_DATABASE_H_

@@ -1,0 +1,47 @@
+#include "psc/relational/schema.h"
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+Status Schema::AddRelation(const std::string& name, size_t arity) {
+  auto [it, inserted] = arities_.emplace(name, arity);
+  if (!inserted && it->second != arity) {
+    return Status::InvalidArgument(
+        StrCat("relation '", name, "' redeclared with arity ", arity,
+               " (was ", it->second, ")"));
+  }
+  return Status::OK();
+}
+
+Result<size_t> Schema::Arity(const std::string& name) const {
+  auto it = arities_.find(name);
+  if (it == arities_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not in schema"));
+  }
+  return it->second;
+}
+
+std::vector<std::string> Schema::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(arities_.size());
+  for (const auto& [name, arity] : arities_) names.push_back(name);
+  return names;
+}
+
+Status Schema::MergeFrom(const Schema& other) {
+  for (const auto& [name, arity] : other.arities_) {
+    PSC_RETURN_NOT_OK(AddRelation(name, arity));
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [name, arity] : arities_) {
+    parts.push_back(StrCat(name, "/", arity));
+  }
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+}  // namespace psc

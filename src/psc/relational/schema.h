@@ -1,0 +1,51 @@
+#ifndef PSC_RELATIONAL_SCHEMA_H_
+#define PSC_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief A global schema: a finite map from relation names to arities.
+///
+/// sch(S) in the paper — the set of global relation names occurring in the
+/// view definitions of a source collection.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// \brief Declares relation `name` with the given arity.
+  ///
+  /// Re-declaring with the same arity is a no-op; a conflicting arity is an
+  /// InvalidArgument error.
+  Status AddRelation(const std::string& name, size_t arity);
+
+  bool HasRelation(const std::string& name) const {
+    return arities_.count(name) > 0;
+  }
+
+  /// Arity of `name`, or NotFound.
+  Result<size_t> Arity(const std::string& name) const;
+
+  /// Relation names in sorted order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t size() const { return arities_.size(); }
+
+  /// Union of two schemas; fails on conflicting arities.
+  Status MergeFrom(const Schema& other);
+
+  bool operator==(const Schema& o) const { return arities_ == o.arities_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, size_t> arities_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_RELATIONAL_SCHEMA_H_

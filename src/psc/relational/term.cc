@@ -1,0 +1,34 @@
+#include "psc/relational/term.h"
+
+#include "psc/util/status.h"
+
+namespace psc {
+
+const std::string& Term::var_name() const {
+  PSC_CHECK_MSG(is_variable(), "Term::var_name on a constant");
+  return std::get<Variable>(data_).name;
+}
+
+const Value& Term::constant() const {
+  PSC_CHECK_MSG(is_constant(), "Term::constant on a variable");
+  return std::get<Value>(data_);
+}
+
+bool Term::operator==(const Term& o) const {
+  if (is_variable() != o.is_variable()) return false;
+  if (is_variable()) return var_name() == o.var_name();
+  return constant() == o.constant();
+}
+
+bool Term::operator<(const Term& o) const {
+  if (is_variable() != o.is_variable()) return is_variable();
+  if (is_variable()) return var_name() < o.var_name();
+  return constant() < o.constant();
+}
+
+std::string Term::ToString() const {
+  if (is_variable()) return var_name();
+  return constant().ToString();
+}
+
+}  // namespace psc

@@ -1,0 +1,54 @@
+#ifndef PSC_RELATIONAL_TERM_H_
+#define PSC_RELATIONAL_TERM_H_
+
+#include <string>
+#include <variant>
+
+#include "psc/relational/value.h"
+
+namespace psc {
+
+/// \brief A term in an atom: either a variable (identified by name) or a
+/// constant `Value`.
+class Term {
+ public:
+  /// Constant integer 0 (so containers of Term are default-constructible).
+  Term() : data_(Value()) {}
+
+  /// A variable named `name`.
+  static Term Var(std::string name) { return Term(Variable{std::move(name)}); }
+  /// A constant term.
+  static Term Const(Value value) { return Term(std::move(value)); }
+  static Term ConstInt(int64_t v) { return Term(Value(v)); }
+  static Term ConstStr(std::string v) { return Term(Value(std::move(v))); }
+
+  bool is_variable() const { return std::holds_alternative<Variable>(data_); }
+  bool is_constant() const { return !is_variable(); }
+
+  /// The variable name; aborts on constants.
+  const std::string& var_name() const;
+  /// The constant value; aborts on variables.
+  const Value& constant() const;
+
+  bool operator==(const Term& o) const;
+  bool operator!=(const Term& o) const { return !(*this == o); }
+  /// Total order: variables before constants, then by payload.
+  bool operator<(const Term& o) const;
+
+  /// Variables print bare, constants per Value::ToString.
+  std::string ToString() const;
+
+ private:
+  struct Variable {
+    std::string name;
+    bool operator==(const Variable& o) const { return name == o.name; }
+  };
+  explicit Term(Variable v) : data_(std::move(v)) {}
+  explicit Term(Value v) : data_(std::move(v)) {}
+
+  std::variant<Variable, Value> data_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_RELATIONAL_TERM_H_

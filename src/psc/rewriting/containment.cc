@@ -1,0 +1,148 @@
+#include "psc/rewriting/containment.h"
+
+#include <vector>
+
+#include "psc/relational/builtin.h"
+#include "psc/tableau/tableau.h"
+
+namespace psc {
+
+namespace {
+
+/// Backtracking search for a homomorphism from `from` (Q₂) into `into`
+/// (Q₁): a substitution on Q₂'s variables such that the head maps onto
+/// Q₁'s head, every relational atom maps onto some relational atom of Q₁,
+/// and every built-in is certified ground-true or verbatim-present.
+class HomomorphismSearch {
+ public:
+  HomomorphismSearch(const ConjunctiveQuery& into,
+                     const ConjunctiveQuery& from)
+      : into_(into), from_(from) {}
+
+  Result<bool> Run() {
+    // Head alignment: h(head(from)) must equal head(into) positionally.
+    if (from_.head().arity() != into_.head().arity()) {
+      return Status::InvalidArgument(
+          "containment requires equal head arities");
+    }
+    mapping_.clear();
+    for (size_t pos = 0; pos < from_.head().arity(); ++pos) {
+      if (!Bind(from_.head().terms()[pos], into_.head().terms()[pos])) {
+        return false;
+      }
+    }
+    return MatchAtom(0);
+  }
+
+ private:
+  /// Binds a Q₂ term to a Q₁ term; false on clash.
+  bool Bind(const Term& from_term, const Term& into_term) {
+    if (from_term.is_constant()) {
+      // Constants are fixed points of homomorphisms.
+      return into_term.is_constant() &&
+             from_term.constant() == into_term.constant();
+    }
+    auto [it, inserted] = mapping_.emplace(from_term.var_name(), into_term);
+    return inserted || it->second == into_term;
+  }
+
+  Result<bool> MatchAtom(size_t index) {
+    if (index == from_.relational_body().size()) return CheckBuiltins();
+    const Atom& atom = from_.relational_body()[index];
+    for (const Atom& target : into_.relational_body()) {
+      if (target.predicate() != atom.predicate() ||
+          target.arity() != atom.arity()) {
+        continue;
+      }
+      const Substitution saved = mapping_;
+      bool ok = true;
+      for (size_t pos = 0; pos < atom.arity() && ok; ++pos) {
+        ok = Bind(atom.terms()[pos], target.terms()[pos]);
+      }
+      if (ok) {
+        PSC_ASSIGN_OR_RETURN(const bool found, MatchAtom(index + 1));
+        if (found) return true;
+      }
+      mapping_ = saved;
+    }
+    return false;
+  }
+
+  Result<bool> CheckBuiltins() {
+    for (const Atom& builtin : from_.builtin_body()) {
+      const Atom mapped = ApplySubstitution(builtin, mapping_);
+      if (mapped.IsGround()) {
+        std::vector<Value> args;
+        for (const Term& term : mapped.terms()) {
+          args.push_back(term.constant());
+        }
+        PSC_ASSIGN_OR_RETURN(const bool holds,
+                             EvalBuiltin(mapped.predicate(), args));
+        if (holds) continue;
+        return false;
+      }
+      // Not ground: accept only a verbatim occurrence among Q₁'s
+      // built-ins (sound; see header).
+      bool found = false;
+      for (const Atom& candidate : into_.builtin_body()) {
+        if (candidate == mapped) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  const ConjunctiveQuery& into_;
+  const ConjunctiveQuery& from_;
+  Substitution mapping_;
+};
+
+}  // namespace
+
+Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  HomomorphismSearch search(q1, q2);
+  return search.Run();
+}
+
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  PSC_ASSIGN_OR_RETURN(const bool forward, IsContainedIn(q1, q2));
+  if (!forward) return false;
+  return IsContainedIn(q2, q1);
+}
+
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query) {
+  ConjunctiveQuery current = query;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<Atom>& relational = current.relational_body();
+    for (size_t drop = 0; drop < relational.size(); ++drop) {
+      std::vector<Atom> body;
+      for (size_t i = 0; i < relational.size(); ++i) {
+        if (i != drop) body.push_back(relational[i]);
+      }
+      for (const Atom& builtin : current.builtin_body()) {
+        body.push_back(builtin);
+      }
+      auto candidate = ConjunctiveQuery::Create(current.head(), body);
+      if (!candidate.ok()) continue;  // dropping breaks safety
+      // Dropping an atom only weakens the query (candidate ⊒ current);
+      // adopt when the reverse containment also holds.
+      PSC_ASSIGN_OR_RETURN(const bool contained,
+                           IsContainedIn(*candidate, current));
+      if (contained) {
+        current = std::move(*candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace psc

@@ -1,0 +1,40 @@
+#ifndef PSC_REWRITING_CONTAINMENT_H_
+#define PSC_REWRITING_CONTAINMENT_H_
+
+#include "psc/relational/conjunctive_query.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Conjunctive-query containment Q₁ ⊑ Q₂ (every database D has
+/// Q₁(D) ⊆ Q₂(D)), decided by the classic Chandra–Merlin homomorphism
+/// criterion: Q₁ ⊑ Q₂ iff there is a homomorphism from Q₂ into Q₁ that
+/// maps head(Q₂) onto head(Q₁).
+///
+/// This is the foundation of view-based query answering (the Information
+/// Manifold line of work the paper builds on): a rewriting over sound
+/// views is usable exactly when its expansion is contained in the query.
+///
+/// Built-ins make containment Π₂ᵖ-hard in general; this test stays sound
+/// by accepting a Q₂ built-in only when, under the homomorphism, it
+/// either (a) becomes ground and evaluates to true, or (b) appears
+/// verbatim among Q₁'s built-ins. A `false` answer with built-ins
+/// therefore means "not provably contained", never "provably not".
+/// For built-in-free queries the test is exact.
+Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2);
+
+/// Q₁ ≡ Q₂: containment in both directions.
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2);
+
+/// \brief Minimizes a query by removing redundant relational body atoms
+/// (computes a core): repeatedly drops an atom when the smaller query is
+/// provably equivalent and still safe. With built-ins the result may not
+/// be a true core (the containment test is conservative), but it is
+/// always equivalent to the input.
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query);
+
+}  // namespace psc
+
+#endif  // PSC_REWRITING_CONTAINMENT_H_

@@ -1,0 +1,52 @@
+#include "psc/source/measures.h"
+
+namespace psc {
+
+Result<SourceMeasures> ComputeMeasures(const SourceDescriptor& source,
+                                       const Database& db) {
+  PSC_ASSIGN_OR_RETURN(const Relation view_result, source.view().Evaluate(db));
+  SourceMeasures measures;
+  measures.view_result_size = static_cast<int64_t>(view_result.size());
+  measures.extension_size = static_cast<int64_t>(source.extension().size());
+  int64_t intersection = 0;
+  for (const Tuple& tuple : source.extension()) {
+    if (view_result.count(tuple) > 0) ++intersection;
+  }
+  measures.intersection_size = intersection;
+  measures.completeness =
+      measures.view_result_size == 0
+          ? Rational::One()
+          : Rational(intersection, measures.view_result_size);
+  measures.soundness = measures.extension_size == 0
+                           ? Rational::One()
+                           : Rational(intersection, measures.extension_size);
+  return measures;
+}
+
+Result<bool> SatisfiesBounds(const SourceDescriptor& source,
+                             const Database& db) {
+  PSC_ASSIGN_OR_RETURN(const SourceMeasures measures,
+                       ComputeMeasures(source, db));
+  return source.completeness_bound() <= measures.completeness &&
+         source.soundness_bound() <= measures.soundness;
+}
+
+Result<bool> IsSound(const SourceDescriptor& source, const Database& db) {
+  PSC_ASSIGN_OR_RETURN(const SourceMeasures measures,
+                       ComputeMeasures(source, db));
+  return measures.intersection_size == measures.extension_size;
+}
+
+Result<bool> IsComplete(const SourceDescriptor& source, const Database& db) {
+  PSC_ASSIGN_OR_RETURN(const SourceMeasures measures,
+                       ComputeMeasures(source, db));
+  return measures.intersection_size == measures.view_result_size;
+}
+
+Result<bool> IsExact(const SourceDescriptor& source, const Database& db) {
+  PSC_ASSIGN_OR_RETURN(const bool sound, IsSound(source, db));
+  if (!sound) return false;
+  return IsComplete(source, db);
+}
+
+}  // namespace psc

@@ -1,0 +1,52 @@
+#ifndef PSC_SOURCE_MEASURES_H_
+#define PSC_SOURCE_MEASURES_H_
+
+#include "psc/relational/database.h"
+#include "psc/source/source_descriptor.h"
+#include "psc/util/rational.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief The exact soundness and completeness of one source with respect to
+/// a concrete candidate database, plus the intermediate set sizes.
+struct SourceMeasures {
+  /// |φ(D)| — size of the intended content under D.
+  int64_t view_result_size = 0;
+  /// |v ∩ φ(D)| — the sound portion of the extension.
+  int64_t intersection_size = 0;
+  /// |v|.
+  int64_t extension_size = 0;
+  /// c_D(S) = |v ∩ φ(D)| / |φ(D)|; 1 when φ(D) = ∅ (vacuously complete).
+  Rational completeness;
+  /// s_D(S) = |v ∩ φ(D)| / |v|; 1 when v = ∅ (vacuously sound).
+  Rational soundness;
+};
+
+/// \brief Computes c_D(S) and s_D(S) (Definitions 2.1 and 2.2).
+///
+/// Convention for empty denominators: an empty φ(D) makes the source
+/// vacuously complete (there is nothing to cover) and an empty v makes it
+/// vacuously sound (no claim can be wrong); both measures are then 1. This
+/// matches the paper's constraints being trivially satisfiable in these
+/// cases and keeps the measures total.
+Result<SourceMeasures> ComputeMeasures(const SourceDescriptor& source,
+                                       const Database& db);
+
+/// \brief True iff `db` satisfies this source's bounds:
+/// c_D(S) ≥ c and s_D(S) ≥ s.
+Result<bool> SatisfiesBounds(const SourceDescriptor& source,
+                             const Database& db);
+
+/// \brief True iff the source is *sound* w.r.t. `db`: v ⊆ φ(D).
+Result<bool> IsSound(const SourceDescriptor& source, const Database& db);
+
+/// \brief True iff the source is *complete* w.r.t. `db`: v ⊇ φ(D).
+Result<bool> IsComplete(const SourceDescriptor& source, const Database& db);
+
+/// \brief True iff the source is *exact* w.r.t. `db`: v = φ(D).
+Result<bool> IsExact(const SourceDescriptor& source, const Database& db);
+
+}  // namespace psc
+
+#endif  // PSC_SOURCE_MEASURES_H_

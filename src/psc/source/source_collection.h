@@ -1,0 +1,67 @@
+#ifndef PSC_SOURCE_SOURCE_COLLECTION_H_
+#define PSC_SOURCE_SOURCE_COLLECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "psc/relational/schema.h"
+#include "psc/source/source_descriptor.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief A source collection S = {S₁,…,Sₙ}, the central object of the
+/// paper: it induces the set of possible worlds
+/// poss(S) = { D over sch(S) : c_D(vᵢ) ≥ cᵢ ∧ s_D(vᵢ) ≥ sᵢ for all i }.
+class SourceCollection {
+ public:
+  SourceCollection() = default;
+
+  /// \brief Builds a collection; source names must be unique and nonempty.
+  static Result<SourceCollection> Create(
+      std::vector<SourceDescriptor> sources);
+
+  const std::vector<SourceDescriptor>& sources() const { return sources_; }
+  size_t size() const { return sources_.size(); }
+  const SourceDescriptor& source(size_t i) const { return sources_[i]; }
+
+  /// Source index by name, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// \brief sch(S): the global relations mentioned by the views.
+  const Schema& schema() const { return schema_; }
+
+  /// \brief D ∈ poss(S)? Checks every source's bounds against `db`.
+  Result<bool> IsPossibleWorld(const Database& db) const;
+
+  /// Σᵢ |vᵢ| — total extension size (the input size for Theorem 3.2).
+  size_t TotalExtensionSize() const;
+
+  /// \brief The Lemma 3.1 witness-size bound:
+  /// maxᵢ |body(φᵢ)| · Σᵢ |vᵢ|, counting relational body atoms.
+  size_t WitnessSizeBound() const;
+
+  /// \brief True iff every view is the identity over one common relation —
+  /// the Section 5.1 special case. `relation` (optional out) receives the
+  /// common relation name.
+  bool AllIdentityViews(std::string* relation = nullptr) const;
+
+  /// \brief All constants mentioned in view extensions and view definitions,
+  /// sorted and deduplicated — the seed for canonical domains.
+  std::vector<Value> MentionedConstants() const;
+
+  /// Multi-line rendering of every descriptor.
+  std::string ToString() const;
+
+ private:
+  explicit SourceCollection(std::vector<SourceDescriptor> sources,
+                            Schema schema)
+      : sources_(std::move(sources)), schema_(std::move(schema)) {}
+
+  std::vector<SourceDescriptor> sources_;
+  Schema schema_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_SOURCE_SOURCE_COLLECTION_H_

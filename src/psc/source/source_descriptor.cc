@@ -1,0 +1,56 @@
+#include "psc/source/source_descriptor.h"
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+Result<SourceDescriptor> SourceDescriptor::Create(std::string name,
+                                                  ConjunctiveQuery view,
+                                                  Relation extension,
+                                                  Rational completeness,
+                                                  Rational soundness) {
+  const Rational zero = Rational::Zero();
+  const Rational one = Rational::One();
+  if (completeness < zero || one < completeness) {
+    return Status::InvalidArgument(
+        StrCat("source '", name, "': completeness bound ",
+               completeness.ToString(), " outside [0,1]"));
+  }
+  if (soundness < zero || one < soundness) {
+    return Status::InvalidArgument(StrCat("source '", name,
+                                          "': soundness bound ",
+                                          soundness.ToString(),
+                                          " outside [0,1]"));
+  }
+  const size_t head_arity = view.head().arity();
+  for (const Tuple& tuple : extension) {
+    if (tuple.size() != head_arity) {
+      return Status::InvalidArgument(
+          StrCat("source '", name, "': extension tuple ", TupleToString(tuple),
+                 " has arity ", tuple.size(), ", head expects ", head_arity));
+    }
+  }
+  return SourceDescriptor(std::move(name), std::move(view),
+                          std::move(extension), completeness, soundness);
+}
+
+int64_t SourceDescriptor::MinSoundFacts() const {
+  return soundness_.MulCeil(static_cast<int64_t>(extension_.size()));
+}
+
+std::string SourceDescriptor::ToString() const {
+  std::vector<std::string> tuples;
+  tuples.reserve(extension_.size());
+  for (const Tuple& tuple : extension_) {
+    tuples.push_back(TupleToString(tuple));
+  }
+  // An empty extension omits the facts field (the grammar requires at
+  // least one fact after "facts:").
+  const std::string facts_line =
+      tuples.empty() ? "" : StrCat("\n  facts: ", Join(tuples, ", "));
+  return StrCat("source ", name_, " {\n  view: ", view_.ToString(),
+                "\n  completeness: ", completeness_.ToString(),
+                "\n  soundness: ", soundness_.ToString(), facts_line, "\n}");
+}
+
+}  // namespace psc

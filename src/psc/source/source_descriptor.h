@@ -1,0 +1,73 @@
+#ifndef PSC_SOURCE_SOURCE_DESCRIPTOR_H_
+#define PSC_SOURCE_SOURCE_DESCRIPTOR_H_
+
+#include <string>
+
+#include "psc/relational/conjunctive_query.h"
+#include "psc/relational/database.h"
+#include "psc/util/rational.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief A source descriptor ⟨φ, v, c, s⟩ (Section 2.3 of the paper):
+///
+///  * φ — the view definition describing the source's *intended* content,
+///  * v — the view extension: the source's *actual* content,
+///  * c ∈ [0,1] — a lower bound on completeness |v ∩ φ(D)| / |φ(D)|,
+///  * s ∈ [0,1] — a lower bound on soundness   |v ∩ φ(D)| / |v|,
+///
+/// each relative to the unknown global database D. Bounds are exact
+/// rationals so that thresholds such as |uᵢ| ≥ sᵢ|vᵢ| are decided without
+/// floating-point error.
+class SourceDescriptor {
+ public:
+  /// Empty, invalid descriptor; use Create.
+  SourceDescriptor() = default;
+
+  /// \brief Validates and builds a descriptor.
+  ///
+  /// Errors: bounds outside [0,1]; extension tuple arity differing from the
+  /// view head arity.
+  static Result<SourceDescriptor> Create(std::string name,
+                                         ConjunctiveQuery view,
+                                         Relation extension,
+                                         Rational completeness,
+                                         Rational soundness);
+
+  const std::string& name() const { return name_; }
+  const ConjunctiveQuery& view() const { return view_; }
+  /// The view extension v (current contents of the source).
+  const Relation& extension() const { return extension_; }
+  const Rational& completeness_bound() const { return completeness_; }
+  const Rational& soundness_bound() const { return soundness_; }
+
+  /// |v|.
+  size_t extension_size() const { return extension_.size(); }
+
+  /// \brief The minimum number of sound facts tᵢ = ⌈sᵢ·|vᵢ|⌉ every possible
+  /// world must certify (inequality (3) in the paper).
+  int64_t MinSoundFacts() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+ private:
+  SourceDescriptor(std::string name, ConjunctiveQuery view, Relation extension,
+                   Rational completeness, Rational soundness)
+      : name_(std::move(name)),
+        view_(std::move(view)),
+        extension_(std::move(extension)),
+        completeness_(completeness),
+        soundness_(soundness) {}
+
+  std::string name_;
+  ConjunctiveQuery view_;
+  Relation extension_;
+  Rational completeness_;
+  Rational soundness_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_SOURCE_SOURCE_DESCRIPTOR_H_

@@ -1,0 +1,56 @@
+#include "psc/tableau/constraint.h"
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+bool Constraint::Compatible(const Valuation& sigma,
+                            const Substitution& theta) {
+  for (const auto& [var, term] : theta) {
+    auto var_it = sigma.find(var);
+    if (var_it == sigma.end()) return false;  // x unbound: cannot certify
+    Value rhs;
+    if (term.is_constant()) {
+      rhs = term.constant();
+    } else {
+      auto term_it = sigma.find(term.var_name());
+      if (term_it == sigma.end()) return false;
+      rhs = term_it->second;
+    }
+    if (var_it->second != rhs) return false;
+  }
+  return true;
+}
+
+bool Constraint::SatisfiedBy(const Database& db) const {
+  // Every embedding of the pattern must be compatible with some option.
+  return ForEachEmbedding(pattern, db, [&](const Valuation& sigma) {
+    for (const Substitution& theta : options) {
+      if (Compatible(sigma, theta)) return true;  // keep checking others
+    }
+    return false;  // an incompatible embedding: constraint violated
+  });
+}
+
+std::string SubstitutionToString(const Substitution& subst) {
+  std::vector<std::string> parts;
+  parts.reserve(subst.size());
+  for (const auto& [var, term] : subst) {
+    parts.push_back(StrCat(var, "/", term.ToString()));
+  }
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+std::string Constraint::ToString() const {
+  std::vector<std::string> thetas;
+  thetas.reserve(options.size());
+  for (const Substitution& theta : options) {
+    thetas.push_back(SubstitutionToString(theta));
+  }
+  std::string out = StrCat("(", TableauToString(pattern), ", {",
+                           Join(thetas, ", "), "})");
+  if (!label.empty()) out += StrCat("  [", label, "]");
+  return out;
+}
+
+}  // namespace psc

@@ -1,0 +1,41 @@
+#ifndef PSC_TABLEAU_CONSTRAINT_H_
+#define PSC_TABLEAU_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "psc/tableau/tableau.h"
+
+namespace psc {
+
+/// \brief A constraint (U, Θ) over a schema (Section 4): a tableau U plus a
+/// set of substitutions Θ.
+///
+/// The constraint is satisfied by a database D when every valuation σ that
+/// embeds U into D is *compatible* with some θ ∈ Θ, where compatibility
+/// means σ(x) = σ(e) for every binding x/e of θ. In the Theorem 4.1
+/// construction these encode the cardinality caps |φᵢ(D)| ≤ mᵢ: U lists
+/// mᵢ+1 copies of the view body and each θ_{p,r} forces two copies to
+/// produce the same head tuple.
+struct Constraint {
+  Tableau pattern;                       ///< U
+  std::vector<Substitution> options;     ///< Θ
+  std::string label;                     ///< diagnostics ("S1:|φ(D)|<=3")
+
+  /// σ(x) = σ(e) for every binding of `theta` (σ treated as identity on
+  /// constants; variables of U are all bound in an embedding).
+  static bool Compatible(const Valuation& sigma, const Substitution& theta);
+
+  /// True iff `db` satisfies this constraint.
+  bool SatisfiedBy(const Database& db) const;
+
+  /// "(U, {θ₁, …})" rendering.
+  std::string ToString() const;
+};
+
+/// Renders one substitution as "{x/y, z/3}".
+std::string SubstitutionToString(const Substitution& subst);
+
+}  // namespace psc
+
+#endif  // PSC_TABLEAU_CONSTRAINT_H_

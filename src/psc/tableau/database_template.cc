@@ -1,0 +1,40 @@
+#include "psc/tableau/database_template.h"
+
+#include "psc/util/status.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+bool DatabaseTemplate::RepContains(const Database& db) const {
+  bool embedded = tableaux_.empty();
+  for (const Tableau& tableau : tableaux_) {
+    if (HasEmbedding(tableau, db)) {
+      embedded = true;
+      break;
+    }
+  }
+  if (!embedded) return false;
+  for (const Constraint& constraint : constraints_) {
+    if (!constraint.SatisfiedBy(db)) return false;
+  }
+  return true;
+}
+
+Database DatabaseTemplate::FreezeTableau(size_t index,
+                                         size_t fresh_offset) const {
+  PSC_CHECK_MSG(index < tableaux_.size(), "FreezeTableau: index out of range");
+  return ::psc::FreezeTableau(tableaux_[index], fresh_offset);
+}
+
+std::string DatabaseTemplate::ToString() const {
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < tableaux_.size(); ++i) {
+    lines.push_back(StrCat("T", i + 1, " = ", TableauToString(tableaux_[i])));
+  }
+  for (const Constraint& constraint : constraints_) {
+    lines.push_back(StrCat("C: ", constraint.ToString()));
+  }
+  return Join(lines, "\n");
+}
+
+}  // namespace psc

@@ -1,0 +1,45 @@
+#ifndef PSC_TABLEAU_DATABASE_TEMPLATE_H_
+#define PSC_TABLEAU_DATABASE_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "psc/tableau/constraint.h"
+#include "psc/tableau/tableau.h"
+
+namespace psc {
+
+/// \brief A database template 𝒯 = ⟨T₁,…,T_m, C⟩ (Section 4): tableaux plus
+/// constraints, compactly representing the set of databases
+///
+///   rep(𝒯) = { D : some valuation embeds some Tᵢ into D, and D satisfies
+///              every constraint in C }.
+class DatabaseTemplate {
+ public:
+  DatabaseTemplate() = default;
+  DatabaseTemplate(std::vector<Tableau> tableaux,
+                   std::vector<Constraint> constraints)
+      : tableaux_(std::move(tableaux)), constraints_(std::move(constraints)) {}
+
+  const std::vector<Tableau>& tableaux() const { return tableaux_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// \brief D ∈ rep(𝒯)? — the membership test of Definition 4.1.
+  bool RepContains(const Database& db) const;
+
+  /// \brief Freezes tableau `index` into a concrete database by replacing
+  /// each variable with a distinct fresh string constant
+  /// ("⊥0", "⊥1", … offset by `fresh_offset`) — the canonical database of
+  /// classical tableau theory.
+  Database FreezeTableau(size_t index, size_t fresh_offset = 0) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Tableau> tableaux_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_TABLEAU_DATABASE_TEMPLATE_H_

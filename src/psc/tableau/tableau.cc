@@ -1,0 +1,164 @@
+#include "psc/tableau/tableau.h"
+
+#include <optional>
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+Term ApplySubstitution(const Term& term, const Substitution& subst) {
+  if (term.is_constant()) return term;
+  auto it = subst.find(term.var_name());
+  return it == subst.end() ? term : it->second;
+}
+
+Atom ApplySubstitution(const Atom& atom, const Substitution& subst) {
+  std::vector<Term> terms;
+  terms.reserve(atom.arity());
+  for (const Term& term : atom.terms()) {
+    terms.push_back(ApplySubstitution(term, subst));
+  }
+  return Atom(atom.predicate(), std::move(terms));
+}
+
+Tableau ApplySubstitution(const Tableau& tableau, const Substitution& subst) {
+  Tableau result;
+  for (const Atom& atom : tableau) {
+    result.insert(ApplySubstitution(atom, subst));
+  }
+  return result;
+}
+
+std::set<std::string> TableauVariables(const Tableau& tableau) {
+  std::set<std::string> vars;
+  for (const Atom& atom : tableau) {
+    for (const std::string& var : atom.Variables()) vars.insert(var);
+  }
+  return vars;
+}
+
+namespace {
+
+bool EmbedFrom(const std::vector<Atom>& atoms, size_t index, Valuation& sigma,
+               const Database& db,
+               const std::function<bool(const Valuation&)>& fn) {
+  if (index == atoms.size()) return fn(sigma);
+  const Atom& atom = atoms[index];
+  const Relation& relation = db.GetRelation(atom.predicate());
+  for (const Tuple& tuple : relation) {
+    if (tuple.size() != atom.arity()) continue;
+    std::vector<std::string> newly_bound;
+    bool ok = true;
+    for (size_t pos = 0; pos < tuple.size() && ok; ++pos) {
+      const Term& term = atom.terms()[pos];
+      if (term.is_constant()) {
+        ok = term.constant() == tuple[pos];
+        continue;
+      }
+      auto [it, inserted] = sigma.emplace(term.var_name(), tuple[pos]);
+      if (inserted) {
+        newly_bound.push_back(term.var_name());
+      } else {
+        ok = it->second == tuple[pos];
+      }
+    }
+    if (ok && !EmbedFrom(atoms, index + 1, sigma, db, fn)) {
+      for (const std::string& name : newly_bound) sigma.erase(name);
+      return false;
+    }
+    for (const std::string& name : newly_bound) sigma.erase(name);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachEmbedding(const Tableau& tableau, const Database& db,
+                      const std::function<bool(const Valuation&)>& fn) {
+  const std::vector<Atom> atoms(tableau.begin(), tableau.end());
+  Valuation sigma;
+  return EmbedFrom(atoms, 0, sigma, db, fn);
+}
+
+bool HasEmbedding(const Tableau& tableau, const Database& db) {
+  return !ForEachEmbedding(tableau, db,
+                           [](const Valuation&) { return false; });
+}
+
+Database FreezeTableau(const Tableau& tableau, size_t fresh_offset) {
+  Substitution freeze;
+  size_t next = fresh_offset;
+  for (const std::string& var : TableauVariables(tableau)) {
+    freeze[var] = Term::ConstStr(StrCat("\xE2\x8A\xA5", next++));  // "⊥n"
+  }
+  Database db;
+  for (const Atom& atom : ApplySubstitution(tableau, freeze)) {
+    Tuple tuple;
+    tuple.reserve(atom.arity());
+    for (const Term& term : atom.terms()) {
+      PSC_CHECK_MSG(term.is_constant(), "frozen atom still has a variable");
+      tuple.push_back(term.constant());
+    }
+    db.AddFact(atom.predicate(), std::move(tuple));
+  }
+  return db;
+}
+
+namespace {
+
+/// Unifier mapping the variables of `pattern` onto the constants of
+/// `ground`, or nullopt when they clash.
+std::optional<Substitution> UnifyOntoGround(const Atom& pattern,
+                                            const Atom& ground) {
+  if (pattern.predicate() != ground.predicate() ||
+      pattern.arity() != ground.arity()) {
+    return std::nullopt;
+  }
+  Substitution unifier;
+  for (size_t pos = 0; pos < pattern.arity(); ++pos) {
+    const Term& term = pattern.terms()[pos];
+    const Term& target = ground.terms()[pos];
+    if (term.is_constant()) {
+      if (term != target) return std::nullopt;
+      continue;
+    }
+    auto [it, inserted] = unifier.emplace(term.var_name(), target);
+    if (!inserted && it->second != target) return std::nullopt;
+  }
+  return unifier;
+}
+
+}  // namespace
+
+Database FreezeTableauWithGroundMerge(const Tableau& tableau) {
+  Tableau current = tableau;
+  bool changed = true;
+  // Each merge grounds at least one variable, so this terminates.
+  while (changed) {
+    changed = false;
+    for (const Atom& atom : current) {
+      if (atom.IsGround()) continue;
+      for (const Atom& ground : current) {
+        if (!ground.IsGround()) continue;
+        const std::optional<Substitution> unifier =
+            UnifyOntoGround(atom, ground);
+        if (unifier.has_value()) {
+          current = ApplySubstitution(current, *unifier);
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+  }
+  return FreezeTableau(current);
+}
+
+std::string TableauToString(const Tableau& tableau) {
+  std::vector<std::string> parts;
+  parts.reserve(tableau.size());
+  for (const Atom& atom : tableau) parts.push_back(atom.ToString());
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+}  // namespace psc

@@ -1,0 +1,36 @@
+#include "psc/util/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include "psc/util/status.h"
+
+namespace psc {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PSC_CHECK_MSG(lo <= hi, "Rng::UniformInt: empty range");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return UniformDouble() < p;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  PSC_CHECK_MSG(k >= 0 && k <= n, "Rng::SampleWithoutReplacement: bad k");
+  std::set<int64_t> chosen;
+  for (int64_t j = n - k; j < n; ++j) {
+    const int64_t t = UniformInt(0, j);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return std::vector<int64_t>(chosen.begin(), chosen.end());
+}
+
+}  // namespace psc

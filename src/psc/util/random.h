@@ -1,0 +1,53 @@
+#ifndef PSC_UTIL_RANDOM_H_
+#define PSC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace psc {
+
+/// \brief Deterministic pseudo-random generator used by workload generators,
+/// Monte-Carlo estimation and randomized property tests.
+///
+/// Wraps std::mt19937_64 so every consumer takes an explicit seed and runs
+/// reproducibly (tests and benchmarks print their seeds).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// \brief Samples a uniformly random subset of {0,…,n-1} of size k
+  /// (Floyd's algorithm); result is sorted.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_UTIL_RANDOM_H_

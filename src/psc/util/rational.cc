@@ -1,0 +1,171 @@
+#include "psc/util/rational.h"
+
+#include <cstdlib>
+#include <numeric>
+
+#include "psc/util/status.h"
+
+namespace psc {
+
+namespace {
+
+using Int128 = __int128;
+
+int64_t Gcd(int64_t a, int64_t b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  return std::gcd(a, b);
+}
+
+Rational MakeFromInt128(Int128 num, Int128 den) {
+  PSC_CHECK_MSG(den != 0, "Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  // Reduce in 128 bits before narrowing.
+  Int128 a = num < 0 ? -num : num;
+  Int128 b = den;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a != 0) {
+    num /= a;
+    den /= a;
+  }
+  PSC_CHECK_MSG(num <= INT64_MAX && num >= INT64_MIN && den <= INT64_MAX,
+                "Rational: overflow after reduction");
+  return Rational(static_cast<int64_t>(num), static_cast<int64_t>(den));
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  PSC_CHECK_MSG(den_ != 0, "Rational: zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const int64_t g = Gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Result<Rational> Rational::Parse(const std::string& text) {
+  if (text.empty()) return Status::ParseError("empty rational literal");
+  const auto parse_int = [](const std::string& part,
+                            int64_t* out) -> Status {
+    if (part.empty()) return Status::ParseError("empty integer part");
+    size_t pos = 0;
+    try {
+      *out = std::stoll(part, &pos);
+    } catch (...) {
+      return Status::ParseError("invalid integer: '" + part + "'");
+    }
+    if (pos != part.size()) {
+      return Status::ParseError("trailing characters in integer: '" + part +
+                                "'");
+    }
+    return Status::OK();
+  };
+
+  const size_t slash = text.find('/');
+  if (slash != std::string::npos) {
+    int64_t num = 0;
+    int64_t den = 0;
+    PSC_RETURN_NOT_OK(parse_int(text.substr(0, slash), &num));
+    PSC_RETURN_NOT_OK(parse_int(text.substr(slash + 1), &den));
+    if (den == 0) return Status::ParseError("zero denominator in '" + text + "'");
+    return Rational(num, den);
+  }
+
+  const size_t dot = text.find('.');
+  if (dot != std::string::npos) {
+    const std::string int_part = text.substr(0, dot);
+    const std::string frac_part = text.substr(dot + 1);
+    if (frac_part.size() > 18) {
+      return Status::ParseError("too many fractional digits in '" + text + "'");
+    }
+    int64_t whole = 0;
+    if (!int_part.empty() && int_part != "-") {
+      PSC_RETURN_NOT_OK(parse_int(int_part, &whole));
+    }
+    int64_t frac = 0;
+    if (!frac_part.empty()) {
+      PSC_RETURN_NOT_OK(parse_int(frac_part, &frac));
+      if (frac < 0) return Status::ParseError("invalid decimal: '" + text + "'");
+    }
+    int64_t scale = 1;
+    for (size_t i = 0; i < frac_part.size(); ++i) scale *= 10;
+    const bool negative = !text.empty() && text[0] == '-';
+    int64_t num = (whole < 0 ? -whole : whole) * scale + frac;
+    if (negative) num = -num;
+    return Rational(num, scale);
+  }
+
+  int64_t value = 0;
+  PSC_RETURN_NOT_OK(parse_int(text, &value));
+  return Rational(value);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return MakeFromInt128(Int128(num_) * o.den_ + Int128(o.num_) * den_,
+                        Int128(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return MakeFromInt128(Int128(num_) * o.den_ - Int128(o.num_) * den_,
+                        Int128(den_) * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return MakeFromInt128(Int128(num_) * o.num_, Int128(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  PSC_CHECK_MSG(!o.IsZero(), "Rational: division by zero");
+  return MakeFromInt128(Int128(num_) * o.den_, Int128(den_) * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return Int128(num_) * o.den_ < Int128(o.num_) * den_;
+}
+
+bool Rational::operator<=(const Rational& o) const {
+  return Int128(num_) * o.den_ <= Int128(o.num_) * den_;
+}
+
+int64_t Rational::MulCeil(int64_t k) const {
+  PSC_CHECK_MSG(k >= 0, "Rational::MulCeil: negative multiplier");
+  const Int128 prod = Int128(num_) * k;
+  Int128 q = prod / den_;
+  if (prod % den_ != 0 && prod > 0) ++q;
+  return static_cast<int64_t>(q);
+}
+
+int64_t Rational::MulFloor(int64_t k) const {
+  PSC_CHECK_MSG(k >= 0, "Rational::MulFloor: negative multiplier");
+  const Int128 prod = Int128(num_) * k;
+  Int128 q = prod / den_;
+  if (prod % den_ != 0 && prod < 0) --q;
+  return static_cast<int64_t>(q);
+}
+
+int64_t Rational::DivFloor(int64_t k) const {
+  PSC_CHECK_MSG(k >= 0, "Rational::DivFloor: negative dividend");
+  PSC_CHECK_MSG(num_ > 0, "Rational::DivFloor: non-positive divisor");
+  const Int128 scaled = Int128(k) * den_;
+  return static_cast<int64_t>(scaled / num_);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace psc

@@ -1,0 +1,86 @@
+#ifndef PSC_UTIL_RATIONAL_H_
+#define PSC_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Exact rational number with 64-bit numerator/denominator.
+///
+/// Soundness/completeness bounds and the derived thresholds
+/// (|uᵢ| ≥ sᵢ·|vᵢ|, mᵢ = ⌊tᵢ/cᵢ⌋) must be evaluated exactly: a bound of
+/// 1/3 stored as a double would misclassify |uᵢ| = k/3 boundary cases.
+/// All comparisons use 128-bit cross multiplication, so no overflow occurs
+/// for any value the library produces (counts are bounded by set sizes).
+///
+/// Invariants: denominator > 0; gcd(|num|, den) == 1; zero is 0/1.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  /// `value` as a rational.
+  explicit constexpr Rational(int64_t value) : num_(value), den_(1) {}
+
+  /// `num/den`; normalizes sign and reduces. Aborts if `den == 0`.
+  Rational(int64_t num, int64_t den);
+
+  static Rational Zero() { return Rational(); }
+  static Rational One() { return Rational(1); }
+
+  /// \brief Parses "3", "-3", "2/5", "0.25", "1.0".
+  static Result<Rational> Parse(const std::string& text);
+
+  int64_t numerator() const { return num_; }
+  int64_t denominator() const { return den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Aborts on division by zero.
+  Rational operator/(const Rational& o) const;
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const;
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  /// \brief ⌈this · k⌉ for a non-negative integer k.
+  ///
+  /// Used for the soundness threshold tᵢ ≥ ⌈sᵢ·kᵢ⌉ (tᵢ is integral, so
+  /// tᵢ ≥ sᵢkᵢ ⟺ tᵢ ≥ ⌈sᵢkᵢ⌉).
+  int64_t MulCeil(int64_t k) const;
+
+  /// \brief ⌊this · k⌋ for a non-negative integer k.
+  int64_t MulFloor(int64_t k) const;
+
+  /// \brief ⌊k / this⌋ for non-negative k; aborts if this is zero.
+  ///
+  /// Used for the completeness cap mᵢ = ⌊tᵢ/cᵢ⌋.
+  int64_t DivFloor(int64_t k) const;
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// "num/den", or just "num" when den == 1.
+  std::string ToString() const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_UTIL_RATIONAL_H_

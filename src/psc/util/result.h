@@ -1,0 +1,84 @@
+#ifndef PSC_UTIL_RESULT_H_
+#define PSC_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "psc/util/status.h"
+
+namespace psc {
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// Modeled on `arrow::Result`. A default-constructed `Result` is an
+/// internal error; construct from a value or a non-OK `Status`.
+template <typename T>
+class Result {
+ public:
+  Result() : data_(Status::Internal("uninitialized Result")) {}
+
+  /// Implicit construction from a value (like arrow::Result).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a (non-OK) status.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    PSC_CHECK_MSG(!std::get<Status>(data_).ok(),
+                  "constructing Result<T> from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// \brief The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  /// \brief The held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    PSC_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    PSC_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(data_);
+  }
+  T&& ValueOrDie() && {
+    PSC_CHECK_MSG(ok(), status().ToString());
+    return std::move(std::get<T>(data_));
+  }
+
+  /// \brief Alias for ValueOrDie, mirroring absl::StatusOr.
+  const T& value() const& { return ValueOrDie(); }
+  T& value() & { return ValueOrDie(); }
+  T&& value() && { return std::move(*this).ValueOrDie(); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace psc
+
+#define PSC_CONCAT_IMPL(x, y) x##y
+#define PSC_CONCAT(x, y) PSC_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define PSC_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  PSC_ASSIGN_OR_RETURN_IMPL(PSC_CONCAT(_psc_result_, __LINE__), lhs,  \
+                            rexpr)
+
+#define PSC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // PSC_UTIL_RESULT_H_

@@ -1,0 +1,50 @@
+#include "psc/util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psc {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kInconsistent:
+      return "Inconsistent";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code());
+  result += ": ";
+  result += message();
+  return result;
+}
+
+namespace internal {
+
+void DieBecauseCheckFailed(const char* file, int line, const char* expr,
+                           const std::string& extra) {
+  std::fprintf(stderr, "PSC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace psc

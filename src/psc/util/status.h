@@ -1,0 +1,136 @@
+#ifndef PSC_UTIL_STATUS_H_
+#define PSC_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace psc {
+
+/// \brief Error categories used across the library.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// every fallible operation returns a `Status` or a `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kParseError,
+  kInconsistent,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Arrow-style status object: either OK or an error code plus message.
+///
+/// `Status` is cheap to copy in the OK case (single pointer, no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+
+  /// \brief True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;
+};
+
+namespace internal {
+/// Aborts the process with a diagnostic; used by PSC_CHECK.
+[[noreturn]] void DieBecauseCheckFailed(const char* file, int line,
+                                        const char* expr,
+                                        const std::string& extra);
+}  // namespace internal
+
+}  // namespace psc
+
+/// Propagates a non-OK status to the caller.
+#define PSC_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::psc::Status _psc_status = (expr);        \
+    if (!_psc_status.ok()) return _psc_status; \
+  } while (false)
+
+/// Aborts if `cond` is false. For internal invariants, not input validation.
+#define PSC_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::psc::internal::DieBecauseCheckFailed(__FILE__, __LINE__, #cond, \
+                                             "");                       \
+    }                                                                   \
+  } while (false)
+
+/// PSC_CHECK with an extra message.
+#define PSC_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::psc::internal::DieBecauseCheckFailed(__FILE__, __LINE__, #cond, \
+                                             (msg));                    \
+    }                                                                   \
+  } while (false)
+
+#endif  // PSC_UTIL_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef PSC_UTIL_STRING_UTIL_H_
+#define PSC_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// Splits `text` on `delimiter`; does not trim or drop empty fields.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& text);
+
+namespace internal {
+inline void StrCatAppend(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrCatAppend(std::ostringstream& out, const T& value,
+                  const Rest&... rest) {
+  out << value;
+  StrCatAppend(out, rest...);
+}
+}  // namespace internal
+
+/// \brief Concatenates streamable values into a string
+/// (`StrCat("n=", 3, " w=", 0.5)`).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  internal::StrCatAppend(out, args...);
+  return out.str();
+}
+
+}  // namespace psc
+
+#endif  // PSC_UTIL_STRING_UTIL_H_

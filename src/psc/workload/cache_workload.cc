@@ -1,0 +1,66 @@
+#include "psc/workload/cache_workload.h"
+
+#include <algorithm>
+
+#include "psc/util/random.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+Result<CacheWorkload> MakeCacheWorkload(const CacheConfig& config) {
+  if (config.num_objects < 1 || config.num_caches < 1) {
+    return Status::InvalidArgument("need >= 1 object and >= 1 cache");
+  }
+  if (config.coverage < 0.0 || config.coverage > 1.0 ||
+      config.staleness < 0.0 || config.staleness > 1.0) {
+    return Status::InvalidArgument(
+        "coverage and staleness must be within [0,1]");
+  }
+  Rng rng(config.seed);
+  CacheWorkload workload;
+  for (int64_t id = 0; id < config.num_objects; ++id) {
+    workload.live_objects.insert(id);
+  }
+
+  std::vector<SourceDescriptor> sources;
+  for (int64_t cache = 0; cache < config.num_caches; ++cache) {
+    const int64_t held = std::clamp<int64_t>(
+        static_cast<int64_t>(config.coverage * config.num_objects + 0.5), 0,
+        config.num_objects);
+    const std::vector<int64_t> live_picks =
+        rng.SampleWithoutReplacement(config.num_objects, held);
+    const int64_t stale = std::clamp<int64_t>(
+        static_cast<int64_t>(config.staleness * held + 0.5), 0, held);
+
+    Relation extension;
+    int64_t sound = 0;
+    for (size_t i = 0; i < live_picks.size(); ++i) {
+      if (static_cast<int64_t>(i) < stale) {
+        // A stale entry: an object id that no longer exists.
+        extension.insert(
+            Tuple{Value(config.num_objects +
+                        rng.UniformInt(0, config.num_objects - 1))});
+      } else {
+        extension.insert(Tuple{Value(live_picks[i])});
+        ++sound;
+      }
+    }
+    const int64_t extension_size = static_cast<int64_t>(extension.size());
+    const Rational soundness =
+        extension_size == 0 ? Rational::One()
+                            : Rational(sound, extension_size);
+    const Rational completeness = Rational(sound, config.num_objects);
+    PSC_ASSIGN_OR_RETURN(
+        SourceDescriptor source,
+        SourceDescriptor::Create(StrCat("cache", cache + 1),
+                                 ConjunctiveQuery::Identity("Object", 1),
+                                 std::move(extension), completeness,
+                                 soundness));
+    sources.push_back(std::move(source));
+  }
+  PSC_ASSIGN_OR_RETURN(workload.collection,
+                       SourceCollection::Create(std::move(sources)));
+  return workload;
+}
+
+}  // namespace psc

@@ -1,0 +1,44 @@
+#ifndef PSC_WORKLOAD_CACHE_WORKLOAD_H_
+#define PSC_WORKLOAD_CACHE_WORKLOAD_H_
+
+#include <cstdint>
+#include <set>
+
+#include "psc/source/source_collection.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief The Section 6 application: "multiple caches of a set of objects
+/// (e.g. Web pages, memory locations), multiple mirror-sites of a given
+/// site". Every cache is an identity view over a unary relation
+/// Object(id); partially stale caches are partially sound, partially
+/// filled caches are partially complete — the data-model-independent
+/// special case the paper highlights.
+struct CacheConfig {
+  /// Live objects are ids 0 … num_objects−1.
+  int64_t num_objects = 100;
+  int64_t num_caches = 4;
+  /// Fraction of live objects each cache holds.
+  double coverage = 0.7;
+  /// Fraction of each cache's entries replaced by stale ids (ids of
+  /// objects that no longer exist: num_objects … 2·num_objects−1).
+  double staleness = 0.1;
+  uint64_t seed = 42;
+};
+
+/// A generated cache federation plus its ground truth.
+struct CacheWorkload {
+  SourceCollection collection;
+  /// The live object ids (the "real world" extension of Object).
+  std::set<int64_t> live_objects;
+};
+
+/// \brief Generates a cache federation. Each cache descriptor claims its
+/// *actual* soundness/completeness w.r.t. the live set, so the truth is
+/// always a possible world.
+Result<CacheWorkload> MakeCacheWorkload(const CacheConfig& config);
+
+}  // namespace psc
+
+#endif  // PSC_WORKLOAD_CACHE_WORKLOAD_H_

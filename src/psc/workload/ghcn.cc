@@ -1,0 +1,156 @@
+#include "psc/workload/ghcn.h"
+
+#include <algorithm>
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+GhcnGenerator::GhcnGenerator(GhcnConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+GhcnWorld GhcnGenerator::GenerateTruth() {
+  GhcnWorld world;
+  const Status station_status = world.schema.AddRelation("Station", 4);
+  const Status temp_status = world.schema.AddRelation("Temperature", 4);
+  PSC_CHECK(station_status.ok() && temp_status.ok());
+
+  for (int64_t i = 0; i < config_.num_stations; ++i) {
+    const int64_t id = 1000 + i;
+    world.station_ids.push_back(id);
+    const std::string& country = config_.countries.empty()
+                                     ? "Nowhere"
+                                     : config_.countries[static_cast<size_t>(
+                                           i) %
+                                                         config_.countries
+                                                             .size()];
+    world.truth.AddFact(
+        "Station",
+        Tuple{Value(id), Value(rng_.UniformInt(-90, 90)),
+              Value(rng_.UniformInt(-180, 180)), Value(country)});
+    for (int64_t year = config_.start_year; year <= config_.end_year; ++year) {
+      for (int64_t month = 1; month <= 12; ++month) {
+        world.truth.AddFact(
+            "Temperature",
+            Tuple{Value(id), Value(year), Value(month),
+                  Value(rng_.UniformInt(config_.min_value,
+                                        config_.max_value))});
+      }
+    }
+  }
+  return world;
+}
+
+Result<SourceDescriptor> GhcnGenerator::MakeCatalogSource(
+    const GhcnWorld& world, const std::string& name) {
+  Atom head(StrCat("V_", name),
+            {Term::Var("s"), Term::Var("lat"), Term::Var("lon"),
+             Term::Var("c")});
+  Atom body("Station", {Term::Var("s"), Term::Var("lat"), Term::Var("lon"),
+                        Term::Var("c")});
+  PSC_ASSIGN_OR_RETURN(ConjunctiveQuery view,
+                       ConjunctiveQuery::Create(head, {body}));
+  PSC_ASSIGN_OR_RETURN(const Relation intended, view.Evaluate(world.truth));
+  return SourceDescriptor::Create(name, std::move(view), intended,
+                                  Rational::One(), Rational::One());
+}
+
+Result<SourceDescriptor> GhcnGenerator::MakeCountrySource(
+    const GhcnWorld& world, const std::string& name, const std::string& country,
+    int64_t after_year, double coverage, double error_rate, bool overclaim) {
+  Atom head(StrCat("V_", name), {Term::Var("s"), Term::Var("y"),
+                                 Term::Var("m"), Term::Var("v")});
+  Atom temperature("Temperature", {Term::Var("s"), Term::Var("y"),
+                                   Term::Var("m"), Term::Var("v")});
+  Atom station("Station", {Term::Var("s"), Term::Var("lat"), Term::Var("lon"),
+                           Term::ConstStr(country)});
+  Atom after("After", {Term::Var("y"), Term::ConstInt(after_year)});
+  PSC_ASSIGN_OR_RETURN(
+      ConjunctiveQuery view,
+      ConjunctiveQuery::Create(head, {temperature, station, after}));
+  PSC_ASSIGN_OR_RETURN(const Relation intended, view.Evaluate(world.truth));
+  return DeriveSource(view, name, intended, coverage, error_rate, overclaim,
+                      /*value_column=*/3);
+}
+
+Result<SourceDescriptor> GhcnGenerator::MakeStationSource(
+    const GhcnWorld& world, const std::string& name, int64_t station_id,
+    double coverage, double error_rate) {
+  Atom head(StrCat("V_", name),
+            {Term::Var("y"), Term::Var("m"), Term::Var("v")});
+  Atom body("Temperature", {Term::ConstInt(station_id), Term::Var("y"),
+                            Term::Var("m"), Term::Var("v")});
+  PSC_ASSIGN_OR_RETURN(ConjunctiveQuery view,
+                       ConjunctiveQuery::Create(head, {body}));
+  PSC_ASSIGN_OR_RETURN(const Relation intended, view.Evaluate(world.truth));
+  return DeriveSource(view, name, intended, coverage, error_rate,
+                      /*overclaim=*/false, /*value_column=*/2);
+}
+
+Result<SourceDescriptor> GhcnGenerator::DeriveSource(
+    const ConjunctiveQuery& view, const std::string& name,
+    const Relation& intended, double coverage, double error_rate,
+    bool overclaim, size_t value_column) {
+  if (coverage < 0.0 || coverage > 1.0 || error_rate < 0.0 ||
+      error_rate > 1.0) {
+    return Status::InvalidArgument(
+        "coverage and error_rate must be within [0,1]");
+  }
+  const std::vector<Tuple> intended_list(intended.begin(), intended.end());
+  const int64_t total = static_cast<int64_t>(intended_list.size());
+  const int64_t kept_count =
+      std::clamp<int64_t>(static_cast<int64_t>(coverage * total + 0.5), 0,
+                          total);
+  const std::vector<int64_t> kept_indices =
+      rng_.SampleWithoutReplacement(total, kept_count);
+
+  std::vector<Tuple> kept;
+  kept.reserve(kept_indices.size());
+  for (const int64_t index : kept_indices) {
+    kept.push_back(intended_list[static_cast<size_t>(index)]);
+  }
+
+  const int64_t corrupt_count = std::clamp<int64_t>(
+      static_cast<int64_t>(error_rate * kept_count + 0.5), 0, kept_count);
+  Relation extension;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    Tuple tuple = kept[i];
+    if (static_cast<int64_t>(i) < corrupt_count) {
+      // Perturb the measurement until the tuple leaves the intended set
+      // (a genuinely incorrect reading).
+      PSC_CHECK(value_column < tuple.size());
+      do {
+        tuple[value_column] =
+            Value(tuple[value_column].AsInt() + rng_.UniformInt(1, 500));
+      } while (intended.count(tuple) > 0);
+    }
+    extension.insert(std::move(tuple));
+  }
+
+  // Actual measures w.r.t. the ground truth.
+  int64_t sound = 0;
+  for (const Tuple& tuple : extension) {
+    if (intended.count(tuple) > 0) ++sound;
+  }
+  const int64_t extension_size = static_cast<int64_t>(extension.size());
+  Rational actual_soundness = extension_size == 0
+                                  ? Rational::One()
+                                  : Rational(sound, extension_size);
+  Rational actual_completeness =
+      total == 0 ? Rational::One() : Rational(sound, total);
+
+  Rational claimed_soundness = actual_soundness;
+  Rational claimed_completeness = actual_completeness;
+  if (overclaim) {
+    const Rational bump(1, 4);
+    const Rational one = Rational::One();
+    claimed_soundness = actual_soundness + bump;
+    if (one < claimed_soundness) claimed_soundness = one;
+    claimed_completeness = actual_completeness + bump;
+    if (one < claimed_completeness) claimed_completeness = one;
+  }
+  return SourceDescriptor::Create(name, view, std::move(extension),
+                                  claimed_completeness, claimed_soundness);
+}
+
+}  // namespace psc

@@ -1,0 +1,94 @@
+#ifndef PSC_WORKLOAD_GHCN_H_
+#define PSC_WORKLOAD_GHCN_H_
+
+#include <string>
+#include <vector>
+
+#include "psc/relational/database.h"
+#include "psc/source/source_collection.h"
+#include "psc/util/random.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Synthetic Global Historical Climatology Network workload — the
+/// paper's motivating example (Section 1.1), substituted for the real NOAA
+/// data per DESIGN.md.
+///
+/// Global schema:
+///   Station(id, latitude, longitude, country)
+///   Temperature(station, year, month, value)   (value = tenths of °C)
+///
+/// The generator first draws a ground-truth database ("the real world"),
+/// then derives sources as noisy views of it: each source's intended
+/// content is φ(truth); its actual extension keeps a `coverage` fraction of
+/// those facts and corrupts an `error_rate` fraction of the kept ones. The
+/// claimed bounds are computed from the *actual* soundness/completeness
+/// (so the truth is a possible world) unless `overclaim` asks for an
+/// inconsistency scenario.
+struct GhcnConfig {
+  int64_t num_stations = 12;
+  std::vector<std::string> countries = {"Canada", "US", "Mexico"};
+  int64_t start_year = 1990;
+  int64_t end_year = 1991;
+  /// Mean temperature range, tenths of °C.
+  int64_t min_value = -300;
+  int64_t max_value = 350;
+};
+
+/// The generated ground truth plus its schema.
+struct GhcnWorld {
+  Database truth;
+  Schema schema;
+  /// Station ids, in order.
+  std::vector<int64_t> station_ids;
+};
+
+class GhcnGenerator {
+ public:
+  GhcnGenerator(GhcnConfig config, uint64_t seed);
+
+  /// Draws the ground-truth database: every station gets a country and
+  /// coordinates, and a temperature for every (year, month).
+  GhcnWorld GenerateTruth();
+
+  /// \brief The catalog source S₀: V₀(s,lat,lon,c) ← Station(s,lat,lon,c),
+  /// with the full (exact) station list.
+  Result<SourceDescriptor> MakeCatalogSource(const GhcnWorld& world,
+                                             const std::string& name);
+
+  /// \brief A country temperature source (the paper's S₁/S₂ shape):
+  ///   V(s,y,m,v) ← Temperature(s,y,m,v), Station(s,lat,lon,"country"),
+  ///                After(y, after_year).
+  ///
+  /// `coverage`, `error_rate` ∈ [0,1]. With `overclaim` the descriptor
+  /// claims bounds strictly above the actual measures (useful for
+  /// inconsistency experiments).
+  Result<SourceDescriptor> MakeCountrySource(
+      const GhcnWorld& world, const std::string& name,
+      const std::string& country, int64_t after_year, double coverage,
+      double error_rate, bool overclaim = false);
+
+  /// \brief A single-station source (the paper's S₃ shape):
+  ///   V(y,m,v) ← Temperature(station_id, y, m, v).
+  Result<SourceDescriptor> MakeStationSource(const GhcnWorld& world,
+                                             const std::string& name,
+                                             int64_t station_id,
+                                             double coverage,
+                                             double error_rate);
+
+ private:
+  /// Derives extension + honest bounds from an intended relation.
+  Result<SourceDescriptor> DeriveSource(const ConjunctiveQuery& view,
+                                        const std::string& name,
+                                        const Relation& intended,
+                                        double coverage, double error_rate,
+                                        bool overclaim, size_t value_column);
+
+  GhcnConfig config_;
+  Rng rng_;
+};
+
+}  // namespace psc
+
+#endif  // PSC_WORKLOAD_GHCN_H_

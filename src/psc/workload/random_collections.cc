@@ -1,0 +1,61 @@
+#include "psc/workload/random_collections.h"
+
+#include <algorithm>
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+
+Result<SourceCollection> MakeRandomIdentityCollection(
+    const RandomIdentityConfig& config, Rng* rng) {
+  PSC_CHECK(rng != nullptr);
+  if (config.num_sources < 1 || config.universe_size < 1 ||
+      config.min_extension < 0 ||
+      config.max_extension < config.min_extension ||
+      config.bound_granularity < 1) {
+    return Status::InvalidArgument("invalid random collection config");
+  }
+  std::vector<SourceDescriptor> sources;
+  for (int64_t i = 0; i < config.num_sources; ++i) {
+    const int64_t size = std::min(
+        config.universe_size,
+        rng->UniformInt(config.min_extension, config.max_extension));
+    const std::vector<int64_t> picks =
+        rng->SampleWithoutReplacement(config.universe_size, size);
+    Relation extension;
+    for (const int64_t pick : picks) extension.insert(Tuple{Value(pick)});
+    const Rational completeness(
+        rng->UniformInt(0, config.bound_granularity),
+        config.bound_granularity);
+    const Rational soundness(rng->UniformInt(0, config.bound_granularity),
+                             config.bound_granularity);
+    PSC_ASSIGN_OR_RETURN(
+        SourceDescriptor source,
+        SourceDescriptor::Create(StrCat("S", i + 1),
+                                 ConjunctiveQuery::Identity("R", 1),
+                                 std::move(extension), completeness,
+                                 soundness));
+    sources.push_back(std::move(source));
+  }
+  return SourceCollection::Create(std::move(sources));
+}
+
+HittingSetInstance MakeRandomHittingSet(int64_t universe_size,
+                                        int64_t num_subsets,
+                                        int64_t max_subset_size,
+                                        int64_t budget, Rng* rng) {
+  PSC_CHECK(rng != nullptr);
+  HittingSetInstance instance;
+  instance.universe_size = universe_size;
+  instance.budget = budget;
+  for (int64_t i = 0; i < num_subsets; ++i) {
+    const int64_t size = std::min(
+        universe_size, rng->UniformInt(1, std::max<int64_t>(
+                                              1, max_subset_size)));
+    instance.subsets.push_back(
+        rng->SampleWithoutReplacement(universe_size, size));
+  }
+  return instance;
+}
+
+}  // namespace psc

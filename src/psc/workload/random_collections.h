@@ -1,0 +1,38 @@
+#ifndef PSC_WORKLOAD_RANDOM_COLLECTIONS_H_
+#define PSC_WORKLOAD_RANDOM_COLLECTIONS_H_
+
+#include <cstdint>
+
+#include "psc/consistency/hitting_set.h"
+#include "psc/source/source_collection.h"
+#include "psc/util/random.h"
+#include "psc/util/result.h"
+
+namespace psc {
+
+/// \brief Random identity-view collections for randomized property tests
+/// and the consistency-scaling experiments (E2).
+struct RandomIdentityConfig {
+  int64_t num_sources = 3;
+  /// Universe is {0,…,universe_size−1} as unary integer facts.
+  int64_t universe_size = 5;
+  int64_t min_extension = 1;
+  int64_t max_extension = 4;
+  /// Bounds are drawn uniformly from {0, 1/q, 2/q, …, q/q}.
+  int64_t bound_granularity = 4;
+};
+
+/// Draws a random identity collection over a unary relation "R".
+Result<SourceCollection> MakeRandomIdentityCollection(
+    const RandomIdentityConfig& config, Rng* rng);
+
+/// \brief Random HITTING SET instances for the E3 reduction experiments.
+/// Subset sizes are uniform in [1, max_subset_size].
+HittingSetInstance MakeRandomHittingSet(int64_t universe_size,
+                                        int64_t num_subsets,
+                                        int64_t max_subset_size,
+                                        int64_t budget, Rng* rng);
+
+}  // namespace psc
+
+#endif  // PSC_WORKLOAD_RANDOM_COLLECTIONS_H_

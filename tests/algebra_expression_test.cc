@@ -1,0 +1,123 @@
+#include "psc/algebra/expression.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return {Value(a), Value(b)}; }
+using testing::U;
+
+std::map<std::string, ProbRelation> BaseRelations() {
+  ProbRelation r(2);
+  EXPECT_TRUE(r.Insert(T2(1, 10), 0.5).ok());
+  EXPECT_TRUE(r.Insert(T2(2, 10), 0.5).ok());
+  ProbRelation s(1);
+  EXPECT_TRUE(s.Insert(U(10), 0.5).ok());
+  std::map<std::string, ProbRelation> base;
+  base.emplace("R", std::move(r));
+  base.emplace("S", std::move(s));
+  return base;
+}
+
+TEST(ExpressionTest, BaseLeaf) {
+  auto expr = AlgebraExpr::Base("R", 2);
+  EXPECT_EQ(expr->OutputArity(), 2u);
+  EXPECT_EQ(expr->BaseRelations(), (std::set<std::string>{"R"}));
+  auto result = expr->EvalConfidence(BaseRelations());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(ExpressionTest, MissingBaseRelationIsError) {
+  auto expr = AlgebraExpr::Base("Missing", 1);
+  EXPECT_EQ(expr->EvalConfidence(BaseRelations()).status().code(),
+            StatusCode::kNotFound);
+  // Arity mismatch also surfaces.
+  auto wrong = AlgebraExpr::Base("R", 3);
+  EXPECT_EQ(wrong->EvalConfidence(BaseRelations()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExpressionTest, ComposedPlanConfidence) {
+  // π₀(σ(col1 = 10)(R)) — both R-tuples survive, project to {1}, {2}.
+  auto plan = AlgebraExpr::Project(
+      AlgebraExpr::Select(
+          AlgebraExpr::Base("R", 2),
+          {Condition::WithConstant(1, "Eq", Value(int64_t{10}))}),
+      {0});
+  EXPECT_EQ(plan->OutputArity(), 1u);
+  auto result = plan->EvalConfidence(BaseRelations());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result->ConfidenceOf(U(1)), 0.5);
+  EXPECT_DOUBLE_EQ(*result->ConfidenceOf(U(2)), 0.5);
+}
+
+TEST(ExpressionTest, ProductAndJoinPlans) {
+  auto product = AlgebraExpr::Product(AlgebraExpr::Base("R", 2),
+                                      AlgebraExpr::Base("S", 1));
+  EXPECT_EQ(product->OutputArity(), 3u);
+  auto product_result = product->EvalConfidence(BaseRelations());
+  ASSERT_TRUE(product_result.ok());
+  EXPECT_EQ(product_result->size(), 2u);
+  EXPECT_DOUBLE_EQ(*product_result->ConfidenceOf(
+                       {Value(int64_t{1}), Value(int64_t{10}),
+                        Value(int64_t{10})}),
+                   0.25);
+
+  auto join = AlgebraExpr::Join(AlgebraExpr::Base("R", 2),
+                                AlgebraExpr::Base("S", 1), {{1, 0}});
+  EXPECT_EQ(join->OutputArity(), 2u);
+  auto join_result = join->EvalConfidence(BaseRelations());
+  ASSERT_TRUE(join_result.ok());
+  EXPECT_DOUBLE_EQ(*join_result->ConfidenceOf(T2(1, 10)), 0.25);
+}
+
+TEST(ExpressionTest, UnionPlan) {
+  auto left = AlgebraExpr::Project(AlgebraExpr::Base("R", 2), {1});
+  auto combined = AlgebraExpr::Union(left, AlgebraExpr::Base("S", 1));
+  auto result = combined->EvalConfidence(BaseRelations());
+  ASSERT_TRUE(result.ok());
+  // π₁(R) gives conf(10) = 0.75; S gives 0.5 → ⊕ = 0.875.
+  EXPECT_DOUBLE_EQ(*result->ConfidenceOf(U(10)), 0.875);
+}
+
+TEST(ExpressionTest, EvalInWorldMatchesSetSemantics) {
+  Database world;
+  world.AddFact("R", T2(1, 10));
+  world.AddFact("R", T2(2, 20));
+  world.AddFact("S", U(10));
+  auto plan = AlgebraExpr::Join(AlgebraExpr::Base("R", 2),
+                                AlgebraExpr::Base("S", 1), {{1, 0}});
+  auto result = plan->EvalInWorld(world);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(*result->begin(), T2(1, 10));
+  // Absent base relations evaluate to empty, not error.
+  auto missing = AlgebraExpr::Base("Nope", 1)->EvalInWorld(world);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+}
+
+TEST(ExpressionTest, BaseRelationsCollectsAllLeaves) {
+  auto plan = AlgebraExpr::Union(
+      AlgebraExpr::Project(
+          AlgebraExpr::Product(AlgebraExpr::Base("A", 1),
+                               AlgebraExpr::Base("B", 1)),
+          {0}),
+      AlgebraExpr::Base("C", 1));
+  EXPECT_EQ(plan->BaseRelations(), (std::set<std::string>{"A", "B", "C"}));
+}
+
+TEST(ExpressionTest, ToStringRendersStructure) {
+  auto plan = AlgebraExpr::Project(
+      AlgebraExpr::Select(AlgebraExpr::Base("R", 2),
+                          {Condition::WithConstant(1, "Eq",
+                                                   Value(int64_t{10}))}),
+      {0});
+  EXPECT_EQ(plan->ToString(), "π{0}(σ{Eq($1, 10)}(R))");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,176 @@
+// Definition 5.1 operator semantics: π uses the independent-or ⊕,
+// σ preserves confidences, × multiplies.
+
+#include "psc/algebra/operators.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return {Value(a), Value(b)}; }
+using testing::U;
+
+ProbRelation Pairs() {
+  ProbRelation rel(2);
+  EXPECT_TRUE(rel.Insert(T2(1, 10), 0.5).ok());
+  EXPECT_TRUE(rel.Insert(T2(1, 20), 0.5).ok());
+  EXPECT_TRUE(rel.Insert(T2(2, 10), 0.25).ok());
+  return rel;
+}
+
+TEST(OperatorsTest, ProjectionUsesIndependentOr) {
+  auto projected = Project(Pairs(), {0});
+  ASSERT_TRUE(projected.ok());
+  // conf(1) = 1 − (1−0.5)(1−0.5) = 0.75; conf(2) = 0.25.
+  EXPECT_DOUBLE_EQ(*projected->ConfidenceOf(U(1)), 0.75);
+  EXPECT_DOUBLE_EQ(*projected->ConfidenceOf(U(2)), 0.25);
+}
+
+TEST(OperatorsTest, ProjectionCanReorderAndRepeatColumns) {
+  auto swapped = Project(Pairs(), {1, 0});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_DOUBLE_EQ(*swapped->ConfidenceOf(T2(10, 1)), 0.5);
+  auto doubled = Project(Pairs(), {0, 0});
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_DOUBLE_EQ(*doubled->ConfidenceOf(T2(1, 1)), 0.75);
+  EXPECT_FALSE(Project(Pairs(), {5}).ok());  // column out of range
+}
+
+TEST(OperatorsTest, SelectionPreservesConfidence) {
+  auto selected = Select(
+      Pairs(), {Condition::WithConstant(0, "Eq", Value(int64_t{1}))});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+  EXPECT_DOUBLE_EQ(*selected->ConfidenceOf(T2(1, 10)), 0.5);
+  EXPECT_DOUBLE_EQ(*selected->ConfidenceOf(T2(2, 10)), 0.0);
+}
+
+TEST(OperatorsTest, SelectionColumnToColumnAndBuiltins) {
+  ProbRelation rel(2);
+  ASSERT_TRUE(rel.Insert(T2(1, 1), 0.5).ok());
+  ASSERT_TRUE(rel.Insert(T2(1, 2), 0.5).ok());
+  auto diagonal = Select(rel, {Condition::WithColumn(0, "Eq", 1)});
+  ASSERT_TRUE(diagonal.ok());
+  EXPECT_EQ(diagonal->size(), 1u);
+  auto after = Select(rel, {Condition::WithConstant(1, "After",
+                                                    Value(int64_t{1}))});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);
+  EXPECT_DOUBLE_EQ(*after->ConfidenceOf(T2(1, 2)), 0.5);
+}
+
+TEST(OperatorsTest, SelectionConjunction) {
+  auto selected = Select(
+      Pairs(), {Condition::WithConstant(0, "Eq", Value(int64_t{1})),
+                Condition::WithConstant(1, "Gt", Value(int64_t{15}))});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 1u);
+  EXPECT_DOUBLE_EQ(*selected->ConfidenceOf(T2(1, 20)), 0.5);
+}
+
+TEST(OperatorsTest, SelectionErrors) {
+  EXPECT_FALSE(
+      Select(Pairs(), {Condition::WithConstant(9, "Eq", Value(int64_t{1}))})
+          .ok());
+  EXPECT_FALSE(
+      Select(Pairs(), {Condition::WithConstant(0, "Bogus", Value(int64_t{1}))})
+          .ok());
+  EXPECT_FALSE(Select(Pairs(), {Condition::WithColumn(0, "Eq", 9)}).ok());
+}
+
+TEST(OperatorsTest, CrossProductMultiplies) {
+  ProbRelation left(1);
+  ASSERT_TRUE(left.Insert(U(1), 0.5).ok());
+  ProbRelation right(1);
+  ASSERT_TRUE(right.Insert(U(2), 0.5).ok());
+  ASSERT_TRUE(right.Insert(U(3), 1.0).ok());
+  auto product = CrossProduct(left, right);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->arity(), 2u);
+  EXPECT_EQ(product->size(), 2u);
+  EXPECT_DOUBLE_EQ(*product->ConfidenceOf(T2(1, 2)), 0.25);
+  EXPECT_DOUBLE_EQ(*product->ConfidenceOf(T2(1, 3)), 0.5);
+}
+
+TEST(OperatorsTest, EquiJoinCombinesAndProjectsJoinColumns) {
+  ProbRelation left(2);
+  ASSERT_TRUE(left.Insert(T2(1, 10), 0.5).ok());
+  ASSERT_TRUE(left.Insert(T2(2, 20), 1.0).ok());
+  ProbRelation right(2);
+  ASSERT_TRUE(right.Insert(T2(10, 100), 0.5).ok());
+  ASSERT_TRUE(right.Insert(T2(30, 300), 1.0).ok());
+  auto joined = EquiJoin(left, right, {{1, 0}});
+  ASSERT_TRUE(joined.ok());
+  // Output columns: left.0, left.1, right.1 — join column deduplicated.
+  EXPECT_EQ(joined->arity(), 3u);
+  ASSERT_EQ(joined->size(), 1u);
+  const auto& [tuple, confidence] = *joined->entries().begin();
+  EXPECT_EQ(tuple, (Tuple{Value(int64_t{1}), Value(int64_t{10}),
+                          Value(int64_t{100})}));
+  EXPECT_DOUBLE_EQ(confidence, 0.25);
+}
+
+TEST(OperatorsTest, UnionUsesIndependentOr) {
+  ProbRelation left(1);
+  ASSERT_TRUE(left.Insert(U(1), 0.5).ok());
+  ASSERT_TRUE(left.Insert(U(2), 0.5).ok());
+  ProbRelation right(1);
+  ASSERT_TRUE(right.Insert(U(2), 0.5).ok());
+  auto combined = Union(left, right);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_DOUBLE_EQ(*combined->ConfidenceOf(U(1)), 0.5);
+  EXPECT_DOUBLE_EQ(*combined->ConfidenceOf(U(2)), 0.75);
+  ProbRelation mismatched(2);
+  EXPECT_FALSE(Union(left, mismatched).ok());
+}
+
+TEST(OperatorsTest, DeterministicCounterpartsAgreeOnSupport) {
+  // Any Definition 5.1 operator applied to confidence-1 inputs must give
+  // exactly the deterministic result with confidence 1.
+  Relation base = {T2(1, 10), T2(1, 20), T2(2, 10)};
+  const ProbRelation lifted = ProbRelation::FromRelation(base, 2);
+
+  auto prob_proj = Project(lifted, {0});
+  auto det_proj = ProjectRelation(base, 2, {0});
+  ASSERT_TRUE(prob_proj.ok() && det_proj.ok());
+  EXPECT_EQ(prob_proj->size(), det_proj->size());
+  for (const Tuple& tuple : *det_proj) {
+    EXPECT_DOUBLE_EQ(*prob_proj->ConfidenceOf(tuple), 1.0);
+  }
+
+  const std::vector<Condition> conds = {
+      Condition::WithConstant(1, "Eq", Value(int64_t{10}))};
+  auto prob_sel = Select(lifted, conds);
+  auto det_sel = SelectRelation(base, conds);
+  ASSERT_TRUE(prob_sel.ok() && det_sel.ok());
+  EXPECT_EQ(prob_sel->size(), det_sel->size());
+
+  const Relation other = {U(7)};
+  auto prob_prod = CrossProduct(lifted, ProbRelation::FromRelation(other, 1));
+  const Relation det_prod = CrossProductRelation(base, other);
+  ASSERT_TRUE(prob_prod.ok());
+  EXPECT_EQ(prob_prod->size(), det_prod.size());
+}
+
+TEST(OperatorsTest, DeterministicJoinAndUnion) {
+  Relation left = {T2(1, 10), T2(2, 20)};
+  Relation right = {T2(10, 100)};
+  auto joined = EquiJoinRelation(left, 2, right, 2, {{1, 0}});
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 1u);
+  EXPECT_EQ(*joined->begin(), (Tuple{Value(int64_t{1}), Value(int64_t{10}),
+                                     Value(int64_t{100})}));
+  const Relation united = UnionRelation({U(1)}, {U(1), U(2)});
+  EXPECT_EQ(united.size(), 2u);
+}
+
+TEST(ConditionTest, ToStringReadable) {
+  EXPECT_EQ(Condition::WithConstant(0, "Eq", Value("x")).ToString(),
+            "Eq($0, \"x\")");
+  EXPECT_EQ(Condition::WithColumn(1, "Lt", 2).ToString(), "Lt($1, $2)");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,142 @@
+#include "psc/algebra/plan_compiler.h"
+
+#include "gtest/gtest.h"
+#include "psc/core/query_system.h"
+#include "psc/workload/ghcn.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+/// Compiled plan and original query must agree on a database.
+void ExpectPlanMatchesQuery(const ConjunctiveQuery& query,
+                            const Database& db) {
+  auto plan = CompileQuery(query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto via_plan = (*plan)->EvalInWorld(db);
+  auto via_query = query.Evaluate(db);
+  ASSERT_TRUE(via_plan.ok() && via_query.ok());
+  EXPECT_EQ(*via_plan, *via_query)
+      << query.ToString() << "\nplan: " << (*plan)->ToString();
+}
+
+Database SampleDb() {
+  Database db;
+  db.AddFact("E", {Value(int64_t{1}), Value(int64_t{2})});
+  db.AddFact("E", {Value(int64_t{2}), Value(int64_t{3})});
+  db.AddFact("E", {Value(int64_t{3}), Value(int64_t{3})});
+  db.AddFact("N", {Value(int64_t{2})});
+  db.AddFact("N", {Value(int64_t{3})});
+  return db;
+}
+
+TEST(PlanCompilerTest, SingleAtomScan) {
+  ExpectPlanMatchesQuery(testing::Q("V(x, y) <- E(x, y)"), SampleDb());
+}
+
+TEST(PlanCompilerTest, ProjectionAndReordering) {
+  ExpectPlanMatchesQuery(testing::Q("V(y) <- E(x, y)"), SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(y, x) <- E(x, y)"), SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(x, x) <- E(x, y)"), SampleDb());
+}
+
+TEST(PlanCompilerTest, EmbeddedConstants) {
+  ExpectPlanMatchesQuery(testing::Q("V(y) <- E(2, y)"), SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(y) <- E(9, y)"), SampleDb());
+}
+
+TEST(PlanCompilerTest, RepeatedVariablesWithinAtom) {
+  ExpectPlanMatchesQuery(testing::Q("V(x) <- E(x, x)"), SampleDb());
+}
+
+TEST(PlanCompilerTest, JoinAcrossAtoms) {
+  ExpectPlanMatchesQuery(testing::Q("V(x, z) <- E(x, y), E(y, z)"),
+                         SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(x) <- E(x, y), N(y)"), SampleDb());
+  ExpectPlanMatchesQuery(
+      testing::Q("V(x) <- E(x, y), E(y, z), N(z)"), SampleDb());
+}
+
+TEST(PlanCompilerTest, BuiltinsAllForms) {
+  // var-const, const-var (swapped), var-var, const-const.
+  ExpectPlanMatchesQuery(testing::Q("V(x, y) <- E(x, y), After(y, 2)"),
+                         SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(x, y) <- E(x, y), Before(2, y)"),
+                         SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(x, y) <- E(x, y), Lt(x, y)"),
+                         SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(x, y) <- E(x, y), Eq(1, 1)"),
+                         SampleDb());
+  ExpectPlanMatchesQuery(testing::Q("V(x, y) <- E(x, y), Eq(1, 2)"),
+                         SampleDb());  // always-false: empty result
+}
+
+TEST(PlanCompilerTest, PaperClimatologyView) {
+  GhcnConfig config;
+  config.num_stations = 6;
+  GhcnGenerator generator(config, 5);
+  const GhcnWorld world = generator.GenerateTruth();
+  const ConjunctiveQuery query = testing::Q(
+      "V(s, y, m, v) <- Temperature(s, y, m, v), "
+      "Station(s, lat, lon, \"Canada\"), After(y, 1900)");
+  ExpectPlanMatchesQuery(query, world.truth);
+}
+
+TEST(PlanCompilerTest, RandomizedAgreementOnRandomDatabases) {
+  Rng rng(77);
+  const std::vector<ConjunctiveQuery> queries = {
+      testing::Q("V(x) <- E(x, y), N(y), After(x, 1)"),
+      testing::Q("V(x, z) <- E(x, y), E(y, z), Ne(x, z)"),
+      testing::Q("V(y) <- E(y, y), N(y)"),
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    Database db;
+    for (int i = 0; i < 8; ++i) {
+      db.AddFact("E", {Value(rng.UniformInt(0, 4)),
+                       Value(rng.UniformInt(0, 4))});
+      if (rng.Bernoulli(0.6)) {
+        db.AddFact("N", {Value(rng.UniformInt(0, 4))});
+      }
+    }
+    for (const ConjunctiveQuery& query : queries) {
+      ExpectPlanMatchesQuery(query, db);
+    }
+  }
+}
+
+TEST(PlanCompilerTest, HeadConstantUnsupported) {
+  auto query = ConjunctiveQuery::Create(
+      Atom("V", {Term::ConstInt(1), Term::Var("y")}),
+      {Atom("E", {Term::ConstInt(1), Term::Var("y")})});
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(CompileQuery(*query).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(PlanCompilerTest, FacadeRunsConjunctiveQueriesEndToEnd) {
+  // Identity collection; CQ overloads dispatch through the compiler.
+  Relation v1 = {testing::U(0), testing::U(1)};
+  auto source = SourceDescriptor::Create(
+      "S", ConjunctiveQuery::Identity("R", 1), v1, Rational(1, 2),
+      Rational(1, 2));
+  ASSERT_TRUE(source.ok());
+  auto collection = SourceCollection::Create({*source});
+  ASSERT_TRUE(collection.ok());
+  auto system = QuerySystem::Create(*collection);
+  ASSERT_TRUE(system.ok());
+  const ConjunctiveQuery query = testing::Q("Ans(x) <- R(x), Le(x, 1)");
+  auto exact = system->AnswerExact(query, testing::IntDomain(3));
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact->method, "exact-enumeration");
+  EXPECT_GT(exact->possible.size(), 0u);
+  auto compositional =
+      system->AnswerCompositional(query, testing::IntDomain(3));
+  ASSERT_TRUE(compositional.ok());
+  for (const auto& [tuple, confidence] : exact->confidences.entries()) {
+    EXPECT_NEAR(*compositional->confidences.ConfidenceOf(tuple), confidence,
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,82 @@
+#include "psc/algebra/prob_relation.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::U;
+
+TEST(ProbRelationTest, InsertAndLookup) {
+  ProbRelation rel(1);
+  ASSERT_TRUE(rel.Insert(U(1), 0.5).ok());
+  ASSERT_TRUE(rel.Insert(U(2), 1.0).ok());
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_DOUBLE_EQ(*rel.ConfidenceOf(U(1)), 0.5);
+  EXPECT_DOUBLE_EQ(*rel.ConfidenceOf(U(2)), 1.0);
+  EXPECT_DOUBLE_EQ(*rel.ConfidenceOf(U(3)), 0.0);  // absent = 0
+}
+
+TEST(ProbRelationTest, ZeroConfidenceNotStored) {
+  ProbRelation rel(1);
+  ASSERT_TRUE(rel.Insert(U(1), 0.0).ok());
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(ProbRelationTest, ValidationErrors) {
+  ProbRelation rel(2);
+  EXPECT_EQ(rel.Insert(U(1), 0.5).code(),
+            StatusCode::kInvalidArgument);  // arity
+  EXPECT_EQ(rel.Insert({Value(int64_t{1}), Value(int64_t{2})}, 1.5).code(),
+            StatusCode::kInvalidArgument);  // range
+  EXPECT_EQ(rel.Insert({Value(int64_t{1}), Value(int64_t{2})}, -0.1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rel.ConfidenceOf(U(1)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProbRelationTest, DuplicateInsertRejectedMergeCombines) {
+  ProbRelation rel(1);
+  ASSERT_TRUE(rel.Insert(U(1), 0.5).ok());
+  EXPECT_EQ(rel.Insert(U(1), 0.5).code(), StatusCode::kInvalidArgument);
+  // ⊕: 1 − (1−0.5)(1−0.5) = 0.75.
+  ASSERT_TRUE(rel.Merge(U(1), 0.5).ok());
+  EXPECT_DOUBLE_EQ(*rel.ConfidenceOf(U(1)), 0.75);
+  // Merging into an absent tuple behaves like insert.
+  ASSERT_TRUE(rel.Merge(U(2), 0.25).ok());
+  EXPECT_DOUBLE_EQ(*rel.ConfidenceOf(U(2)), 0.25);
+}
+
+TEST(ProbRelationTest, MergeWithCertainTupleStaysCertain) {
+  ProbRelation rel(1);
+  ASSERT_TRUE(rel.Insert(U(1), 1.0).ok());
+  ASSERT_TRUE(rel.Merge(U(1), 0.3).ok());
+  EXPECT_DOUBLE_EQ(*rel.ConfidenceOf(U(1)), 1.0);
+}
+
+TEST(ProbRelationTest, ThresholdSelection) {
+  ProbRelation rel(1);
+  ASSERT_TRUE(rel.Insert(U(1), 1.0).ok());
+  ASSERT_TRUE(rel.Insert(U(2), 0.5).ok());
+  ASSERT_TRUE(rel.Insert(U(3), 0.2).ok());
+  EXPECT_EQ(rel.TuplesWithConfidenceAtLeast(1.0).size(), 1u);
+  EXPECT_EQ(rel.TuplesWithConfidenceAtLeast(0.5).size(), 2u);
+  EXPECT_EQ(rel.TuplesWithConfidenceAtLeast(0.0).size(), 3u);
+}
+
+TEST(ProbRelationTest, FromRelationLiftsWithConfidenceOne) {
+  Relation base = {U(1), U(2)};
+  const ProbRelation lifted = ProbRelation::FromRelation(base, 1);
+  EXPECT_EQ(lifted.size(), 2u);
+  EXPECT_DOUBLE_EQ(*lifted.ConfidenceOf(U(1)), 1.0);
+}
+
+TEST(ProbRelationTest, ToStringShowsEntries) {
+  ProbRelation rel(1);
+  ASSERT_TRUE(rel.Insert(U(1), 0.5).ok());
+  EXPECT_EQ(rel.ToString(), "(1) : 0.5");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,83 @@
+#include "psc/consistency/diagnostics.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+
+/// S1 and S2 contradict (exact on different sets); S3 is harmless.
+SourceCollection ConflictedCollection() {
+  return MakeUnaryCollection({MakeUnarySource("S1", {0}, "1", "1"),
+                              MakeUnarySource("S2", {1}, "1", "1"),
+                              MakeUnarySource("S3", {0, 1}, "0", "0")});
+}
+
+TEST(DiagnosticsTest, BlameIdentifiesTheConflictPair) {
+  GeneralConsistencyChecker checker;
+  auto blames = BlameSources(ConflictedCollection(), checker);
+  ASSERT_TRUE(blames.ok()) << blames.status().ToString();
+  ASSERT_EQ(blames->size(), 3u);
+  // Removing S1 or S2 restores consistency; removing S3 does not.
+  EXPECT_EQ((*blames)[0].verdict_without, ConsistencyVerdict::kConsistent);
+  EXPECT_EQ((*blames)[1].verdict_without, ConsistencyVerdict::kConsistent);
+  EXPECT_EQ((*blames)[2].verdict_without, ConsistencyVerdict::kInconsistent);
+  EXPECT_EQ((*blames)[2].source_name, "S3");
+}
+
+TEST(DiagnosticsTest, MaximalConsistentSubcollections) {
+  GeneralConsistencyChecker checker;
+  auto maximal = MaximalConsistentSubcollections(ConflictedCollection(),
+                                                 checker);
+  ASSERT_TRUE(maximal.ok());
+  // Exactly {S1, S3} and {S2, S3}.
+  ASSERT_EQ(maximal->size(), 2u);
+  EXPECT_EQ((*maximal)[0], (std::vector<std::string>{"S1", "S3"}));
+  EXPECT_EQ((*maximal)[1], (std::vector<std::string>{"S2", "S3"}));
+}
+
+TEST(DiagnosticsTest, ConsistentCollectionIsItsOwnMaximum) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")});
+  GeneralConsistencyChecker checker;
+  auto maximal = MaximalConsistentSubcollections(collection, checker);
+  ASSERT_TRUE(maximal.ok());
+  ASSERT_EQ(maximal->size(), 1u);
+  EXPECT_EQ((*maximal)[0], (std::vector<std::string>{"S1", "S2"}));
+}
+
+TEST(DiagnosticsTest, RelaxationOfConsistentCollectionIsOne) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S", {0}, "1", "1")});
+  GeneralConsistencyChecker checker;
+  auto lambda = MaxUniformRelaxation(collection, checker);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_EQ(*lambda, Rational::One());
+}
+
+TEST(DiagnosticsTest, RelaxationFindsBreakingPoint) {
+  // S1 exact on {0}, S2 exact on {1}: scaling both bounds by λ, the
+  // collection becomes consistent once soundness/completeness thresholds
+  // drop below the contradiction. With singleton extensions the soundness
+  // threshold ⌈λ·1⌉ stays 1 for any λ > 0, and completeness λ ≤ 1/2
+  // admits D = {0,1}. So the maximum consistent λ is 1/2.
+  GeneralConsistencyChecker checker;
+  auto lambda = MaxUniformRelaxation(
+      MakeUnaryCollection({MakeUnarySource("S1", {0}, "1", "1"),
+                           MakeUnarySource("S2", {1}, "1", "1")}),
+      checker, /*precision=*/64);
+  ASSERT_TRUE(lambda.ok()) << lambda.status().ToString();
+  EXPECT_EQ(*lambda, Rational(1, 2));
+}
+
+TEST(DiagnosticsTest, RelaxationPrecisionValidated) {
+  GeneralConsistencyChecker checker;
+  EXPECT_FALSE(MaxUniformRelaxation(ConflictedCollection(), checker, 0).ok());
+}
+
+}  // namespace
+}  // namespace psc

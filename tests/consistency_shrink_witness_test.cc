@@ -1,0 +1,135 @@
+// Lemma 3.1: every possible world contains a possible sub-world of size
+// at most maxᵢ|body(φᵢ)|·Σᵢ|vᵢ|, constructible from witness valuations.
+
+#include "psc/consistency/shrink_witness.h"
+
+#include "gtest/gtest.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/workload/ghcn.h"
+#include "psc/workload/random_collections.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+using testing::U;
+
+void ExpectLemma31(const SourceCollection& collection,
+                   const Database& world) {
+  auto shrunk = ShrinkWitness(collection, world);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_TRUE(shrunk->IsSubsetOf(world));
+  EXPECT_LE(shrunk->size(), collection.WitnessSizeBound());
+  auto possible = collection.IsPossibleWorld(*shrunk);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_TRUE(*possible);
+}
+
+TEST(ShrinkWitnessTest, RejectsNonWorlds) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S", {0}, "1", "1")});
+  Database not_a_world;
+  not_a_world.AddFact("R", U(9));
+  EXPECT_EQ(ShrinkWitness(collection, not_a_world).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShrinkWitnessTest, IdentityWorldsShrinkToSoundCore) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1}, "1/3", "1/2")});
+  // G = {0, 1, 2}: soundness 1, completeness 2/3 — a bloated world.
+  Database world;
+  world.AddFact("R", U(0));
+  world.AddFact("R", U(1));
+  world.AddFact("R", U(2));
+  ExpectLemma31(collection, world);
+  auto shrunk = ShrinkWitness(collection, world);
+  ASSERT_TRUE(shrunk.ok());
+  // Only claimed facts survive: the unclaimed R(2) contributes to no
+  // witness valuation.
+  EXPECT_EQ(*shrunk, [] {
+    Database expected;
+    expected.AddFact("R", U(0));
+    expected.AddFact("R", U(1));
+    return expected;
+  }());
+}
+
+TEST(ShrinkWitnessTest, EveryBruteForcedWorldShrinks) {
+  Rng rng(606);
+  RandomIdentityConfig config;
+  config.num_sources = 2;
+  config.universe_size = 4;
+  config.min_extension = 1;
+  config.max_extension = 3;
+  int worlds_checked = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    BruteForceWorldEnumerator enumerator(&*collection, IntDomain(4));
+    ASSERT_TRUE(enumerator
+                    .ForEachPossibleWorld([&](const Database& world) {
+                      ExpectLemma31(*collection, world);
+                      ++worlds_checked;
+                      return true;
+                    })
+                    .ok());
+  }
+  EXPECT_GT(worlds_checked, 0);
+}
+
+TEST(ShrinkWitnessTest, GhcnTruthShrinksBelowBound) {
+  // The ground truth is large (hundreds of readings); the lemma bound is
+  // maxᵢ|body|·Σ|vᵢ|, and the construction must land under it.
+  GhcnConfig config;
+  config.num_stations = 9;
+  config.start_year = 1990;
+  config.end_year = 1991;
+  GhcnGenerator generator(config, 12);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto s0 = generator.MakeCatalogSource(world, "S0");
+  auto s1 = generator.MakeCountrySource(world, "S1", "Canada", 1900, 0.4,
+                                        0.0);
+  auto s2 = generator.MakeCountrySource(world, "S2", "US", 1900, 0.3, 0.0);
+  ASSERT_TRUE(s0.ok() && s1.ok() && s2.ok());
+  auto collection = SourceCollection::Create({*s0, *s1, *s2});
+  ASSERT_TRUE(collection.ok());
+  ASSERT_TRUE(*collection->IsPossibleWorld(world.truth));
+
+  auto shrunk = ShrinkWitness(*collection, world.truth);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_TRUE(shrunk->IsSubsetOf(world.truth));
+  EXPECT_LE(shrunk->size(), collection->WitnessSizeBound());
+  EXPECT_LT(shrunk->size(), world.truth.size());
+  EXPECT_TRUE(*collection->IsPossibleWorld(*shrunk));
+}
+
+TEST(ShrinkWitnessTest, JoinViewKeepsWitnessBodies) {
+  // V(x) ← E(x, y), N(y) with a sound claim {0}: shrinking a bloated
+  // world must keep one E(0, y) + N(y) pair.
+  auto view = testing::Q("V(x) <- E(x, y), N(y)");
+  auto source = SourceDescriptor::Create("J", view, {U(0)},
+                                         Rational::Zero(), Rational::One());
+  ASSERT_TRUE(source.ok());
+  auto collection = SourceCollection::Create({*source});
+  ASSERT_TRUE(collection.ok());
+  Database world;
+  world.AddFact("E", {Value(int64_t{0}), Value(int64_t{5})});
+  world.AddFact("E", {Value(int64_t{0}), Value(int64_t{6})});
+  world.AddFact("E", {Value(int64_t{7}), Value(int64_t{8})});
+  world.AddFact("N", {Value(int64_t{5})});
+  world.AddFact("N", {Value(int64_t{6})});
+  ASSERT_TRUE(*collection->IsPossibleWorld(world));
+  auto shrunk = ShrinkWitness(*collection, world);
+  ASSERT_TRUE(shrunk.ok());
+  // One body instantiation: exactly 2 facts, E(0,y) and N(y).
+  EXPECT_EQ(shrunk->size(), 2u);
+  EXPECT_EQ(shrunk->GetRelation("E").size(), 1u);
+  EXPECT_EQ(shrunk->GetRelation("N").size(), 1u);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,133 @@
+// Theorem 5.1: confidence_Q(t) = conf_Q(t), where conf_Q is the
+// Definition 5.1 compositional computation. The proof is "by structural
+// induction using standard probability laws", which requires the combined
+// events to be independent. These tests verify:
+//   * exact agreement on selections (σ never combines events),
+//   * exact agreement on projections/products whenever the base facts are
+//     genuinely independent (uniform unconstrained collections),
+//   * and the *documented deviation* when events are correlated — the
+//     honest caveat quantified by experiment E5.
+
+#include "gtest/gtest.h"
+#include "psc/core/query_system.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+using testing::U;
+
+Tuple T2(int64_t a, int64_t b) { return {Value(a), Value(b)}; }
+
+/// A source collection over the *binary* relation R2 whose bounds are 0:
+/// poss(S) = all subsets of dom², every base fact an independent fair coin.
+QuerySystem IndependentBinarySystem() {
+  Relation extension = {T2(0, 0)};
+  auto source = SourceDescriptor::Create(
+      "S", ConjunctiveQuery::Identity("R2", 2), extension, Rational::Zero(),
+      Rational::Zero());
+  EXPECT_TRUE(source.ok());
+  auto collection = SourceCollection::Create({*source});
+  EXPECT_TRUE(collection.ok());
+  auto system = QuerySystem::Create(*collection);
+  EXPECT_TRUE(system.ok());
+  return std::move(system).ValueOrDie();
+}
+
+TEST(Theorem51Test, SelectionAlwaysAgrees) {
+  // Correlated worlds (Example 5.1), but σ only filters.
+  auto system = QuerySystem::Create(
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")}));
+  ASSERT_TRUE(system.ok());
+  auto plan = AlgebraExpr::Select(
+      AlgebraExpr::Base("R", 1),
+      {Condition::WithConstant(0, "Le", Value(int64_t{1}))});
+  const std::vector<Value> domain = IntDomain(4);
+  auto exact = system->AnswerExact(plan, domain);
+  auto compositional = system->AnswerCompositional(plan, domain);
+  ASSERT_TRUE(exact.ok() && compositional.ok());
+  EXPECT_EQ(exact->confidences.size(), compositional->confidences.size());
+  for (const auto& [tuple, confidence] : exact->confidences.entries()) {
+    EXPECT_NEAR(*compositional->confidences.ConfidenceOf(tuple), confidence,
+                1e-12);
+  }
+}
+
+TEST(Theorem51Test, ProjectionAgreesUnderIndependence) {
+  const QuerySystem system = IndependentBinarySystem();
+  const std::vector<Value> domain = IntDomain(2);  // 4 facts, 16 worlds
+  auto plan = AlgebraExpr::Project(AlgebraExpr::Base("R2", 2), {0});
+  auto exact = system.AnswerExact(plan, domain);
+  auto compositional = system.AnswerCompositional(plan, domain);
+  ASSERT_TRUE(exact.ok() && compositional.ok())
+      << exact.status().ToString() << compositional.status().ToString();
+  // conf(a) = 1 − (1/2)² = 3/4 on both sides.
+  for (int64_t a = 0; a < 2; ++a) {
+    EXPECT_NEAR(*exact->confidences.ConfidenceOf(U(a)), 0.75, 1e-12);
+    EXPECT_NEAR(*compositional->confidences.ConfidenceOf(U(a)), 0.75, 1e-12);
+  }
+}
+
+TEST(Theorem51Test, ProductAgreesOnDisjointSelections) {
+  const QuerySystem system = IndependentBinarySystem();
+  const std::vector<Value> domain = IntDomain(2);
+  // σ(col0 = 0)(R2) × σ(col0 = 1)(R2): disjoint supports → independent.
+  auto left = AlgebraExpr::Select(
+      AlgebraExpr::Base("R2", 2),
+      {Condition::WithConstant(0, "Eq", Value(int64_t{0}))});
+  auto right = AlgebraExpr::Select(
+      AlgebraExpr::Base("R2", 2),
+      {Condition::WithConstant(0, "Eq", Value(int64_t{1}))});
+  auto plan = AlgebraExpr::Product(left, right);
+  auto exact = system.AnswerExact(plan, domain);
+  auto compositional = system.AnswerCompositional(plan, domain);
+  ASSERT_TRUE(exact.ok() && compositional.ok());
+  for (const auto& [tuple, confidence] : exact->confidences.entries()) {
+    EXPECT_NEAR(*compositional->confidences.ConfidenceOf(tuple), confidence,
+                1e-12)
+        << TupleToString(tuple);
+  }
+}
+
+TEST(Theorem51Test, SelfProductDeviationIsTheDocumentedCaveat) {
+  // Q = π₀(R × R): exactly Q(D) = R(D) whenever R(D) ≠ ∅, so the exact
+  // confidence of t equals conf(t) here. The compositional computation
+  // treats the two R copies as independent and overestimates. This is the
+  // independence caveat of Theorem 5.1 (measured at scale by E5).
+  const QuerySystem system = IndependentBinarySystem();
+  const std::vector<Value> domain = IntDomain(2);
+  auto plan = AlgebraExpr::Project(
+      AlgebraExpr::Product(AlgebraExpr::Base("R2", 2),
+                           AlgebraExpr::Base("R2", 2)),
+      {0, 1});
+  auto exact = system.AnswerExact(plan, domain);
+  auto compositional = system.AnswerCompositional(plan, domain);
+  ASSERT_TRUE(exact.ok() && compositional.ok());
+  const double exact_conf = *exact->confidences.ConfidenceOf(T2(0, 0));
+  const double comp_conf =
+      *compositional->confidences.ConfidenceOf(T2(0, 0));
+  EXPECT_NEAR(exact_conf, 0.5, 1e-12);  // = conf(R2(0,0))
+  EXPECT_GT(comp_conf, exact_conf + 1e-6);
+  EXPECT_LE(comp_conf, 1.0);
+}
+
+TEST(Theorem51Test, CompositionalCertainImpliesExactCertain) {
+  // With an exact source, compositional confidence 1 facts are certain.
+  auto system = QuerySystem::Create(
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1}, "1", "1")}));
+  ASSERT_TRUE(system.ok());
+  const std::vector<Value> domain = IntDomain(3);
+  auto plan = AlgebraExpr::Base("R", 1);
+  auto exact = system->AnswerExact(plan, domain);
+  auto compositional = system->AnswerCompositional(plan, domain);
+  ASSERT_TRUE(exact.ok() && compositional.ok());
+  EXPECT_EQ(exact->certain, compositional->certain);
+  EXPECT_EQ(exact->possible, compositional->possible);
+}
+
+}  // namespace
+}  // namespace psc

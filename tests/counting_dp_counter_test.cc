@@ -1,0 +1,109 @@
+#include "psc/counting/dp_counter.h"
+
+#include "gtest/gtest.h"
+#include "psc/counting/model_counter.h"
+#include "psc/util/combinatorics.h"
+#include "psc/workload/random_collections.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+
+void ExpectCountersAgree(const SourceCollection& collection,
+                         const std::vector<Value>& domain) {
+  auto instance = IdentityInstance::Create(collection, domain);
+  ASSERT_TRUE(instance.ok());
+  BinomialTable binomials;
+  SignatureCounter shape_counter(&*instance, &binomials);
+  auto shape_outcome = shape_counter.Count();
+  ASSERT_TRUE(shape_outcome.ok());
+  DpCounter dp_counter(&*instance);
+  auto dp_outcome = dp_counter.Count();
+  ASSERT_TRUE(dp_outcome.ok()) << dp_outcome.status().ToString();
+  EXPECT_EQ(dp_outcome->world_count, shape_outcome->world_count)
+      << collection.ToString();
+  ASSERT_EQ(dp_outcome->worlds_containing.size(),
+            shape_outcome->worlds_containing.size());
+  for (size_t g = 0; g < dp_outcome->worlds_containing.size(); ++g) {
+    EXPECT_EQ(dp_outcome->worlds_containing[g],
+              shape_outcome->worlds_containing[g])
+        << "group " << g << "\n" << collection.ToString();
+  }
+}
+
+TEST(DpCounterTest, AgreesOnExampleCollection) {
+  ExpectCountersAgree(
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")}),
+      IntDomain(6));
+}
+
+TEST(DpCounterTest, AgreesOnExactAndLooseMix) {
+  ExpectCountersAgree(
+      MakeUnaryCollection({MakeUnarySource("S1", {0}, "1", "1"),
+                           MakeUnarySource("S2", {0, 1, 2}, "1/3", "1/3")}),
+      IntDomain(5));
+}
+
+TEST(DpCounterTest, AgreesOnInconsistentCollection) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S1", {0}, "1", "1"),
+                           MakeUnarySource("S2", {1}, "1", "1")});
+  auto instance = IdentityInstance::CreateOverExtensions(collection);
+  ASSERT_TRUE(instance.ok());
+  DpCounter counter(&*instance);
+  auto outcome = counter.Count();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->world_count.IsZero());
+}
+
+TEST(DpCounterTest, RandomizedAgreement) {
+  Rng rng(4242);
+  RandomIdentityConfig config;
+  config.num_sources = 3;
+  config.universe_size = 4;
+  config.min_extension = 1;
+  config.max_extension = 4;
+  for (int trial = 0; trial < 40; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    ExpectCountersAgree(*collection, IntDomain(5));
+  }
+}
+
+TEST(DpCounterTest, Example51ClosedFormAtScale) {
+  // The DP's state space is O(k₁·k₂·N): m = 20000 runs in milliseconds
+  // where shape enumeration takes seconds.
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")});
+  const int64_t m = 20000;
+  auto instance = IdentityInstance::Create(collection, IntDomain(3 + m));
+  ASSERT_TRUE(instance.ok());
+  DpCounter counter(&*instance);
+  auto outcome = counter.Count(uint64_t{1} << 24);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->world_count.ToUint64(),
+            static_cast<uint64_t>(2 * m + 5));
+  auto group_b = instance->GroupIndexOf(testing::U(1));
+  ASSERT_TRUE(group_b.ok());
+  EXPECT_EQ(outcome->worlds_containing[*group_b].ToUint64(),
+            static_cast<uint64_t>(2 * m + 4));
+}
+
+TEST(DpCounterTest, StateBudgetEnforced) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1, 2}, "1/2", "1/2")});
+  auto instance = IdentityInstance::Create(collection, IntDomain(10));
+  ASSERT_TRUE(instance.ok());
+  DpCounter counter(&*instance);
+  EXPECT_EQ(counter.Count(/*max_states=*/1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace psc

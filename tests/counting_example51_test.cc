@@ -1,0 +1,131 @@
+// Reproduction of Example 5.1 of the paper: two sources
+//   S1 = ⟨Id_R, {R(a), R(b)}, 0.5, 0.5⟩
+//   S2 = ⟨Id_R, {R(b), R(c)}, 0.5, 0.5⟩
+// over dom = {a, b, c, d₁, …, d_m}.
+//
+// The paper reports confidence(R(b)) = (2m+2)/(2m+3),
+// confidence(R(a)) = confidence(R(c)) = (m+2)/(2m+3) and
+// confidence(R(dᵢ)) = 2/(2m+3). Careful re-derivation (confirmed here by
+// three independent implementations: the signature counter, the 2^N
+// linear-system enumeration, and the measure-based brute-force world
+// enumerator) gives |poss(S)| = 2m+5 with
+//   confidence(R(b))  = (2m+4)/(2m+5)
+//   confidence(R(a))  = confidence(R(c)) = (m+3)/(2m+5)
+//   confidence(R(dᵢ)) = 2/(2m+5),
+// i.e. the paper's closed forms miss the two worlds {a,b} and {b,c}
+// (both satisfy every ≥-bound). The asymptotic behaviour the paper
+// emphasises — conf(b) → 1, conf(a) = conf(c) → 1/2, conf(dᵢ) → 0 —
+// is identical. EXPERIMENTS.md E1 records this discrepancy.
+
+#include "gtest/gtest.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/counting/confidence.h"
+#include "psc/counting/linear_system.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+
+// a = 0, b = 1, c = 2, d_i = 3 … m+2.
+SourceCollection Example51Collection() {
+  return MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                              MakeUnarySource("S2", {1, 2}, "1/2", "1/2")});
+}
+
+std::vector<Value> Example51Domain(int64_t m) {
+  return testing::IntDomain(3 + m);
+}
+
+class Example51Test : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(Example51Test, CounterMatchesDerivedClosedForms) {
+  const int64_t m = GetParam();
+  auto instance = IdentityInstance::Create(Example51Collection(),
+                                           Example51Domain(m));
+  ASSERT_TRUE(instance.ok());
+  auto table = ComputeBaseFactConfidences(*instance);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+  EXPECT_EQ(table->world_count.ToUint64(),
+            static_cast<uint64_t>(2 * m + 5));
+
+  const double denom = static_cast<double>(2 * m + 5);
+  auto conf = [&](int64_t v) {
+    auto c = table->ConfidenceOf(testing::U(v));
+    EXPECT_TRUE(c.ok());
+    return *c;
+  };
+  EXPECT_NEAR(conf(0), (m + 3) / denom, 1e-12);          // a
+  EXPECT_NEAR(conf(1), (2 * m + 4) / denom, 1e-12);      // b
+  EXPECT_NEAR(conf(2), (m + 3) / denom, 1e-12);          // c
+  for (int64_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(conf(3 + i), 2 / denom, 1e-12);          // d_i
+  }
+}
+
+TEST_P(Example51Test, LinearSystemOracleAgrees) {
+  const int64_t m = GetParam();
+  if (m > 10) GTEST_SKIP() << "2^N oracle too large";
+  auto instance = IdentityInstance::Create(Example51Collection(),
+                                           Example51Domain(m));
+  ASSERT_TRUE(instance.ok());
+  auto system = LinearSystem::FromIdentityInstance(*instance);
+  ASSERT_TRUE(system.ok());
+  auto total = system->CountSolutionsBruteForce();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->ToUint64(), static_cast<uint64_t>(2 * m + 5));
+  // b is variable index 1 in the universe enumeration.
+  auto with_b = system->CountSolutionsWithFixed(1, true);
+  ASSERT_TRUE(with_b.ok());
+  EXPECT_EQ(with_b->ToUint64(), static_cast<uint64_t>(2 * m + 4));
+}
+
+TEST_P(Example51Test, MeasureBasedEnumeratorAgrees) {
+  const int64_t m = GetParam();
+  if (m > 8) GTEST_SKIP() << "2^N oracle too large";
+  const SourceCollection collection = Example51Collection();
+  BruteForceWorldEnumerator enumerator(&collection, Example51Domain(m));
+  auto count = enumerator.CountPossibleWorlds();
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, static_cast<uint64_t>(2 * m + 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainSweep, Example51Test,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 16, 64));
+
+TEST(Example51AsymptoticsTest, LimitsMatchThePaper) {
+  // The paper's qualitative claim: as m → ∞, conf(b) ≈ 1,
+  // conf(a) = conf(c) ≈ 1/2, conf(dᵢ) ≈ 0.
+  const int64_t m = 2000;
+  auto instance = IdentityInstance::Create(Example51Collection(),
+                                           Example51Domain(m));
+  ASSERT_TRUE(instance.ok());
+  auto table = ComputeBaseFactConfidences(*instance);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(*table->ConfidenceOf(testing::U(1)), 1.0, 1e-3);
+  EXPECT_NEAR(*table->ConfidenceOf(testing::U(0)), 0.5, 1e-3);
+  EXPECT_NEAR(*table->ConfidenceOf(testing::U(3)), 0.0, 1e-3);
+}
+
+TEST(Example51OrderingTest, SharedFactAlwaysMostConfident) {
+  // b (in both sources) beats a and c (one source each) beats d (none).
+  for (const int64_t m : {1, 4, 10}) {
+    auto instance = IdentityInstance::Create(Example51Collection(),
+                                             Example51Domain(m));
+    ASSERT_TRUE(instance.ok());
+    auto table = ComputeBaseFactConfidences(*instance);
+    ASSERT_TRUE(table.ok());
+    const double b = *table->ConfidenceOf(testing::U(1));
+    const double a = *table->ConfidenceOf(testing::U(0));
+    const double d = *table->ConfidenceOf(testing::U(3));
+    EXPECT_GT(b, a);
+    EXPECT_GT(a, d);
+    EXPECT_GT(d, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace psc

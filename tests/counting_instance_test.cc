@@ -1,0 +1,137 @@
+#include "psc/counting/identity_instance.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+using testing::U;
+
+SourceCollection TwoSourceOverlap() {
+  // v1 = {0,1}, v2 = {1,2}, c = s = 1/2 — the Example 5.1 shape.
+  return MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                              MakeUnarySource("S2", {1, 2}, "1/2", "1/2")});
+}
+
+TEST(IdentityInstanceTest, CreateOverDomainBuildsFullUniverse) {
+  auto instance = IdentityInstance::Create(TwoSourceOverlap(), IntDomain(5));
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_EQ(instance->relation(), "R");
+  EXPECT_EQ(instance->arity(), 1u);
+  EXPECT_EQ(instance->universe().size(), 5u);
+  EXPECT_EQ(instance->num_sources(), 2u);
+}
+
+TEST(IdentityInstanceTest, GroupsPartitionBySignature) {
+  auto instance = IdentityInstance::Create(TwoSourceOverlap(), IntDomain(5));
+  ASSERT_TRUE(instance.ok());
+  // Signatures: {} (facts 3,4), {S1} (0), {S1,S2} (1), {S2} (2).
+  ASSERT_EQ(instance->groups().size(), 4u);
+  int64_t total = 0;
+  for (const auto& group : instance->groups()) total += group.size;
+  EXPECT_EQ(total, 5);
+  // Signature 0 group holds the two out-of-extension facts.
+  EXPECT_EQ(instance->groups()[0].signature, 0u);
+  EXPECT_EQ(instance->groups()[0].size, 2);
+  // Group lookup agrees with membership.
+  auto g1 = instance->GroupIndexOf(U(1));
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(instance->groups()[*g1].signature, 0b11u);
+}
+
+TEST(IdentityInstanceTest, CreateOverExtensionsOmitsOutsideFacts) {
+  auto instance = IdentityInstance::CreateOverExtensions(TwoSourceOverlap());
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->universe().size(), 3u);
+  EXPECT_EQ(instance->groups().size(), 3u);  // no signature-0 group
+  EXPECT_EQ(instance->GroupIndexOf(U(7)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(IdentityInstanceTest, DomainMustCoverExtensions) {
+  auto instance = IdentityInstance::Create(TwoSourceOverlap(), IntDomain(2));
+  EXPECT_EQ(instance.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IdentityInstanceTest, NonIdentityViewRejected) {
+  auto proj = testing::Q("V(x) <- R2(x, y)");
+  auto source = SourceDescriptor::Create("P", proj, {}, Rational::One(),
+                                         Rational::One());
+  ASSERT_TRUE(source.ok());
+  auto collection = SourceCollection::Create({*source});
+  ASSERT_TRUE(collection.ok());
+  EXPECT_EQ(IdentityInstance::Create(*collection, IntDomain(2))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IdentityInstanceTest, EmptyCollectionRejected) {
+  auto empty = SourceCollection::Create({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(IdentityInstance::Create(*empty, IntDomain(2)).ok());
+}
+
+TEST(IdentityInstanceTest, ConstraintPrecomputation) {
+  auto collection = MakeUnaryCollection(
+      {MakeUnarySource("S", {0, 1, 2}, "2/3", "1/2")});
+  auto instance = IdentityInstance::Create(collection, IntDomain(4));
+  ASSERT_TRUE(instance.ok());
+  ASSERT_EQ(instance->constraints().size(), 1u);
+  const auto& constraint = instance->constraints()[0];
+  EXPECT_EQ(constraint.extension_size, 3);
+  EXPECT_EQ(constraint.min_sound, 2);  // ⌈3/2⌉
+  EXPECT_EQ(constraint.completeness, Rational(2, 3));
+}
+
+TEST(IdentityInstanceTest, CheckCountsMatchesSemantics) {
+  // v = {0,1}, c = s = 1/2 over a 3-fact universe {0,1,2}.
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1}, "1/2", "1/2")});
+  auto instance = IdentityInstance::Create(collection, IntDomain(3));
+  ASSERT_TRUE(instance.ok());
+  // Groups in signature order: {} = {2}, {S} = {0,1}.
+  ASSERT_EQ(instance->groups().size(), 2u);
+  ASSERT_EQ(instance->groups()[0].signature, 0u);
+  // counts = (outside, inside):
+  EXPECT_FALSE(instance->CheckCounts({0, 0}));  // soundness needs 1
+  EXPECT_TRUE(instance->CheckCounts({0, 1}));
+  EXPECT_TRUE(instance->CheckCounts({1, 1}));   // 1 ≥ (1/2)·2 ✓
+  EXPECT_TRUE(instance->CheckCounts({0, 2}));
+  EXPECT_TRUE(instance->CheckCounts({1, 2}));
+  EXPECT_FALSE(instance->CheckCounts({1, 0}));  // soundness 0
+}
+
+TEST(IdentityInstanceTest, CheckCountsVacuousWhenEmptyWorldAllowed) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1}, "1", "0")});
+  auto instance = IdentityInstance::Create(collection, IntDomain(3));
+  ASSERT_TRUE(instance.ok());
+  // Empty world: soundness threshold 0 ✓, completeness vacuous ✓.
+  EXPECT_TRUE(instance->CheckCounts({0, 0}));
+  // Any fact outside v breaks completeness 1.
+  EXPECT_FALSE(instance->CheckCounts({1, 0}));
+  EXPECT_FALSE(instance->CheckCounts({1, 2}));
+  EXPECT_TRUE(instance->CheckCounts({0, 2}));
+}
+
+TEST(IdentityInstanceTest, TooManySourcesRejected) {
+  std::vector<SourceDescriptor> sources;
+  for (int i = 0; i < 64; ++i) {
+    sources.push_back(
+        MakeUnarySource("S" + std::to_string(i), {0}, "0", "0"));
+  }
+  auto collection = SourceCollection::Create(std::move(sources));
+  ASSERT_TRUE(collection.ok());
+  EXPECT_EQ(IdentityInstance::CreateOverExtensions(*collection)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace psc

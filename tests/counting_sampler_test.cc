@@ -1,0 +1,85 @@
+#include "psc/counting/world_sampler.h"
+
+#include <map>
+
+#include "gtest/gtest.h"
+#include "psc/source/measures.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+
+TEST(WorldSamplerTest, SamplesAreAlwaysPossibleWorlds) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")});
+  auto instance = IdentityInstance::Create(collection, IntDomain(5));
+  ASSERT_TRUE(instance.ok());
+  auto sampler = WorldSampler::Create(&*instance);
+  ASSERT_TRUE(sampler.ok()) << sampler.status().ToString();
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const Database world = sampler->Sample(&rng);
+    auto possible = collection.IsPossibleWorld(world);
+    ASSERT_TRUE(possible.ok());
+    EXPECT_TRUE(*possible) << world.ToString();
+  }
+}
+
+TEST(WorldSamplerTest, FrequenciesApproachExactConfidences) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")});
+  const std::vector<Value> domain = IntDomain(4);  // m = 1
+  auto instance = IdentityInstance::Create(collection, domain);
+  ASSERT_TRUE(instance.ok());
+  auto sampler = WorldSampler::Create(&*instance);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_EQ(sampler->world_count().ToUint64(), 7u);  // 2m+5 with m = 1
+
+  Rng rng(23);
+  const int trials = 30000;
+  std::map<Tuple, int> hits;
+  for (int i = 0; i < trials; ++i) {
+    const Database world = sampler->Sample(&rng);
+    for (const Fact& fact : world.AllFacts()) ++hits[fact.tuple()];
+  }
+  // Exact confidences with m = 1: b = 6/7, a = c = 4/7, d = 2/7.
+  EXPECT_NEAR(hits[testing::U(1)] / double(trials), 6.0 / 7.0, 0.02);
+  EXPECT_NEAR(hits[testing::U(0)] / double(trials), 4.0 / 7.0, 0.02);
+  EXPECT_NEAR(hits[testing::U(2)] / double(trials), 4.0 / 7.0, 0.02);
+  EXPECT_NEAR(hits[testing::U(3)] / double(trials), 2.0 / 7.0, 0.02);
+}
+
+TEST(WorldSamplerTest, InconsistentCollectionRejected) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S1", {0}, "1", "1"),
+                           MakeUnarySource("S2", {1}, "1", "1")});
+  auto instance = IdentityInstance::CreateOverExtensions(collection);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(WorldSampler::Create(&*instance).status().code(),
+            StatusCode::kInconsistent);
+}
+
+TEST(WorldSamplerTest, SingleWorldCollectionIsDeterministic) {
+  // One exact source: the only world is exactly its extension.
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1}, "1", "1")});
+  auto instance = IdentityInstance::CreateOverExtensions(collection);
+  ASSERT_TRUE(instance.ok());
+  auto sampler = WorldSampler::Create(&*instance);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_TRUE(sampler->world_count().IsOne());
+  Rng rng(5);
+  const Database world = sampler->Sample(&rng);
+  EXPECT_EQ(world.size(), 2u);
+  EXPECT_TRUE(world.Contains("R", testing::U(0)));
+  EXPECT_TRUE(world.Contains("R", testing::U(1)));
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,133 @@
+// End-to-end: the paper's Section 1.1 climatology scenario, driven through
+// the text format, the facade and the consistency/diagnostics stack.
+
+#include "gtest/gtest.h"
+#include "psc/consistency/diagnostics.h"
+#include "psc/core/query_system.h"
+#include "psc/parser/parser.h"
+#include "psc/source/measures.h"
+#include "psc/workload/ghcn.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+constexpr const char* kClimatologyText = R"(
+  # Station catalog (exact).
+  source S0 {
+    view: V0(s, lat, lon, c) <- Station(s, lat, lon, c)
+    completeness: 1
+    soundness: 1
+    facts: V0(100, 45, -75, "Canada"), V0(200, 40, -74, "US")
+  }
+  # Canadian temperatures since 1900, partially sound/complete.
+  source S1 {
+    view: V1(s, y, m, v) <- Temperature(s, y, m, v),
+                            Station(s, lat, lon, "Canada"), After(y, 1900)
+    completeness: 1/2
+    soundness: 1/2
+    facts: V1(100, 1990, 1, -105), V1(100, 1990, 2, -80)
+  }
+  # Station 200's feed (exact but tiny).
+  source S3 {
+    view: V3(y, m, v) <- Temperature(200, y, m, v)
+    completeness: 1
+    soundness: 1
+    facts: V3(1990, 1, 30)
+  }
+)";
+
+TEST(ClimatologyIntegrationTest, ParsesAndInfersGlobalSchema) {
+  auto collection = ParseCollection(kClimatologyText);
+  ASSERT_TRUE(collection.ok()) << collection.status().ToString();
+  EXPECT_EQ(collection->size(), 3u);
+  EXPECT_TRUE(collection->schema().HasRelation("Station"));
+  EXPECT_TRUE(collection->schema().HasRelation("Temperature"));
+  EXPECT_EQ(*collection->schema().Arity("Temperature"), 4u);
+  EXPECT_FALSE(collection->AllIdentityViews());
+}
+
+TEST(ClimatologyIntegrationTest, HandWrittenWorldSatisfiesAllSources) {
+  auto collection = ParseCollection(kClimatologyText);
+  ASSERT_TRUE(collection.ok());
+  Database world;
+  world.AddFact("Station", {Value(int64_t{100}), Value(int64_t{45}),
+                            Value(int64_t{-75}), Value("Canada")});
+  world.AddFact("Station", {Value(int64_t{200}), Value(int64_t{40}),
+                            Value(int64_t{-74}), Value("US")});
+  // Exactly S1's two claimed facts plus nothing else Canadian → S1 is
+  // fully sound and fully complete, well above its 1/2 bounds.
+  world.AddFact("Temperature", {Value(int64_t{100}), Value(int64_t{1990}),
+                                Value(int64_t{1}), Value(int64_t{-105})});
+  world.AddFact("Temperature", {Value(int64_t{100}), Value(int64_t{1990}),
+                                Value(int64_t{2}), Value(int64_t{-80})});
+  world.AddFact("Temperature", {Value(int64_t{200}), Value(int64_t{1990}),
+                                Value(int64_t{1}), Value(int64_t{30})});
+  auto possible = collection->IsPossibleWorld(world);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_TRUE(*possible);
+  // Dropping S3's only fact breaks S3's completeness/soundness pair.
+  world.RemoveFact(Fact("Temperature",
+                        {Value(int64_t{200}), Value(int64_t{1990}),
+                         Value(int64_t{1}), Value(int64_t{30})}));
+  EXPECT_FALSE(*collection->IsPossibleWorld(world));
+}
+
+TEST(ClimatologyIntegrationTest, FacadeFindsTheCollectionConsistent) {
+  auto collection = ParseCollection(kClimatologyText);
+  ASSERT_TRUE(collection.ok());
+  auto system = QuerySystem::Create(*collection);
+  ASSERT_TRUE(system.ok());
+  auto report = system->CheckConsistency();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->verdict, ConsistencyVerdict::kConsistent);
+  ASSERT_TRUE(report->witness.has_value());
+  EXPECT_TRUE(*collection->IsPossibleWorld(*report->witness));
+}
+
+TEST(ClimatologyIntegrationTest, OverclaimingSourceIsBlamed) {
+  // A fourth source claims a US temperature for a *Canadian* query view:
+  // impossible to satisfy with full soundness.
+  const std::string text = std::string(kClimatologyText) + R"(
+    source Liar {
+      view: VL(s, y, m, v) <- Temperature(s, y, m, v),
+                              Station(s, lat, lon, "Atlantis")
+      completeness: 0
+      soundness: 1
+      facts: VL(300, 1990, 1, 0)
+    }
+  )";
+  auto collection = ParseCollection(text);
+  ASSERT_TRUE(collection.ok());
+  // "Atlantis" has no station in S0's exact catalog... S0 is complete, so
+  // no world can invent one. The collection is inconsistent.
+  GeneralConsistencyChecker checker;
+  auto report = checker.Check(*collection);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->verdict, ConsistencyVerdict::kConsistent);
+}
+
+TEST(ClimatologyIntegrationTest, SyntheticGhcnEndToEnd) {
+  GhcnConfig config;
+  config.num_stations = 4;
+  config.start_year = 1990;
+  config.end_year = 1990;
+  GhcnGenerator generator(config, 42);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto s0 = generator.MakeCatalogSource(world, "S0");
+  auto s1 = generator.MakeCountrySource(world, "S1", "Canada", 1900, 0.75,
+                                        0.1);
+  auto s2 = generator.MakeCountrySource(world, "S2", "US", 1900, 0.5, 0.2);
+  ASSERT_TRUE(s0.ok() && s1.ok() && s2.ok());
+  auto collection = SourceCollection::Create({*s0, *s1, *s2});
+  ASSERT_TRUE(collection.ok());
+  ASSERT_TRUE(*collection->IsPossibleWorld(world.truth));
+  // The parser round-trips the generated federation.
+  auto reparsed = ParseCollection(collection->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->size(), 3u);
+  EXPECT_TRUE(*reparsed->IsPossibleWorld(world.truth));
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,120 @@
+#include "psc/parser/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& input) {
+  auto tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& token : *tokens) kinds.push_back(token.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(Kinds("(){},:/"),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+                TokenKind::kRBrace, TokenKind::kComma, TokenKind::kColon,
+                TokenKind::kSlash, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Arrow) {
+  EXPECT_EQ(Kinds("<-"),
+            (std::vector<TokenKind>{TokenKind::kArrow, TokenKind::kEnd}));
+  EXPECT_FALSE(Tokenize("<x").ok());
+}
+
+TEST(LexerTest, Integers) {
+  auto tokens = Tokenize("42 -17 0");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].int_value, -17);
+  EXPECT_EQ((*tokens)[2].int_value, 0);
+}
+
+TEST(LexerTest, MinusWithoutDigitIsError) {
+  EXPECT_FALSE(Tokenize("-x").ok());
+}
+
+TEST(LexerTest, Decimals) {
+  auto tokens = Tokenize("0.75 1.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kDecimal);
+  EXPECT_EQ((*tokens)[0].text, "0.75");
+  EXPECT_EQ((*tokens)[1].text, "1.5");
+}
+
+TEST(LexerTest, IntegerDotWithoutDigitSplits) {
+  // "1." with no following digit is not a decimal; '.' is an error char.
+  EXPECT_FALSE(Tokenize("1. ").ok());
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = Tokenize("Temperature V1 _x after_1900");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Temperature");
+  EXPECT_EQ((*tokens)[1].text, "V1");
+  EXPECT_EQ((*tokens)[2].text, "_x");
+  EXPECT_EQ((*tokens)[3].text, "after_1900");
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize(R"("Canada" "a\"b" "line\nbreak" "tab\t" "back\\")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Canada");
+  EXPECT_EQ((*tokens)[1].text, "a\"b");
+  EXPECT_EQ((*tokens)[2].text, "line\nbreak");
+  EXPECT_EQ((*tokens)[3].text, "tab\t");
+  EXPECT_EQ((*tokens)[4].text, "back\\");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("\"open").ok());
+  EXPECT_FALSE(Tokenize("\"dangling\\").ok());
+  EXPECT_FALSE(Tokenize("\"bad\\q\"").ok());
+}
+
+TEST(LexerTest, Comments) {
+  EXPECT_EQ(Kinds("# full line\nx"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("x // trailing\ny"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, PositionsAreOneBased) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  auto status = Tokenize("ok ?").status();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("1:4"), std::string::npos)
+      << status.message();
+}
+
+TEST(LexerTest, DescribeIsHumanReadable) {
+  auto tokens = Tokenize("abc 42 \"s\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].Describe(), "identifier 'abc'");
+  EXPECT_EQ((*tokens)[1].Describe(), "integer 42");
+  EXPECT_EQ((*tokens)[2].Describe(), "string \"s\"");
+  EXPECT_EQ((*tokens)[3].Describe(), "end of input");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,196 @@
+#include "psc/parser/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+TEST(ParserTest, ParseAtomMixedTerms) {
+  auto atom = ParseAtom("R(x, 1900, \"Canada\")");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->predicate(), "R");
+  ASSERT_EQ(atom->arity(), 3u);
+  EXPECT_TRUE(atom->terms()[0].is_variable());
+  EXPECT_EQ(atom->terms()[1].constant(), Value(int64_t{1900}));
+  EXPECT_EQ(atom->terms()[2].constant(), Value("Canada"));
+}
+
+TEST(ParserTest, ParseAtomEmptyArgs) {
+  auto atom = ParseAtom("Flag()");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->arity(), 0u);
+}
+
+TEST(ParserTest, ParseAtomErrors) {
+  EXPECT_FALSE(ParseAtom("R(x").ok());
+  EXPECT_FALSE(ParseAtom("R x)").ok());
+  EXPECT_FALSE(ParseAtom("(x)").ok());
+  EXPECT_FALSE(ParseAtom("R(x) extra").ok());
+  EXPECT_FALSE(ParseAtom("R(x,)").ok());
+}
+
+TEST(ParserTest, ParseFactRequiresGround) {
+  auto fact = ParseFact("R(1, \"a\")");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(fact->relation(), "R");
+  EXPECT_EQ(fact->tuple(), (Tuple{Value(int64_t{1}), Value("a")}));
+  EXPECT_EQ(ParseFact("R(x)").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, ParseQueryRoundTrip) {
+  const std::string text =
+      "V1(s, y, m, v) <- Temperature(s, y, m, v), "
+      "Station(s, lat, lon, \"Canada\"), After(y, 1900)";
+  auto query = ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->head().predicate(), "V1");
+  EXPECT_EQ(query->relational_body().size(), 2u);
+  EXPECT_EQ(query->builtin_body().size(), 1u);
+  // ToString re-parses to an equal query.
+  auto reparsed = ParseQuery(query->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, *query);
+}
+
+TEST(ParserTest, ParseQueryValidationFlowsThrough) {
+  // Parses syntactically but is unsafe semantically.
+  EXPECT_EQ(ParseQuery("V(x, y) <- R(x)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, ParseQuerySyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("V(x)").ok());
+  EXPECT_FALSE(ParseQuery("V(x) <-").ok());
+  EXPECT_FALSE(ParseQuery("V(x) <- R(x),").ok());
+}
+
+TEST(ParserTest, ParseBoundForms) {
+  EXPECT_EQ(*ParseBound("1"), Rational::One());
+  EXPECT_EQ(*ParseBound("0.5"), Rational(1, 2));
+  EXPECT_EQ(*ParseBound("3/4"), Rational(3, 4));
+  EXPECT_FALSE(ParseBound("1/0").ok());
+  EXPECT_FALSE(ParseBound("x").ok());
+  EXPECT_FALSE(ParseBound("1/2 extra").ok());
+}
+
+constexpr const char* kSourceText = R"(
+  # The paper's S1, with concrete data.
+  source S1 {
+    view: V1(s, y, m, v) <- Temperature(s, y, m, v),
+                            Station(s, lat, lon, "Canada"), After(y, 1900)
+    completeness: 0.8
+    soundness: 3/4
+    facts: V1(438432, 1990, 1, 125), V1(438432, 1990, 2, 130)
+  }
+)";
+
+TEST(ParserTest, ParseSourceBlock) {
+  auto source = ParseSource(kSourceText);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(source->name(), "S1");
+  EXPECT_EQ(source->extension_size(), 2u);
+  EXPECT_EQ(source->completeness_bound(), Rational(4, 5));
+  EXPECT_EQ(source->soundness_bound(), Rational(3, 4));
+  EXPECT_EQ(source->view().builtin_body().size(), 1u);
+}
+
+TEST(ParserTest, ParseSourceBareTupleFacts) {
+  auto source = ParseSource(R"(
+    source S {
+      view: V(x) <- R(x)
+      completeness: 1
+      soundness: 1
+      facts: (1), (2), V(3)
+    }
+  )");
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(source->extension_size(), 3u);
+}
+
+TEST(ParserTest, ParseSourceFieldValidation) {
+  // Missing soundness.
+  EXPECT_FALSE(ParseSource(
+                   "source S { view: V(x) <- R(x) completeness: 1 }")
+                   .ok());
+  // facts before view.
+  EXPECT_FALSE(
+      ParseSource("source S { facts: (1) view: V(x) <- R(x) "
+                  "completeness: 1 soundness: 1 }")
+          .ok());
+  // Duplicate field.
+  EXPECT_FALSE(ParseSource("source S { view: V(x) <- R(x) view: V(x) <- R(x) "
+                           "completeness: 1 soundness: 1 }")
+                   .ok());
+  // Unknown field.
+  EXPECT_FALSE(ParseSource("source S { view: V(x) <- R(x) completeness: 1 "
+                           "soundness: 1 quality: 1 }")
+                   .ok());
+  // Wrong fact predicate.
+  EXPECT_FALSE(ParseSource("source S { view: V(x) <- R(x) completeness: 1 "
+                           "soundness: 1 facts: W(1) }")
+                   .ok());
+  // Out-of-range bound flows through descriptor validation.
+  EXPECT_EQ(ParseSource("source S { view: V(x) <- R(x) completeness: 2 "
+                        "soundness: 1 }")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, ParseCollectionMultipleSources) {
+  auto collection = ParseCollection(R"(
+    source A {
+      view: V1(x) <- R(x)
+      completeness: 1/2
+      soundness: 1/2
+      facts: (1), (2)
+    }
+    source B {
+      view: V2(x) <- R(x)
+      completeness: 1/2
+      soundness: 1/2
+      facts: (2), (3)
+    }
+  )");
+  ASSERT_TRUE(collection.ok()) << collection.status().ToString();
+  EXPECT_EQ(collection->size(), 2u);
+  EXPECT_TRUE(collection->AllIdentityViews());
+  EXPECT_EQ(collection->TotalExtensionSize(), 4u);
+}
+
+TEST(ParserTest, ParseCollectionEmptyIsOk) {
+  auto collection = ParseCollection("  # nothing here\n");
+  ASSERT_TRUE(collection.ok());
+  EXPECT_EQ(collection->size(), 0u);
+}
+
+TEST(ParserTest, ParseCollectionDuplicateNames) {
+  auto collection = ParseCollection(R"(
+    source A { view: V(x) <- R(x) completeness: 1 soundness: 1 }
+    source A { view: V(x) <- R(x) completeness: 1 soundness: 1 }
+  )");
+  EXPECT_EQ(collection.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, ErrorsReportPositions) {
+  auto status = ParseSource("source S {\n  view: V(x) <- R(x)\n  bogus: 1\n}")
+                    .status();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("3:"), std::string::npos)
+      << status.message();
+}
+
+TEST(ParserTest, DescriptorToStringReparses) {
+  auto source = ParseSource(kSourceText);
+  ASSERT_TRUE(source.ok());
+  auto reparsed = ParseSource(source->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                             << "\n" << source->ToString();
+  EXPECT_EQ(reparsed->name(), source->name());
+  EXPECT_EQ(reparsed->extension(), source->extension());
+  EXPECT_EQ(reparsed->completeness_bound(), source->completeness_bound());
+  EXPECT_EQ(reparsed->soundness_bound(), source->soundness_bound());
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,92 @@
+// Randomized round-trip: every collection the library can generate must
+// re-parse from its own ToString() into an equivalent collection.
+
+#include "gtest/gtest.h"
+#include "psc/parser/parser.h"
+#include "psc/workload/cache_workload.h"
+#include "psc/workload/ghcn.h"
+#include "psc/workload/random_collections.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+void ExpectRoundTrip(const SourceCollection& original) {
+  auto reparsed = ParseCollection(original.ToString());
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\n---\n" << original.ToString();
+  ASSERT_EQ(reparsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const SourceDescriptor& before = original.source(i);
+    const SourceDescriptor& after = reparsed->source(i);
+    EXPECT_EQ(after.name(), before.name());
+    EXPECT_EQ(after.view(), before.view()) << before.view().ToString();
+    EXPECT_EQ(after.extension(), before.extension());
+    EXPECT_EQ(after.completeness_bound(), before.completeness_bound());
+    EXPECT_EQ(after.soundness_bound(), before.soundness_bound());
+  }
+  EXPECT_EQ(reparsed->schema(), original.schema());
+}
+
+TEST(ParserRoundTripTest, RandomIdentityCollections) {
+  Rng rng(987);
+  RandomIdentityConfig config;
+  config.num_sources = 4;
+  config.universe_size = 8;
+  config.min_extension = 0;
+  config.max_extension = 6;
+  config.bound_granularity = 7;  // awkward denominators
+  for (int trial = 0; trial < 40; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    ExpectRoundTrip(*collection);
+  }
+}
+
+TEST(ParserRoundTripTest, CacheWorkloads) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    CacheConfig config;
+    config.num_objects = 20;
+    config.num_caches = 3;
+    config.coverage = 0.6;
+    config.staleness = 0.25;
+    config.seed = seed;
+    auto workload = MakeCacheWorkload(config);
+    ASSERT_TRUE(workload.ok());
+    ExpectRoundTrip(workload->collection);
+  }
+}
+
+TEST(ParserRoundTripTest, GhcnFederations) {
+  // Views with join bodies, string constants and built-ins.
+  GhcnConfig config;
+  config.num_stations = 5;
+  GhcnGenerator generator(config, 321);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto s0 = generator.MakeCatalogSource(world, "S0");
+  auto s1 = generator.MakeCountrySource(world, "S1", "Canada", 1900, 0.5,
+                                        0.3);
+  auto s3 = generator.MakeStationSource(world, "S3", world.station_ids[2],
+                                        0.7, 0.1);
+  ASSERT_TRUE(s0.ok() && s1.ok() && s3.ok());
+  auto collection = SourceCollection::Create({*s0, *s1, *s3});
+  ASSERT_TRUE(collection.ok());
+  ExpectRoundTrip(*collection);
+}
+
+TEST(ParserRoundTripTest, NegativeValuesAndEmptyExtensions) {
+  Relation extension = {Tuple{Value(int64_t{-42}), Value("quo\"te")}};
+  auto weird = SourceDescriptor::Create(
+      "Weird", ConjunctiveQuery::Identity("R", 2), extension,
+      Rational(1, 3), Rational(2, 7));
+  auto empty = SourceDescriptor::Create(
+      "Empty", ConjunctiveQuery::Identity("R", 2), Relation{},
+      Rational::Zero(), Rational::One());
+  ASSERT_TRUE(weird.ok() && empty.ok());
+  auto collection = SourceCollection::Create({*weird, *empty});
+  ASSERT_TRUE(collection.ok());
+  ExpectRoundTrip(*collection);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,144 @@
+// Randomized properties of the Section 5 confidence semantics:
+//   * counter confidences equal brute-force frequencies,
+//   * confidence 1 ⟺ certain, confidence > 0 ⟺ possible,
+//   * facts shared by more (sound) sources never rank below facts in none.
+
+#include <map>
+
+#include "gtest/gtest.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/counting/confidence.h"
+#include "psc/workload/random_collections.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+
+class ConfidencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConfidencePropertyTest, CounterEqualsBruteForceFrequencies) {
+  Rng rng(GetParam());
+  RandomIdentityConfig config;
+  config.num_sources = 2;
+  config.universe_size = 4;
+  config.min_extension = 1;
+  config.max_extension = 4;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    auto instance = IdentityInstance::Create(*collection, IntDomain(4));
+    ASSERT_TRUE(instance.ok());
+    auto table = ComputeBaseFactConfidences(*instance);
+    if (!table.ok()) {
+      ASSERT_EQ(table.status().code(), StatusCode::kInconsistent);
+      continue;
+    }
+    // Brute-force frequencies.
+    BruteForceWorldEnumerator oracle(&*collection, IntDomain(4));
+    std::map<Tuple, uint64_t> contains;
+    uint64_t worlds = 0;
+    ASSERT_TRUE(oracle
+                    .ForEachPossibleWorld([&](const Database& db) {
+                      ++worlds;
+                      for (const Fact& fact : db.AllFacts()) {
+                        ++contains[fact.tuple()];
+                      }
+                      return true;
+                    })
+                    .ok());
+    ASSERT_EQ(table->world_count.ToUint64(), worlds);
+    for (const TupleConfidence& entry : table->entries) {
+      const double oracle_conf =
+          static_cast<double>(contains[entry.tuple]) /
+          static_cast<double>(worlds);
+      EXPECT_NEAR(entry.confidence, oracle_conf, 1e-12)
+          << collection->ToString() << "\nfact "
+          << TupleToString(entry.tuple);
+    }
+  }
+}
+
+TEST_P(ConfidencePropertyTest, CertainAndPossibleMatchDefinitions) {
+  Rng rng(GetParam() + 77);
+  RandomIdentityConfig config;
+  config.num_sources = 3;
+  config.universe_size = 4;
+  config.min_extension = 1;
+  config.max_extension = 3;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    auto instance = IdentityInstance::Create(*collection, IntDomain(4));
+    ASSERT_TRUE(instance.ok());
+    auto table = ComputeBaseFactConfidences(*instance);
+    if (!table.ok()) continue;  // inconsistent draw
+
+    // Recompute certain/possible extensionally.
+    BruteForceWorldEnumerator oracle(&*collection, IntDomain(4));
+    auto worlds = oracle.CollectPossibleWorlds();
+    ASSERT_TRUE(worlds.ok());
+    ASSERT_FALSE(worlds->empty());
+    Relation certain = (*worlds)[0].GetRelation("R");
+    Relation possible;
+    for (const Database& world : *worlds) {
+      const Relation& tuples = world.GetRelation("R");
+      Relation still;
+      for (const Tuple& tuple : certain) {
+        if (tuples.count(tuple) > 0) still.insert(tuple);
+      }
+      certain = std::move(still);
+      possible.insert(tuples.begin(), tuples.end());
+    }
+
+    const std::vector<Tuple> via_conf_certain = table->CertainFacts();
+    const std::vector<Tuple> via_conf_possible = table->PossibleFacts();
+    EXPECT_EQ(Relation(via_conf_certain.begin(), via_conf_certain.end()),
+              certain)
+        << collection->ToString();
+    EXPECT_EQ(Relation(via_conf_possible.begin(), via_conf_possible.end()),
+              possible)
+        << collection->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfidencePropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+TEST(ConfidenceOrderingTest, UnsupportedFactsNeverBeatSupportedOnes) {
+  // In Example 5.1-style collections, the confidence of a fact outside
+  // every extension is the minimum over the universe.
+  Rng rng(9);
+  RandomIdentityConfig config;
+  config.num_sources = 2;
+  config.universe_size = 3;
+  config.min_extension = 1;
+  config.max_extension = 3;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    // Universe strictly larger than ⋃vᵢ so the signature-0 group exists.
+    auto instance = IdentityInstance::Create(*collection, IntDomain(5));
+    ASSERT_TRUE(instance.ok());
+    auto table = ComputeBaseFactConfidences(*instance);
+    if (!table.ok()) continue;
+    double unsupported = 2.0;
+    for (const TupleConfidence& entry : table->entries) {
+      auto group = instance->GroupIndexOf(entry.tuple);
+      ASSERT_TRUE(group.ok());
+      if (instance->groups()[*group].signature == 0) {
+        unsupported = entry.confidence;
+        break;
+      }
+    }
+    ASSERT_LE(unsupported, 1.0);
+    for (const TupleConfidence& entry : table->entries) {
+      EXPECT_GE(entry.confidence + 1e-12, unsupported)
+          << collection->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,150 @@
+// Monotonicity properties of poss(S):
+//   * raising any source's soundness or completeness bound shrinks poss(S);
+//   * adding a source shrinks poss(S);
+//   * the Lemma 3.1 small-model property: a consistent collection always
+//     has a witness within the size bound.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "psc/consistency/identity_consistency.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/workload/random_collections.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+
+std::set<Database> Worlds(const SourceCollection& collection,
+                          int64_t universe) {
+  BruteForceWorldEnumerator enumerator(&collection, IntDomain(universe));
+  auto worlds = enumerator.CollectPossibleWorlds();
+  EXPECT_TRUE(worlds.ok());
+  return std::set<Database>(worlds->begin(), worlds->end());
+}
+
+Result<SourceCollection> WithBounds(const SourceCollection& base,
+                                    size_t index, Rational completeness,
+                                    Rational soundness) {
+  std::vector<SourceDescriptor> sources;
+  for (size_t i = 0; i < base.size(); ++i) {
+    const SourceDescriptor& source = base.source(i);
+    if (i == index) {
+      PSC_ASSIGN_OR_RETURN(
+          SourceDescriptor replaced,
+          SourceDescriptor::Create(source.name(), source.view(),
+                                   source.extension(), completeness,
+                                   soundness));
+      sources.push_back(std::move(replaced));
+    } else {
+      sources.push_back(source);
+    }
+  }
+  return SourceCollection::Create(std::move(sources));
+}
+
+TEST(MonotonicityTest, TighterBoundsShrinkPossSet) {
+  Rng rng(555);
+  RandomIdentityConfig config;
+  config.num_sources = 2;
+  config.universe_size = 4;
+  config.min_extension = 1;
+  config.max_extension = 3;
+  config.bound_granularity = 4;
+  for (int trial = 0; trial < 25; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    const std::set<Database> base_worlds = Worlds(*collection, 4);
+    for (size_t i = 0; i < collection->size(); ++i) {
+      const SourceDescriptor& source = collection->source(i);
+      // Bump each bound by 1/4, capped at 1.
+      Rational c = source.completeness_bound() + Rational(1, 4);
+      if (Rational::One() < c) c = Rational::One();
+      Rational s = source.soundness_bound() + Rational(1, 4);
+      if (Rational::One() < s) s = Rational::One();
+      auto tighter = WithBounds(*collection, i, c, s);
+      ASSERT_TRUE(tighter.ok());
+      const std::set<Database> tighter_worlds = Worlds(*tighter, 4);
+      for (const Database& world : tighter_worlds) {
+        EXPECT_EQ(base_worlds.count(world), 1u)
+            << "tightening source " << i << " grew poss(S)\n"
+            << collection->ToString();
+      }
+    }
+  }
+}
+
+TEST(MonotonicityTest, AddingASourceShrinksPossSet) {
+  Rng rng(777);
+  RandomIdentityConfig config;
+  config.num_sources = 3;
+  config.universe_size = 4;
+  config.min_extension = 1;
+  config.max_extension = 3;
+  for (int trial = 0; trial < 25; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    std::vector<SourceDescriptor> prefix(collection->sources().begin(),
+                                         collection->sources().end() - 1);
+    auto smaller = SourceCollection::Create(std::move(prefix));
+    ASSERT_TRUE(smaller.ok());
+    const std::set<Database> small_worlds = Worlds(*smaller, 4);
+    const std::set<Database> full_worlds = Worlds(*collection, 4);
+    for (const Database& world : full_worlds) {
+      EXPECT_EQ(small_worlds.count(world), 1u);
+    }
+  }
+}
+
+TEST(MonotonicityTest, Lemma31WitnessWithinBound) {
+  Rng rng(888);
+  RandomIdentityConfig config;
+  config.num_sources = 3;
+  config.universe_size = 5;
+  config.min_extension = 1;
+  config.max_extension = 4;
+  int consistent_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    auto report = CheckIdentityConsistency(*collection);
+    ASSERT_TRUE(report.ok());
+    if (!report->consistent) continue;
+    ++consistent_seen;
+    EXPECT_LE(report->witness->size(), collection->WitnessSizeBound())
+        << collection->ToString();
+  }
+  EXPECT_GT(consistent_seen, 0);
+}
+
+TEST(MonotonicityTest, ZeroBoundsAreAlwaysConsistent) {
+  Rng rng(999);
+  RandomIdentityConfig config;
+  config.num_sources = 4;
+  config.universe_size = 5;
+  config.min_extension = 1;
+  config.max_extension = 5;
+  config.bound_granularity = 1;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    std::vector<SourceDescriptor> relaxed;
+    for (const SourceDescriptor& source : collection->sources()) {
+      auto zeroed = SourceDescriptor::Create(
+          source.name(), source.view(), source.extension(),
+          Rational::Zero(), Rational::Zero());
+      ASSERT_TRUE(zeroed.ok());
+      relaxed.push_back(std::move(*zeroed));
+    }
+    auto zero_collection = SourceCollection::Create(std::move(relaxed));
+    ASSERT_TRUE(zero_collection.ok());
+    auto report = CheckIdentityConsistency(*zero_collection);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->consistent);
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,78 @@
+#include "psc/relational/atom.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+Atom MakeAtom() {
+  return Atom("R", {Term::Var("x"), Term::ConstInt(1), Term::Var("y"),
+                    Term::Var("x")});
+}
+
+TEST(AtomTest, Accessors) {
+  const Atom atom = MakeAtom();
+  EXPECT_EQ(atom.predicate(), "R");
+  EXPECT_EQ(atom.arity(), 4u);
+  EXPECT_FALSE(atom.IsGround());
+}
+
+TEST(AtomTest, VariablesDeduplicated) {
+  const Atom atom = MakeAtom();
+  EXPECT_EQ(atom.Variables(), (std::set<std::string>{"x", "y"}));
+}
+
+TEST(AtomTest, GroundAtom) {
+  Atom atom("S", {Term::ConstInt(1), Term::ConstStr("a")});
+  EXPECT_TRUE(atom.IsGround());
+  EXPECT_TRUE(atom.Variables().empty());
+}
+
+TEST(AtomTest, EqualityAndOrdering) {
+  Atom a("R", {Term::Var("x")});
+  Atom b("R", {Term::Var("y")});
+  Atom c("S", {Term::Var("x")});
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);  // same predicate, term order
+  EXPECT_LT(a, c);  // predicate order
+}
+
+TEST(AtomTest, ToString) {
+  EXPECT_EQ(MakeAtom().ToString(), "R(x, 1, y, x)");
+  EXPECT_EQ(Atom("Nullary", {}).ToString(), "Nullary()");
+}
+
+TEST(FactTest, Accessors) {
+  Fact fact("Temperature", {Value(int64_t{438432}), Value(int64_t{1990})});
+  EXPECT_EQ(fact.relation(), "Temperature");
+  EXPECT_EQ(fact.arity(), 2u);
+  EXPECT_EQ(fact.tuple()[0].AsInt(), 438432);
+}
+
+TEST(FactTest, ToAtomRoundTrip) {
+  Fact fact("R", {Value(int64_t{1}), Value("x")});
+  const Atom atom = fact.ToAtom();
+  EXPECT_TRUE(atom.IsGround());
+  EXPECT_EQ(atom.predicate(), "R");
+  EXPECT_EQ(atom.terms()[0].constant(), Value(int64_t{1}));
+  EXPECT_EQ(atom.terms()[1].constant(), Value("x"));
+}
+
+TEST(FactTest, OrderingByRelationThenTuple) {
+  Fact a("R", {Value(int64_t{1})});
+  Fact b("R", {Value(int64_t{2})});
+  Fact c("S", {Value(int64_t{0})});
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, Fact("R", {Value(int64_t{1})}));
+  EXPECT_NE(a, b);
+}
+
+TEST(FactTest, ToString) {
+  EXPECT_EQ(Fact("R", {Value(int64_t{1}), Value("a")}).ToString(),
+            "R(1, \"a\")");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,78 @@
+#include "psc/relational/builtin.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+Value I(int64_t v) { return Value(v); }
+Value S(const char* v) { return Value(v); }
+
+TEST(BuiltinTest, Registry) {
+  EXPECT_TRUE(IsBuiltinPredicate("After"));
+  EXPECT_TRUE(IsBuiltinPredicate("Before"));
+  EXPECT_TRUE(IsBuiltinPredicate("Eq"));
+  EXPECT_FALSE(IsBuiltinPredicate("Temperature"));
+  EXPECT_FALSE(IsBuiltinPredicate("after"));  // case-sensitive
+  EXPECT_EQ(BuiltinPredicateNames().size(), 8u);
+  EXPECT_TRUE(std::is_sorted(BuiltinPredicateNames().begin(),
+                             BuiltinPredicateNames().end()));
+}
+
+TEST(BuiltinTest, AfterIsStrictlyGreater) {
+  auto yes = EvalBuiltin("After", {I(1990), I(1900)});
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto boundary = EvalBuiltin("After", {I(1900), I(1900)});
+  ASSERT_TRUE(boundary.ok());
+  EXPECT_FALSE(*boundary);
+  auto no = EvalBuiltin("After", {I(1800), I(1900)});
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(BuiltinTest, BeforeIsStrictlyLess) {
+  EXPECT_TRUE(*EvalBuiltin("Before", {I(1), I(2)}));
+  EXPECT_FALSE(*EvalBuiltin("Before", {I(2), I(2)}));
+}
+
+TEST(BuiltinTest, ComparisonFamily) {
+  EXPECT_TRUE(*EvalBuiltin("Lt", {I(1), I(2)}));
+  EXPECT_TRUE(*EvalBuiltin("Le", {I(2), I(2)}));
+  EXPECT_FALSE(*EvalBuiltin("Lt", {I(2), I(2)}));
+  EXPECT_TRUE(*EvalBuiltin("Gt", {I(3), I(2)}));
+  EXPECT_TRUE(*EvalBuiltin("Ge", {I(2), I(2)}));
+  EXPECT_TRUE(*EvalBuiltin("Eq", {I(2), I(2)}));
+  EXPECT_TRUE(*EvalBuiltin("Ne", {I(2), I(3)}));
+  EXPECT_FALSE(*EvalBuiltin("Ne", {I(2), I(2)}));
+}
+
+TEST(BuiltinTest, StringsCompareLexicographically) {
+  EXPECT_TRUE(*EvalBuiltin("Lt", {S("Canada"), S("US")}));
+  EXPECT_TRUE(*EvalBuiltin("Eq", {S("US"), S("US")}));
+  EXPECT_FALSE(*EvalBuiltin("Eq", {S("US"), S("us")}));
+}
+
+TEST(BuiltinTest, MixedKindsUseTotalOrder) {
+  // Integers sort before strings in the Value order; comparisons stay
+  // total so evaluation over heterogeneous databases never errors.
+  EXPECT_TRUE(*EvalBuiltin("Lt", {I(999999), S("a")}));
+  EXPECT_TRUE(*EvalBuiltin("Gt", {S(""), I(-5)}));
+  EXPECT_FALSE(*EvalBuiltin("Eq", {I(1), S("1")}));
+  EXPECT_TRUE(*EvalBuiltin("Ne", {I(1), S("1")}));
+}
+
+TEST(BuiltinTest, UnknownPredicate) {
+  EXPECT_EQ(EvalBuiltin("Between", {I(1), I(2)}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BuiltinTest, WrongArity) {
+  EXPECT_EQ(EvalBuiltin("After", {I(1)}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvalBuiltin("After", {I(1), I(2), I(3)}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace psc

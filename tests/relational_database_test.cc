@@ -1,0 +1,140 @@
+#include "psc/relational/database.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+Fact F(const std::string& relation, int64_t a) {
+  return Fact(relation, {Value(a)});
+}
+
+TEST(DatabaseTest, AddContainsRemove) {
+  Database db;
+  EXPECT_TRUE(db.AddFact(F("R", 1)));
+  EXPECT_FALSE(db.AddFact(F("R", 1)));  // duplicate
+  EXPECT_TRUE(db.Contains(F("R", 1)));
+  EXPECT_FALSE(db.Contains(F("R", 2)));
+  EXPECT_FALSE(db.Contains(F("S", 1)));
+  EXPECT_TRUE(db.RemoveFact(F("R", 1)));
+  EXPECT_FALSE(db.RemoveFact(F("R", 1)));
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(DatabaseTest, SizeCountsAcrossRelations) {
+  Database db;
+  db.AddFact(F("R", 1));
+  db.AddFact(F("R", 2));
+  db.AddFact(F("S", 1));
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.GetRelation("R").size(), 2u);
+  EXPECT_EQ(db.GetRelation("S").size(), 1u);
+  EXPECT_TRUE(db.GetRelation("T").empty());
+}
+
+TEST(DatabaseTest, AllFactsDeterministicOrder) {
+  Database db;
+  db.AddFact(F("S", 9));
+  db.AddFact(F("R", 2));
+  db.AddFact(F("R", 1));
+  const std::vector<Fact> facts = db.AllFacts();
+  ASSERT_EQ(facts.size(), 3u);
+  EXPECT_EQ(facts[0], F("R", 1));
+  EXPECT_EQ(facts[1], F("R", 2));
+  EXPECT_EQ(facts[2], F("S", 9));
+}
+
+TEST(DatabaseTest, EqualityIsStructural) {
+  Database a;
+  Database b;
+  a.AddFact(F("R", 1));
+  b.AddFact(F("R", 1));
+  EXPECT_EQ(a, b);
+  // A removed relation leaves no empty-set residue.
+  a.AddFact(F("S", 1));
+  a.RemoveFact(F("S", 1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatabaseTest, UnionAndSubset) {
+  Database a;
+  Database b;
+  a.AddFact(F("R", 1));
+  b.AddFact(F("R", 2));
+  b.AddFact(F("S", 3));
+  a.UnionWith(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(Database().IsSubsetOf(b));
+}
+
+TEST(DatabaseTest, OrderingUsableAsMapKey) {
+  Database a;
+  Database b;
+  a.AddFact(F("R", 1));
+  b.AddFact(F("R", 2));
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(DatabaseTest, ToStringListsCanonically) {
+  Database db;
+  db.AddFact(F("S", 1));
+  db.AddFact(F("R", 2));
+  EXPECT_EQ(db.ToString(), "R(2)\nS(1)");
+}
+
+TEST(FactUniverseTest, UnaryAndBinaryCounts) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 1).ok());
+  ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+  const std::vector<Value> domain = {Value(int64_t{0}), Value(int64_t{1}),
+                                     Value(int64_t{2})};
+  auto universe = EnumerateFactUniverse(schema, domain);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_EQ(universe->size(), 3u + 9u);
+}
+
+TEST(FactUniverseTest, ZeroArityRelationYieldsOneFact) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("Flag", 0).ok());
+  auto universe = EnumerateFactUniverse(schema, {Value(int64_t{1})});
+  ASSERT_TRUE(universe.ok());
+  ASSERT_EQ(universe->size(), 1u);
+  EXPECT_EQ((*universe)[0].relation(), "Flag");
+  EXPECT_TRUE((*universe)[0].tuple().empty());
+}
+
+TEST(FactUniverseTest, DeterministicOdometerOrder) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+  const std::vector<Value> domain = {Value(int64_t{0}), Value(int64_t{1})};
+  auto universe = EnumerateFactUniverse(schema, domain);
+  ASSERT_TRUE(universe.ok());
+  ASSERT_EQ(universe->size(), 4u);
+  EXPECT_EQ((*universe)[0].tuple(), (Tuple{Value(int64_t{0}), Value(int64_t{0})}));
+  EXPECT_EQ((*universe)[1].tuple(), (Tuple{Value(int64_t{0}), Value(int64_t{1})}));
+  EXPECT_EQ((*universe)[2].tuple(), (Tuple{Value(int64_t{1}), Value(int64_t{0})}));
+  EXPECT_EQ((*universe)[3].tuple(), (Tuple{Value(int64_t{1}), Value(int64_t{1})}));
+}
+
+TEST(FactUniverseTest, CapEnforced) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("T", 3).ok());
+  std::vector<Value> domain;
+  for (int64_t i = 0; i < 100; ++i) domain.push_back(Value(i));
+  auto universe = EnumerateFactUniverse(schema, domain, /*max_facts=*/1000);
+  EXPECT_EQ(universe.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FactUniverseTest, EmptyDomainNonzeroArity) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 1).ok());
+  auto universe = EnumerateFactUniverse(schema, {});
+  // No constants → no facts over a unary relation.
+  EXPECT_FALSE(universe.ok());
+}
+
+}  // namespace
+}  // namespace psc

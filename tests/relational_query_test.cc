@@ -1,0 +1,235 @@
+#include "psc/relational/conjunctive_query.h"
+
+#include "gtest/gtest.h"
+#include "psc/relational/builtin.h"
+
+namespace psc {
+namespace {
+
+Atom A(const std::string& pred, std::vector<Term> terms) {
+  return Atom(pred, std::move(terms));
+}
+Term V(const std::string& name) { return Term::Var(name); }
+Term C(int64_t v) { return Term::ConstInt(v); }
+Term CS(const char* v) { return Term::ConstStr(v); }
+
+Database ClimateDb() {
+  Database db;
+  db.AddFact("Station", {Value(int64_t{1}), Value(int64_t{45}),
+                         Value(int64_t{-75}), Value("Canada")});
+  db.AddFact("Station", {Value(int64_t{2}), Value(int64_t{40}),
+                         Value(int64_t{-74}), Value("US")});
+  db.AddFact("Temperature", {Value(int64_t{1}), Value(int64_t{1990}),
+                             Value(int64_t{1}), Value(int64_t{-105})});
+  db.AddFact("Temperature", {Value(int64_t{1}), Value(int64_t{1880}),
+                             Value(int64_t{1}), Value(int64_t{-120})});
+  db.AddFact("Temperature", {Value(int64_t{2}), Value(int64_t{1990}),
+                             Value(int64_t{1}), Value(int64_t{30})});
+  return db;
+}
+
+TEST(ConjunctiveQueryTest, CreateValidatesSafety) {
+  // Head variable not in body.
+  auto unsafe = ConjunctiveQuery::Create(A("V", {V("x"), V("y")}),
+                                         {A("R", {V("x")})});
+  EXPECT_EQ(unsafe.status().code(), StatusCode::kInvalidArgument);
+  // Built-in-only variable is also unsafe (range restriction).
+  auto builtin_unsafe = ConjunctiveQuery::Create(
+      A("V", {V("x")}), {A("R", {V("x")}), A("After", {V("z"), C(5)})});
+  EXPECT_EQ(builtin_unsafe.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConjunctiveQueryTest, CreateRejectsBuiltinHead) {
+  auto bad = ConjunctiveQuery::Create(A("After", {V("x"), V("y")}),
+                                      {A("R", {V("x"), V("y")})});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConjunctiveQueryTest, CreateRejectsBadBuiltinArity) {
+  auto bad = ConjunctiveQuery::Create(
+      A("V", {V("x")}), {A("R", {V("x")}), A("After", {V("x")})});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConjunctiveQueryTest, CreateRejectsInconsistentArity) {
+  auto bad = ConjunctiveQuery::Create(
+      A("V", {V("x")}), {A("R", {V("x")}), A("R", {V("x"), V("y")})});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConjunctiveQueryTest, BodyPartition) {
+  auto query = ConjunctiveQuery::Create(
+      A("V", {V("x")}),
+      {A("R", {V("x"), V("y")}), A("After", {V("y"), C(5)}),
+       A("S", {V("y")})});
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->relational_body().size(), 2u);
+  EXPECT_EQ(query->builtin_body().size(), 1u);
+  EXPECT_EQ(query->RelationalBodySize(), 2u);
+  EXPECT_EQ(query->Variables(), (std::set<std::string>{"x", "y"}));
+}
+
+TEST(ConjunctiveQueryTest, IdentityFactoryAndDetection) {
+  const ConjunctiveQuery id = ConjunctiveQuery::Identity("R", 3, "V");
+  EXPECT_TRUE(id.IsIdentity());
+  EXPECT_EQ(id.head().predicate(), "V");
+  EXPECT_EQ(id.head().arity(), 3u);
+
+  // Projection is not an identity.
+  auto proj = ConjunctiveQuery::Create(A("V", {V("x")}),
+                                       {A("R", {V("x"), V("y")})});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_FALSE(proj->IsIdentity());
+
+  // Repeated variable is not an identity.
+  auto repeated = ConjunctiveQuery::Create(A("V", {V("x"), V("x")}),
+                                           {A("R", {V("x"), V("x")})});
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_FALSE(repeated->IsIdentity());
+
+  // Constant in the head is not an identity.
+  auto with_const = ConjunctiveQuery::Create(A("V", {C(1), V("y")}),
+                                             {A("R", {C(1), V("y")})});
+  ASSERT_TRUE(with_const.ok());
+  EXPECT_FALSE(with_const->IsIdentity());
+}
+
+TEST(ConjunctiveQueryTest, EvaluateSimpleScan) {
+  Database db;
+  db.AddFact("R", {Value(int64_t{1})});
+  db.AddFact("R", {Value(int64_t{2})});
+  const ConjunctiveQuery id = ConjunctiveQuery::Identity("R", 1);
+  auto result = id.Evaluate(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(ConjunctiveQueryTest, EvaluateJoinWithConstantAndBuiltin) {
+  // The paper's S1 view: Canadian temperatures after 1900.
+  auto view = ConjunctiveQuery::Create(
+      A("V1", {V("s"), V("y"), V("m"), V("v")}),
+      {A("Temperature", {V("s"), V("y"), V("m"), V("v")}),
+       A("Station", {V("s"), V("lat"), V("lon"), CS("Canada")}),
+       A("After", {V("y"), C(1900)})});
+  ASSERT_TRUE(view.ok());
+  auto result = view->Evaluate(ClimateDb());
+  ASSERT_TRUE(result.ok());
+  // Station 1 is Canadian; only its 1990 reading passes After(y,1900).
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(*result->begin(),
+            (Tuple{Value(int64_t{1}), Value(int64_t{1990}), Value(int64_t{1}),
+                   Value(int64_t{-105})}));
+}
+
+TEST(ConjunctiveQueryTest, EvaluateRepeatedVariableJoin) {
+  Database db;
+  db.AddFact("E", {Value(int64_t{1}), Value(int64_t{2})});
+  db.AddFact("E", {Value(int64_t{2}), Value(int64_t{2})});
+  auto diagonal = ConjunctiveQuery::Create(A("V", {V("x")}),
+                                           {A("E", {V("x"), V("x")})});
+  ASSERT_TRUE(diagonal.ok());
+  auto result = diagonal->Evaluate(db);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(*result->begin(), Tuple{Value(int64_t{2})});
+}
+
+TEST(ConjunctiveQueryTest, EvaluateTwoHopJoin) {
+  Database db;
+  db.AddFact("E", {Value(int64_t{1}), Value(int64_t{2})});
+  db.AddFact("E", {Value(int64_t{2}), Value(int64_t{3})});
+  db.AddFact("E", {Value(int64_t{3}), Value(int64_t{1})});
+  auto two_hop = ConjunctiveQuery::Create(
+      A("V", {V("x"), V("z")}),
+      {A("E", {V("x"), V("y")}), A("E", {V("y"), V("z")})});
+  ASSERT_TRUE(two_hop.ok());
+  auto result = two_hop->Evaluate(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // 1→3, 2→1, 3→2
+}
+
+TEST(ConjunctiveQueryTest, EvaluateEmptyRelation) {
+  auto query = ConjunctiveQuery::Create(A("V", {V("x")}),
+                                        {A("Missing", {V("x")})});
+  ASSERT_TRUE(query.ok());
+  auto result = query->Evaluate(Database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(ConjunctiveQueryTest, WitnessValuations) {
+  Database db;
+  db.AddFact("E", {Value(int64_t{1}), Value(int64_t{2})});
+  db.AddFact("E", {Value(int64_t{1}), Value(int64_t{3})});
+  auto proj = ConjunctiveQuery::Create(A("V", {V("x")}),
+                                       {A("E", {V("x"), V("y")})});
+  ASSERT_TRUE(proj.ok());
+  auto witnesses = proj->WitnessValuations(db, {Value(int64_t{1})});
+  ASSERT_TRUE(witnesses.ok());
+  EXPECT_EQ(witnesses->size(), 2u);  // y = 2 and y = 3
+  auto none = proj->WitnessValuations(db, {Value(int64_t{9})});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(ConjunctiveQueryTest, UnifyHeadWithConstants) {
+  auto fixed = ConjunctiveQuery::Create(
+      A("V", {C(438432), V("y")}), {A("T", {C(438432), V("y")})});
+  ASSERT_TRUE(fixed.ok());
+  auto match = fixed->UnifyHead({Value(int64_t{438432}), Value(int64_t{1990})});
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ((*match)->at("y"), Value(int64_t{1990}));
+  auto mismatch = fixed->UnifyHead({Value(int64_t{7}), Value(int64_t{1990})});
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_FALSE(mismatch->has_value());
+  EXPECT_FALSE(fixed->UnifyHead({Value(int64_t{1})}).ok());  // arity error
+}
+
+TEST(ConjunctiveQueryTest, UnifyHeadRepeatedVariable) {
+  auto repeated = ConjunctiveQuery::Create(A("V", {V("x"), V("x")}),
+                                           {A("R", {V("x"), V("x")})});
+  ASSERT_TRUE(repeated.ok());
+  auto same = repeated->UnifyHead({Value(int64_t{1}), Value(int64_t{1})});
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->has_value());
+  auto different = repeated->UnifyHead({Value(int64_t{1}), Value(int64_t{2})});
+  ASSERT_TRUE(different.ok());
+  EXPECT_FALSE(different->has_value());
+}
+
+TEST(ConjunctiveQueryTest, InferSchemaCollectsBodyRelations) {
+  auto view = ConjunctiveQuery::Create(
+      A("V", {V("x")}),
+      {A("R", {V("x"), V("y")}), A("S", {V("y")}),
+       A("After", {V("x"), C(0)})});
+  ASSERT_TRUE(view.ok());
+  Schema schema;
+  ASSERT_TRUE(view->InferSchema(&schema).ok());
+  EXPECT_EQ(schema.RelationNames(), (std::vector<std::string>{"R", "S"}));
+  // Built-ins are not schema relations.
+  EXPECT_FALSE(schema.HasRelation("After"));
+}
+
+TEST(ConjunctiveQueryTest, ToStringReadable) {
+  auto view = ConjunctiveQuery::Create(
+      A("V", {V("x")}), {A("R", {V("x"), C(1)}), A("After", {V("x"), C(0)})});
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->ToString(), "V(x) <- R(x, 1), After(x, 0)");
+}
+
+TEST(ConjunctiveQueryTest, ForEachValuationEarlyStop) {
+  Database db;
+  for (int64_t i = 0; i < 10; ++i) db.AddFact("R", {Value(i)});
+  const ConjunctiveQuery id = ConjunctiveQuery::Identity("R", 1);
+  int seen = 0;
+  auto completed = id.ForEachValuation(db, {}, [&](const Valuation&) {
+    return ++seen < 3;
+  });
+  ASSERT_TRUE(completed.ok());
+  EXPECT_FALSE(*completed);
+  EXPECT_EQ(seen, 3);
+}
+
+}  // namespace
+}  // namespace psc

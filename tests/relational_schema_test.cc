@@ -1,0 +1,69 @@
+#include "psc/relational/schema.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("R", 2).ok());
+  EXPECT_TRUE(schema.HasRelation("R"));
+  EXPECT_FALSE(schema.HasRelation("S"));
+  auto arity = schema.Arity("R");
+  ASSERT_TRUE(arity.ok());
+  EXPECT_EQ(*arity, 2u);
+  EXPECT_EQ(schema.Arity("S").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RedeclareSameArityIsIdempotent) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("R", 2).ok());
+  EXPECT_TRUE(schema.AddRelation("R", 2).ok());
+  EXPECT_EQ(schema.size(), 1u);
+}
+
+TEST(SchemaTest, ConflictingArityRejected) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("R", 2).ok());
+  const Status status = schema.AddRelation("R", 3);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RelationNamesSorted) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("Zeta", 1).ok());
+  EXPECT_TRUE(schema.AddRelation("Alpha", 2).ok());
+  EXPECT_EQ(schema.RelationNames(),
+            (std::vector<std::string>{"Alpha", "Zeta"}));
+}
+
+TEST(SchemaTest, MergeCompatible) {
+  Schema a;
+  Schema b;
+  EXPECT_TRUE(a.AddRelation("R", 1).ok());
+  EXPECT_TRUE(b.AddRelation("S", 2).ok());
+  EXPECT_TRUE(b.AddRelation("R", 1).ok());
+  EXPECT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(SchemaTest, MergeConflictFails) {
+  Schema a;
+  Schema b;
+  EXPECT_TRUE(a.AddRelation("R", 1).ok());
+  EXPECT_TRUE(b.AddRelation("R", 2).ok());
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  Schema a;
+  Schema b;
+  EXPECT_TRUE(a.AddRelation("R", 2).ok());
+  EXPECT_TRUE(b.AddRelation("R", 2).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "{R/2}");
+}
+
+}  // namespace
+}  // namespace psc

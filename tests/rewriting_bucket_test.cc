@@ -1,0 +1,198 @@
+#include "psc/rewriting/bucket_rewriter.h"
+
+#include "gtest/gtest.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/rewriting/containment.h"
+#include "psc/workload/ghcn.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::Q;
+using testing::U;
+
+SourceDescriptor MakeSource(const std::string& name,
+                            const std::string& view_text, Relation extension,
+                            const std::string& s = "1") {
+  auto view = Q(view_text);
+  auto source = SourceDescriptor::Create(name, view, std::move(extension),
+                                         Rational::Zero(),
+                                         *Rational::Parse(s));
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return std::move(source).ValueOrDie();
+}
+
+TEST(BucketRewriterTest, IdentityViewCoversIdentityQuery) {
+  auto collection = SourceCollection::Create(
+      {MakeSource("S1", "V(x) <- R(x)", {U(1), U(2)})});
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  auto rewritings = rewriter.Rewrite(Q("Ans(x) <- R(x)"));
+  ASSERT_TRUE(rewritings.ok()) << rewritings.status().ToString();
+  ASSERT_EQ(rewritings->size(), 1u);
+  EXPECT_EQ((*rewritings)[0].sources, std::vector<size_t>{0});
+  auto answer = rewriter.EvaluateOverExtensions((*rewritings)[0]);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(*answer, (Relation{U(1), U(2)}));
+}
+
+TEST(BucketRewriterTest, UncoverableSubgoalYieldsNoRewritings) {
+  auto collection = SourceCollection::Create(
+      {MakeSource("S1", "V(x) <- R(x)", {U(1)})});
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  auto rewritings = rewriter.Rewrite(Q("Ans(x) <- Other(x)"));
+  ASSERT_TRUE(rewritings.ok());
+  EXPECT_TRUE(rewritings->empty());
+}
+
+TEST(BucketRewriterTest, ExistentialViewVariableCannotExposeJoin) {
+  // View projects away the join column: V(x) ← E(x, y). The query joins
+  // on y, so the view cannot answer it.
+  auto collection = SourceCollection::Create(
+      {MakeSource("S1", "V(x) <- E(x, y)", {U(1)})});
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  auto rewritings = rewriter.Rewrite(Q("Ans(x, z) <- E(x, y), E(y, z)"));
+  ASSERT_TRUE(rewritings.ok());
+  EXPECT_TRUE(rewritings->empty());
+  // A view exposing both columns can.
+  auto full = SourceCollection::Create(
+      {MakeSource("S2", "W(x, y) <- E(x, y)",
+                  {Tuple{Value(int64_t{1}), Value(int64_t{2})},
+                   Tuple{Value(int64_t{2}), Value(int64_t{3})}})});
+  ASSERT_TRUE(full.ok());
+  BucketRewriter full_rewriter(&*full);
+  auto full_rewritings =
+      full_rewriter.Rewrite(Q("Ans(x, z) <- E(x, y), E(y, z)"));
+  ASSERT_TRUE(full_rewritings.ok());
+  ASSERT_EQ(full_rewritings->size(), 1u);
+  auto answer =
+      full_rewriter.EvaluateOverExtensions((*full_rewritings)[0]);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(*answer,
+            (Relation{Tuple{Value(int64_t{1}), Value(int64_t{3})}}));
+}
+
+TEST(BucketRewriterTest, ExpansionsAreAlwaysContained) {
+  auto collection = SourceCollection::Create({
+      MakeSource("S1", "V1(x, y) <- E(x, y)", {}),
+      MakeSource("S2", "V2(y) <- N(y)", {}),
+      MakeSource("S3", "V3(x) <- E(x, y), N(y)", {}),
+  });
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  const ConjunctiveQuery query = Q("Ans(x) <- E(x, y), N(y)");
+  auto rewritings = rewriter.Rewrite(query);
+  ASSERT_TRUE(rewritings.ok());
+  EXPECT_GE(rewritings->size(), 1u);
+  for (const Rewriting& rewriting : *rewritings) {
+    auto contained = IsContainedIn(rewriting.expansion, query);
+    ASSERT_TRUE(contained.ok());
+    EXPECT_TRUE(*contained) << rewriting.expansion.ToString();
+  }
+}
+
+TEST(BucketRewriterTest, ViewWithBuiltinRewritesMatchingQuery) {
+  // The climatology case: view and query share After(y, 1900) verbatim.
+  auto collection = SourceCollection::Create({MakeSource(
+      "S1",
+      "V1(s, y, m, v) <- Temperature(s, y, m, v), "
+      "Station(s, lat, lon, \"Canada\"), After(y, 1900)",
+      {Tuple{Value(int64_t{100}), Value(int64_t{1990}), Value(int64_t{1}),
+             Value(int64_t{-105})}})});
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  const ConjunctiveQuery query = Q(
+      "Ans(s, y, m, v) <- Temperature(s, y, m, v), "
+      "Station(s, lat, lon, \"Canada\"), After(y, 1900)");
+  auto answer = rewriter.AnswerUsingViews(query);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_EQ(*answer->begin(),
+            (Tuple{Value(int64_t{100}), Value(int64_t{1990}),
+                   Value(int64_t{1}), Value(int64_t{-105})}));
+  // A query *without* the built-in is more general and is still
+  // answerable by the same (more specific) view.
+  auto general = rewriter.AnswerUsingViews(
+      Q("Ans(s, y, m, v) <- Temperature(s, y, m, v), "
+        "Station(s, lat, lon, \"Canada\")"));
+  ASSERT_TRUE(general.ok());
+  EXPECT_EQ(general->size(), 1u);
+}
+
+TEST(BucketRewriterTest, SoundViewsGiveCertainAnswers) {
+  // Property: with fully sound sources, every view-based answer lies in
+  // Q(D) for every possible world D.
+  auto collection = SourceCollection::Create({
+      MakeSource("S1", "V1(x) <- E(x, y), N(y)", {U(0)}, "1"),
+      MakeSource("S2", "V2(x, y) <- E(x, y)",
+                 {Tuple{Value(int64_t{0}), Value(int64_t{1})}}, "1"),
+  });
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  const ConjunctiveQuery query = Q("Ans(x) <- E(x, y)");
+  auto answer = rewriter.AnswerUsingViews(query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->count(U(0)), 1u);
+
+  BruteForceWorldEnumerator oracle(&*collection, testing::IntDomain(3));
+  uint64_t worlds = 0;
+  ASSERT_TRUE(oracle
+                  .ForEachPossibleWorld([&](const Database& world) {
+                    ++worlds;
+                    auto in_world = query.Evaluate(world);
+                    EXPECT_TRUE(in_world.ok());
+                    for (const Tuple& tuple : *answer) {
+                      EXPECT_EQ(in_world->count(tuple), 1u)
+                          << world.ToString();
+                    }
+                    return true;
+                  })
+                  .ok());
+  EXPECT_GT(worlds, 0u);
+}
+
+TEST(BucketRewriterTest, GhcnEndToEnd) {
+  GhcnConfig config;
+  config.num_stations = 6;
+  config.start_year = 1990;
+  config.end_year = 1990;
+  GhcnGenerator generator(config, 77);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto s0 = generator.MakeCatalogSource(world, "S0");
+  auto s1 = generator.MakeCountrySource(world, "S1", "Canada", 1900, 1.0,
+                                        0.0);  // sound & complete
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  auto collection = SourceCollection::Create({*s0, *s1});
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  const ConjunctiveQuery query = Q(
+      "Ans(s, y, m, v) <- Temperature(s, y, m, v), "
+      "Station(s, lat, lon, \"Canada\"), After(y, 1900)");
+  auto answer = rewriter.AnswerUsingViews(query);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  // The sound+complete Canadian source answers the query exactly.
+  auto truth_answer = query.Evaluate(world.truth);
+  ASSERT_TRUE(truth_answer.ok());
+  EXPECT_EQ(*answer, *truth_answer);
+  EXPECT_FALSE(answer->empty());
+}
+
+TEST(BucketRewriterTest, NoRelationalSubgoalUnimplemented) {
+  auto collection = SourceCollection::Create(
+      {MakeSource("S1", "V(x) <- R(x)", {U(1)})});
+  ASSERT_TRUE(collection.ok());
+  BucketRewriter rewriter(&*collection);
+  // Cannot even construct such a query through the validated API, so use
+  // the rewriter contract on an empty collection instead: a query over a
+  // relation no view mentions yields zero rewritings (covered above);
+  // here just confirm AnswerUsingViews degrades to the empty answer.
+  auto answer = rewriter.AnswerUsingViews(Q("Ans(x) <- Missing(x)"));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());
+}
+
+}  // namespace
+}  // namespace psc

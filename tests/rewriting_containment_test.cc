@@ -1,0 +1,142 @@
+#include "psc/rewriting/containment.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::Q;
+
+bool Contained(const std::string& q1, const std::string& q2) {
+  auto result = IsContainedIn(Q(q1), Q(q2));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() && *result;
+}
+
+TEST(ContainmentTest, ReflexiveAndRenaming) {
+  EXPECT_TRUE(Contained("V(x) <- R(x)", "V(x) <- R(x)"));
+  EXPECT_TRUE(Contained("V(x) <- R(x)", "W(a) <- R(a)"));
+}
+
+TEST(ContainmentTest, MoreAtomsMeansMoreSpecific) {
+  // R(x),S(x) ⊑ R(x) but not conversely.
+  EXPECT_TRUE(Contained("V(x) <- R(x), S(x)", "V(x) <- R(x)"));
+  EXPECT_FALSE(Contained("V(x) <- R(x)", "V(x) <- R(x), S(x)"));
+}
+
+TEST(ContainmentTest, ClassicSelfLoopExample) {
+  // The textbook pair: path-of-length-2 vs self-loop.
+  // Q_loop(x) = E(x,x) is contained in Q_path(x) = E(x,y),E(y,z)… mapped
+  // onto the loop; the reverse fails.
+  EXPECT_TRUE(
+      Contained("V(x) <- E(x, x)", "V(x) <- E(x, y), E(y, z)"));
+  EXPECT_FALSE(
+      Contained("V(x) <- E(x, y), E(y, z)", "V(x) <- E(x, x)"));
+}
+
+TEST(ContainmentTest, ConstantsAreFixedPoints) {
+  EXPECT_TRUE(Contained("V(x) <- R(x, 1)", "V(x) <- R(x, y)"));
+  EXPECT_FALSE(Contained("V(x) <- R(x, y)", "V(x) <- R(x, 1)"));
+  EXPECT_FALSE(Contained("V(x) <- R(x, 1)", "V(x) <- R(x, 2)"));
+}
+
+TEST(ContainmentTest, HeadVariablesMustAlign) {
+  // Same bodies, different head projections.
+  EXPECT_FALSE(Contained("V(x) <- R(x, y)", "V(y) <- R(x, y)"));
+  EXPECT_TRUE(Contained("V(x, y) <- R(x, y)", "V(a, b) <- R(a, b)"));
+  // The doubled head collapses both positions: a ↦ x, b ↦ x works.
+  EXPECT_TRUE(Contained("V(x, x) <- R(x, x)", "V(a, b) <- R(b, a)"));
+}
+
+TEST(ContainmentTest, ArityMismatchIsAnError) {
+  auto result = IsContainedIn(Q("V(x) <- R(x)"), Q("V(x, y) <- R2(x, y)"));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContainmentTest, BuiltinsVerbatimMatch) {
+  EXPECT_TRUE(Contained("V(y) <- T(y), After(y, 1900)",
+                        "V(y) <- T(y), After(y, 1900)"));
+  // Dropping the built-in weakens: specific ⊑ general.
+  EXPECT_TRUE(Contained("V(y) <- T(y), After(y, 1900)", "V(y) <- T(y)"));
+  EXPECT_FALSE(Contained("V(y) <- T(y)", "V(y) <- T(y), After(y, 1900)"));
+  // Different constants: conservatively rejected (even though 1950 > 1900
+  // would imply containment semantically — documented incompleteness).
+  EXPECT_FALSE(Contained("V(y) <- T(y), After(y, 1950)",
+                         "V(y) <- T(y), After(y, 1900)"));
+}
+
+TEST(ContainmentTest, GroundBuiltinsEvaluate) {
+  EXPECT_TRUE(Contained("V(x) <- R(x, 1990)",
+                        "V(x) <- R(x, y), After(y, 1900)"));
+  EXPECT_FALSE(Contained("V(x) <- R(x, 1800)",
+                         "V(x) <- R(x, y), After(y, 1900)"));
+}
+
+TEST(ContainmentTest, EquivalenceDetectsRedundancy) {
+  auto equivalent =
+      AreEquivalent(Q("V(x) <- R(x, y), R(x, z)"), Q("V(x) <- R(x, y)"));
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+  auto different =
+      AreEquivalent(Q("V(x) <- R(x, y)"), Q("V(x) <- R(y, x)"));
+  ASSERT_TRUE(different.ok());
+  EXPECT_FALSE(*different);
+}
+
+TEST(MinimizeTest, DropsRedundantAtoms) {
+  auto minimized = MinimizeQuery(Q("V(x) <- R(x, y), R(x, z)"));
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->relational_body().size(), 1u);
+  auto equivalent =
+      AreEquivalent(*minimized, Q("V(x) <- R(x, y)"));
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(MinimizeTest, KeepsCoreAtoms) {
+  // A genuine 2-path cannot shrink.
+  auto minimized = MinimizeQuery(Q("V(x, z) <- E(x, y), E(y, z)"));
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->relational_body().size(), 2u);
+  // Neither can a cross-relation conjunction.
+  auto cross = MinimizeQuery(Q("V(x) <- R(x), S(x)"));
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross->relational_body().size(), 2u);
+}
+
+TEST(MinimizeTest, TriangleWithLoopCollapses) {
+  // E(x,y),E(y,x),E(x,x) has core E(x,x) when x is the only head var.
+  auto minimized = MinimizeQuery(Q("V(x) <- E(x, y), E(y, x), E(x, x)"));
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->relational_body().size(), 1u);
+  EXPECT_EQ(minimized->relational_body()[0], Q("V(x) <- E(x, x)")
+                                                 .relational_body()[0]);
+}
+
+TEST(MinimizeTest, PreservesBuiltinSafety) {
+  // The atom binding the built-in's variable must survive.
+  auto minimized =
+      MinimizeQuery(Q("V(x) <- R(x), S(y), After(y, 5)"));
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->relational_body().size(), 2u);
+}
+
+TEST(MinimizeTest, SemanticsPreservedOnConcreteDatabase) {
+  const ConjunctiveQuery original = Q("V(x) <- E(x, y), E(x, z), E(x, x)");
+  auto minimized = MinimizeQuery(original);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_LT(minimized->relational_body().size(),
+            original.relational_body().size());
+  Database db;
+  db.AddFact("E", {Value(int64_t{1}), Value(int64_t{1})});
+  db.AddFact("E", {Value(int64_t{1}), Value(int64_t{2})});
+  db.AddFact("E", {Value(int64_t{2}), Value(int64_t{3})});
+  auto before = original.Evaluate(db);
+  auto after = minimized->Evaluate(db);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,114 @@
+#include "psc/source/source_collection.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+
+TEST(SourceCollectionTest, CreateValidatesNames) {
+  EXPECT_FALSE(SourceCollection::Create(
+                   {MakeUnarySource("A", {1}, "1", "1"),
+                    MakeUnarySource("A", {2}, "1", "1")})
+                   .ok());
+  EXPECT_FALSE(
+      SourceCollection::Create({MakeUnarySource("", {1}, "1", "1")}).ok());
+}
+
+TEST(SourceCollectionTest, SchemaInferredFromViews) {
+  auto collection = MakeUnaryCollection({MakeUnarySource("A", {1}, "1", "1")});
+  EXPECT_TRUE(collection.schema().HasRelation("R"));
+  EXPECT_EQ(*collection.schema().Arity("R"), 1u);
+}
+
+TEST(SourceCollectionTest, IndexOf) {
+  auto collection = MakeUnaryCollection({MakeUnarySource("A", {1}, "1", "1"),
+                                         MakeUnarySource("B", {2}, "1", "1")});
+  EXPECT_EQ(*collection.IndexOf("B"), 1u);
+  EXPECT_EQ(collection.IndexOf("C").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SourceCollectionTest, IsPossibleWorldChecksEverySource) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("A", {1, 2}, "1/2", "1/2"),
+                           MakeUnarySource("B", {2, 3}, "1/2", "1/2")});
+  Database world;
+  world.AddFact("R", {Value(int64_t{2})});
+  EXPECT_TRUE(*collection.IsPossibleWorld(world));
+  Database bad;
+  bad.AddFact("R", {Value(int64_t{9})});
+  EXPECT_FALSE(*collection.IsPossibleWorld(bad));
+}
+
+TEST(SourceCollectionTest, SizeAndWitnessBound) {
+  auto collection =
+      MakeUnaryCollection({MakeUnarySource("A", {1, 2}, "1", "1"),
+                           MakeUnarySource("B", {3}, "1", "1")});
+  EXPECT_EQ(collection.TotalExtensionSize(), 3u);
+  // Identity views have body size 1 → bound = 1 · 3.
+  EXPECT_EQ(collection.WitnessSizeBound(), 3u);
+}
+
+TEST(SourceCollectionTest, WitnessBoundUsesMaxBodySize) {
+  auto join_view = testing::Q("V(x) <- R2(x, y), S2(y)");
+  Relation extension = {testing::U(1)};
+  auto join_source = SourceDescriptor::Create("J", join_view, extension,
+                                              Rational::One(),
+                                              Rational::One());
+  ASSERT_TRUE(join_source.ok());
+  auto collection = SourceCollection::Create(
+      {*join_source, MakeUnarySource("A", {1, 2}, "1", "1")});
+  ASSERT_TRUE(collection.ok());
+  // max |body| = 2 (relational atoms of J), Σ|vᵢ| = 3.
+  EXPECT_EQ(collection->WitnessSizeBound(), 6u);
+}
+
+TEST(SourceCollectionTest, AllIdentityViewsDetection) {
+  auto identity = MakeUnaryCollection({MakeUnarySource("A", {1}, "1", "1"),
+                                       MakeUnarySource("B", {2}, "1", "1")});
+  std::string relation;
+  EXPECT_TRUE(identity.AllIdentityViews(&relation));
+  EXPECT_EQ(relation, "R");
+
+  auto proj = testing::Q("V(x) <- R2(x, y)");
+  auto proj_source = SourceDescriptor::Create("P", proj, {}, Rational::One(),
+                                              Rational::One());
+  ASSERT_TRUE(proj_source.ok());
+  auto mixed = SourceCollection::Create(
+      {MakeUnarySource("A", {1}, "1", "1"), *proj_source});
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_FALSE(mixed->AllIdentityViews());
+
+  // Identities over different relations do not qualify.
+  auto other = SourceDescriptor::Create(
+      "O", ConjunctiveQuery::Identity("S", 1), {}, Rational::One(),
+      Rational::One());
+  ASSERT_TRUE(other.ok());
+  auto two_relations = SourceCollection::Create(
+      {MakeUnarySource("A", {1}, "1", "1"), *other});
+  ASSERT_TRUE(two_relations.ok());
+  EXPECT_FALSE(two_relations->AllIdentityViews());
+
+  // The empty collection has no common relation.
+  EXPECT_FALSE(MakeUnaryCollection({}).AllIdentityViews());
+}
+
+TEST(SourceCollectionTest, MentionedConstantsCoverExtensionsAndViews) {
+  auto view = testing::Q("V(y) <- Temperature(438432, y), After(y, 1900)");
+  Relation extension = {testing::U(1990)};
+  auto source = SourceDescriptor::Create("S", view, extension,
+                                         Rational::One(), Rational::One());
+  ASSERT_TRUE(source.ok());
+  auto collection = SourceCollection::Create({*source});
+  ASSERT_TRUE(collection.ok());
+  const std::vector<Value> constants = collection->MentionedConstants();
+  EXPECT_EQ(constants,
+            (std::vector<Value>{Value(int64_t{1900}), Value(int64_t{1990}),
+                                Value(int64_t{438432})}));
+}
+
+}  // namespace
+}  // namespace psc

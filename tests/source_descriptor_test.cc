@@ -1,0 +1,80 @@
+#include "psc/source/source_descriptor.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::U;
+
+TEST(SourceDescriptorTest, CreateValid) {
+  Relation extension = {U(1), U(2)};
+  auto source = SourceDescriptor::Create(
+      "S1", ConjunctiveQuery::Identity("R", 1), extension, Rational(1, 2),
+      Rational(3, 4));
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->name(), "S1");
+  EXPECT_EQ(source->extension_size(), 2u);
+  EXPECT_EQ(source->completeness_bound(), Rational(1, 2));
+  EXPECT_EQ(source->soundness_bound(), Rational(3, 4));
+}
+
+TEST(SourceDescriptorTest, BoundsOutsideUnitIntervalRejected) {
+  Relation extension = {U(1)};
+  EXPECT_FALSE(SourceDescriptor::Create("S", ConjunctiveQuery::Identity("R", 1),
+                                        extension, Rational(3, 2),
+                                        Rational(1, 2))
+                   .ok());
+  EXPECT_FALSE(SourceDescriptor::Create("S", ConjunctiveQuery::Identity("R", 1),
+                                        extension, Rational(1, 2),
+                                        Rational(-1, 2))
+                   .ok());
+}
+
+TEST(SourceDescriptorTest, ExtensionArityMismatchRejected) {
+  Relation extension = {Tuple{Value(int64_t{1}), Value(int64_t{2})}};
+  EXPECT_EQ(SourceDescriptor::Create("S", ConjunctiveQuery::Identity("R", 1),
+                                     extension, Rational::One(),
+                                     Rational::One())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SourceDescriptorTest, MinSoundFactsUsesCeiling) {
+  // |v| = 3, s = 1/2 → ⌈1.5⌉ = 2.
+  auto source = testing::MakeUnarySource("S", {1, 2, 3}, "1", "1/2");
+  EXPECT_EQ(source.MinSoundFacts(), 2);
+  // s = 1/3 → exactly 1.
+  auto exact = testing::MakeUnarySource("S", {1, 2, 3}, "1", "1/3");
+  EXPECT_EQ(exact.MinSoundFacts(), 1);
+  // s = 0 → 0.
+  auto zero = testing::MakeUnarySource("S", {1, 2, 3}, "1", "0");
+  EXPECT_EQ(zero.MinSoundFacts(), 0);
+  // Empty extension → 0 regardless of s.
+  auto empty = testing::MakeUnarySource("S", {}, "1", "1");
+  EXPECT_EQ(empty.MinSoundFacts(), 0);
+}
+
+TEST(SourceDescriptorTest, EmptyExtensionAllowed) {
+  auto source = SourceDescriptor::Create("S",
+                                         ConjunctiveQuery::Identity("R", 1),
+                                         Relation{}, Rational::One(),
+                                         Rational::One());
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->extension_size(), 0u);
+}
+
+TEST(SourceDescriptorTest, ToStringMentionsEveryField) {
+  auto source = testing::MakeUnarySource("S9", {7}, "1/2", "1/3");
+  const std::string text = source.ToString();
+  EXPECT_NE(text.find("source S9"), std::string::npos);
+  EXPECT_NE(text.find("view:"), std::string::npos);
+  EXPECT_NE(text.find("completeness: 1/2"), std::string::npos);
+  EXPECT_NE(text.find("soundness: 1/3"), std::string::npos);
+  EXPECT_NE(text.find("(7)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psc

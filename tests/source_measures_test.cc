@@ -1,0 +1,90 @@
+#include "psc/source/measures.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::U;
+
+Database Db(const std::vector<int64_t>& facts) {
+  Database db;
+  for (const int64_t fact : facts) db.AddFact("R", {Value(fact)});
+  return db;
+}
+
+TEST(MeasuresTest, DefinitionsOnIdentityView) {
+  // v = {1,2,3}, D = {2,3,4} → φ(D) = D, intersection = {2,3}.
+  auto source = testing::MakeUnarySource("S", {1, 2, 3}, "0", "0");
+  auto measures = ComputeMeasures(source, Db({2, 3, 4}));
+  ASSERT_TRUE(measures.ok());
+  EXPECT_EQ(measures->view_result_size, 3);
+  EXPECT_EQ(measures->extension_size, 3);
+  EXPECT_EQ(measures->intersection_size, 2);
+  EXPECT_EQ(measures->completeness, Rational(2, 3));
+  EXPECT_EQ(measures->soundness, Rational(2, 3));
+}
+
+TEST(MeasuresTest, EmptyViewResultIsVacuouslyComplete) {
+  auto source = testing::MakeUnarySource("S", {1}, "1", "0");
+  auto measures = ComputeMeasures(source, Db({}));
+  ASSERT_TRUE(measures.ok());
+  EXPECT_EQ(measures->completeness, Rational::One());
+  EXPECT_EQ(measures->soundness, Rational::Zero());
+}
+
+TEST(MeasuresTest, EmptyExtensionIsVacuouslySound) {
+  auto source = testing::MakeUnarySource("S", {}, "0", "1");
+  auto measures = ComputeMeasures(source, Db({1, 2}));
+  ASSERT_TRUE(measures.ok());
+  EXPECT_EQ(measures->soundness, Rational::One());
+  EXPECT_EQ(measures->completeness, Rational::Zero());
+}
+
+TEST(MeasuresTest, SatisfiesBoundsChecksBoth) {
+  auto source = testing::MakeUnarySource("S", {1, 2}, "1/2", "1/2");
+  // D = {1,3}: soundness 1/2 ✓, completeness 1/2 ✓.
+  EXPECT_TRUE(*SatisfiesBounds(source, Db({1, 3})));
+  // D = {3,4}: soundness 0 ✗.
+  EXPECT_FALSE(*SatisfiesBounds(source, Db({3, 4})));
+  // D = {1,3,4}: completeness 1/3 ✗.
+  EXPECT_FALSE(*SatisfiesBounds(source, Db({1, 3, 4})));
+  // D = {1,2}: both 1 ✓.
+  EXPECT_TRUE(*SatisfiesBounds(source, Db({1, 2})));
+}
+
+TEST(MeasuresTest, SoundCompleteExactPredicates) {
+  auto source = testing::MakeUnarySource("S", {1, 2}, "0", "0");
+  EXPECT_TRUE(*IsSound(source, Db({1, 2, 3})));     // v ⊆ φ(D)
+  EXPECT_FALSE(*IsComplete(source, Db({1, 2, 3})));
+  EXPECT_TRUE(*IsComplete(source, Db({1})));        // v ⊇ φ(D)
+  EXPECT_FALSE(*IsSound(source, Db({1})));
+  EXPECT_TRUE(*IsExact(source, Db({1, 2})));
+  EXPECT_FALSE(*IsExact(source, Db({1})));
+  EXPECT_FALSE(*IsExact(source, Db({1, 2, 3})));
+}
+
+TEST(MeasuresTest, NonIdentityViewUsesQuerySemantics) {
+  // View selects Canadian stations only.
+  auto view = testing::Q(
+      "V(s) <- Station(s, lat, lon, c), Eq(c, \"Canada\")");
+  Relation extension = {U(1), U(99)};  // 99 is a bogus claim
+  auto source = SourceDescriptor::Create("S", view, extension, Rational(1, 2),
+                                         Rational(1, 2));
+  ASSERT_TRUE(source.ok());
+  Database db;
+  db.AddFact("Station", {Value(int64_t{1}), Value(int64_t{45}),
+                         Value(int64_t{-75}), Value("Canada")});
+  db.AddFact("Station", {Value(int64_t{2}), Value(int64_t{40}),
+                         Value(int64_t{-74}), Value("US")});
+  auto measures = ComputeMeasures(*source, db);
+  ASSERT_TRUE(measures.ok());
+  EXPECT_EQ(measures->view_result_size, 1);   // only station 1
+  EXPECT_EQ(measures->intersection_size, 1);  // the bogus 99 is unsound
+  EXPECT_EQ(measures->soundness, Rational(1, 2));
+  EXPECT_EQ(measures->completeness, Rational::One());
+}
+
+}  // namespace
+}  // namespace psc

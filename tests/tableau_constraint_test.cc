@@ -1,0 +1,128 @@
+// Covers constraints (U, Θ) and rep(𝒯) membership, including the paper's
+// Example 4.1 / 4.2 template verbatim.
+
+#include "psc/tableau/constraint.h"
+
+#include "gtest/gtest.h"
+#include "psc/tableau/database_template.h"
+
+namespace psc {
+namespace {
+
+Term V(const std::string& name) { return Term::Var(name); }
+Term CS(const char* v) { return Term::ConstStr(v); }
+
+TEST(ConstraintTest, CompatibleChecksBindings) {
+  Valuation sigma = {{"x", Value("b")}, {"y", Value("c")}};
+  EXPECT_TRUE(Constraint::Compatible(sigma, {{"x", CS("b")}}));
+  EXPECT_FALSE(Constraint::Compatible(sigma, {{"x", CS("c")}}));
+  EXPECT_FALSE(Constraint::Compatible(sigma, {{"x", V("y")}}));
+  sigma["y"] = Value("b");
+  EXPECT_TRUE(Constraint::Compatible(sigma, {{"x", V("y")}}));
+  // Unbound variables on either side cannot certify compatibility.
+  EXPECT_FALSE(Constraint::Compatible(sigma, {{"z", CS("b")}}));
+  EXPECT_FALSE(Constraint::Compatible(sigma, {{"x", V("unbound")}}));
+  // The empty substitution is compatible with anything.
+  EXPECT_TRUE(Constraint::Compatible(sigma, {}));
+}
+
+/// The paper's Example 4.1 template:
+/// T1 = {R(a,x), S(b,c), S(b,c')}, T2 = {R(a',b'), S(b,c)},
+/// C = {({R(a,x)}, {{x/b}, {x/b'}})}, with a,b,c,a',b',c' constants.
+DatabaseTemplate Example41() {
+  const Term a = CS("a");
+  const Term b = CS("b");
+  const Term c = CS("c");
+  const Term a2 = CS("a'");
+  const Term b2 = CS("b'");
+  const Term c2 = CS("c'");
+  Tableau t1 = {Atom("R", {a, V("x")}), Atom("S", {b, c}),
+                Atom("S", {b, c2})};
+  Tableau t2 = {Atom("R", {a2, b2}), Atom("S", {b, c})};
+  Constraint constraint;
+  constraint.pattern = {Atom("R", {a, V("x")})};
+  constraint.options = {{{"x", b}}, {{"x", b2}}};
+  return DatabaseTemplate({t1, t2}, {constraint});
+}
+
+Database Db(const std::vector<std::pair<const char*, std::vector<const char*>>>&
+                facts) {
+  Database db;
+  for (const auto& [relation, strings] : facts) {
+    Tuple tuple;
+    for (const char* s : strings) tuple.push_back(Value(s));
+    db.AddFact(relation, std::move(tuple));
+  }
+  return db;
+}
+
+TEST(Example42Test, ListedDatabasesAreRepresented) {
+  const DatabaseTemplate t = Example41();
+  // The three minimal databases of Example 4.2.
+  EXPECT_TRUE(t.RepContains(
+      Db({{"R", {"a", "b"}}, {"S", {"b", "c"}}, {"S", {"b", "c'"}}})));
+  EXPECT_TRUE(t.RepContains(
+      Db({{"R", {"a", "b'"}}, {"S", {"b", "c"}}, {"S", {"b", "c'"}}})));
+  EXPECT_TRUE(t.RepContains(Db({{"R", {"a'", "b'"}}, {"S", {"b", "c"}}})));
+}
+
+TEST(Example42Test, SupersetSatisfyingConstraintIsRepresented) {
+  // {R(a,b), R(a,b'), S(b,c), S(b,c')} ∈ rep(𝒯) per the paper.
+  const DatabaseTemplate t = Example41();
+  EXPECT_TRUE(t.RepContains(Db({{"R", {"a", "b"}},
+                                {"R", {"a", "b'"}},
+                                {"S", {"b", "c"}},
+                                {"S", {"b", "c'"}}})));
+}
+
+TEST(Example42Test, ConstraintViolationExcludes) {
+  // {R(a,c), R(a,b'), S(b,c), S(b,c')} ∉ rep(𝒯): R(a,c) embeds the
+  // constraint pattern with x = c, incompatible with both substitutions.
+  const DatabaseTemplate t = Example41();
+  EXPECT_FALSE(t.RepContains(Db({{"R", {"a", "c"}},
+                                 {"R", {"a", "b'"}},
+                                 {"S", {"b", "c"}},
+                                 {"S", {"b", "c'"}}})));
+}
+
+TEST(Example42Test, NoTableauEmbeddingExcludes) {
+  const DatabaseTemplate t = Example41();
+  EXPECT_FALSE(t.RepContains(Db({{"S", {"b", "c"}}})));
+  EXPECT_FALSE(t.RepContains(Database()));
+}
+
+TEST(ConstraintTest, SatisfiedVacuouslyWhenPatternDoesNotEmbed) {
+  Constraint constraint;
+  constraint.pattern = {Atom("R", {V("x")})};
+  constraint.options = {};  // nothing is compatible
+  // No embedding → satisfied.
+  EXPECT_TRUE(constraint.SatisfiedBy(Database()));
+  // One embedding and empty Θ → violated.
+  Database db;
+  db.AddFact("R", {Value(int64_t{1})});
+  EXPECT_FALSE(constraint.SatisfiedBy(db));
+}
+
+TEST(DatabaseTemplateTest, FreezeTableauProducesCanonicalDb) {
+  Tableau tableau = {Atom("R", {V("x"), V("y")}), Atom("S", {V("y")})};
+  DatabaseTemplate t({tableau}, {});
+  const Database frozen = t.FreezeTableau(0);
+  EXPECT_EQ(frozen.size(), 2u);
+  // The frozen database embeds its own tableau.
+  EXPECT_TRUE(HasEmbedding(tableau, frozen));
+  // Distinct variables got distinct constants: R's two columns differ.
+  const Relation& r = frozen.GetRelation("R");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NE((*r.begin())[0], (*r.begin())[1]);
+}
+
+TEST(DatabaseTemplateTest, ToStringListsParts) {
+  const DatabaseTemplate t = Example41();
+  const std::string text = t.ToString();
+  EXPECT_NE(text.find("T1 ="), std::string::npos);
+  EXPECT_NE(text.find("T2 ="), std::string::npos);
+  EXPECT_NE(text.find("C: "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,121 @@
+#include "psc/tableau/tableau.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+Term V(const std::string& name) { return Term::Var(name); }
+Term C(int64_t v) { return Term::ConstInt(v); }
+Term CS(const char* v) { return Term::ConstStr(v); }
+
+TEST(SubstitutionTest, AppliesToTermsAndAtoms) {
+  Substitution subst = {{"x", C(1)}, {"y", V("z")}};
+  EXPECT_EQ(ApplySubstitution(V("x"), subst), C(1));
+  EXPECT_EQ(ApplySubstitution(V("y"), subst), V("z"));
+  EXPECT_EQ(ApplySubstitution(V("w"), subst), V("w"));  // outside domain
+  EXPECT_EQ(ApplySubstitution(C(9), subst), C(9));      // constants fixed
+
+  Atom atom("R", {V("x"), V("y"), C(7)});
+  const Atom mapped = ApplySubstitution(atom, subst);
+  EXPECT_EQ(mapped, Atom("R", {C(1), V("z"), C(7)}));
+}
+
+TEST(SubstitutionTest, AppliesToTableauxWithMerging) {
+  // Two atoms collapse to one under the substitution.
+  Tableau tableau = {Atom("R", {V("x")}), Atom("R", {V("y")})};
+  Substitution collapse = {{"x", V("z")}, {"y", V("z")}};
+  const Tableau mapped = ApplySubstitution(tableau, collapse);
+  EXPECT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(*mapped.begin(), Atom("R", {V("z")}));
+}
+
+TEST(TableauVariablesTest, CollectsAcrossAtoms) {
+  Tableau tableau = {Atom("R", {V("x"), C(1)}), Atom("S", {V("y"), V("x")})};
+  EXPECT_EQ(TableauVariables(tableau), (std::set<std::string>{"x", "y"}));
+  EXPECT_TRUE(TableauVariables({}).empty());
+}
+
+Database SmallDb() {
+  Database db;
+  db.AddFact("R", {Value(int64_t{1}), Value(int64_t{2})});
+  db.AddFact("R", {Value(int64_t{2}), Value(int64_t{3})});
+  db.AddFact("S", {Value(int64_t{2})});
+  return db;
+}
+
+TEST(EmbeddingTest, FindsAllHomomorphisms) {
+  // R(x,y) embeds twice.
+  Tableau tableau = {Atom("R", {V("x"), V("y")})};
+  int count = 0;
+  EXPECT_TRUE(ForEachEmbedding(tableau, SmallDb(), [&](const Valuation& v) {
+    EXPECT_EQ(v.size(), 2u);
+    ++count;
+    return true;
+  }));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EmbeddingTest, JoinAcrossAtoms) {
+  // R(x,y), S(y): only y = 2 works.
+  Tableau tableau = {Atom("R", {V("x"), V("y")}), Atom("S", {V("y")})};
+  int count = 0;
+  ForEachEmbedding(tableau, SmallDb(), [&](const Valuation& v) {
+    EXPECT_EQ(v.at("x"), Value(int64_t{1}));
+    EXPECT_EQ(v.at("y"), Value(int64_t{2}));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EmbeddingTest, ConstantsMustMatch) {
+  Tableau ok = {Atom("R", {C(1), V("y")})};
+  EXPECT_TRUE(HasEmbedding(ok, SmallDb()));
+  Tableau bad = {Atom("R", {C(9), V("y")})};
+  EXPECT_FALSE(HasEmbedding(bad, SmallDb()));
+}
+
+TEST(EmbeddingTest, RepeatedVariablesForceEquality) {
+  Tableau diagonal = {Atom("R", {V("x"), V("x")})};
+  EXPECT_FALSE(HasEmbedding(diagonal, SmallDb()));
+  Database with_loop = SmallDb();
+  with_loop.AddFact("R", {Value(int64_t{5}), Value(int64_t{5})});
+  EXPECT_TRUE(HasEmbedding(diagonal, with_loop));
+}
+
+TEST(EmbeddingTest, EmptyTableauEmbedsTrivially) {
+  int count = 0;
+  ForEachEmbedding({}, SmallDb(), [&](const Valuation& v) {
+    EXPECT_TRUE(v.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(HasEmbedding({}, Database()));
+}
+
+TEST(EmbeddingTest, EarlyStop) {
+  Tableau tableau = {Atom("R", {V("x"), V("y")})};
+  int count = 0;
+  const bool completed =
+      ForEachEmbedding(tableau, SmallDb(), [&](const Valuation&) {
+        ++count;
+        return false;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EmbeddingTest, MissingRelationMeansNoEmbedding) {
+  Tableau tableau = {Atom("Missing", {V("x")})};
+  EXPECT_FALSE(HasEmbedding(tableau, SmallDb()));
+}
+
+TEST(TableauToStringTest, CanonicalOrder) {
+  Tableau tableau = {Atom("S", {CS("b")}), Atom("R", {C(1)})};
+  EXPECT_EQ(TableauToString(tableau), "{R(1), S(\"b\")}");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,116 @@
+// Theorem 4.1: poss(S) = ⋃_{U ∈ 𝒰} rep(𝒯^U(S)).
+//
+// Verified extensionally: over a small finite universe, every database is
+// classified identically by (a) the direct poss(S) membership test
+// (measures against bounds) and (b) membership in some template's rep.
+
+#include "gtest/gtest.h"
+#include "psc/consistency/possible_worlds.h"
+#include "psc/tableau/template_builder.h"
+#include "psc/workload/random_collections.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+
+/// Checks the set equality over all subsets of the universe.
+void ExpectTheorem41(const SourceCollection& collection,
+                     const std::vector<Value>& domain) {
+  TemplateBuilder builder(&collection);
+  auto universe = EnumerateFactUniverse(collection.schema(), domain, 1 << 12);
+  ASSERT_TRUE(universe.ok());
+  ASSERT_LE(universe->size(), 14u) << "test universe too large";
+  const uint64_t limit = uint64_t{1} << universe->size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Database db;
+    for (size_t j = 0; j < universe->size(); ++j) {
+      if ((mask >> j) & 1) db.AddFact((*universe)[j]);
+    }
+    auto direct = collection.IsPossibleWorld(db);
+    ASSERT_TRUE(direct.ok());
+    auto via_templates = builder.FamilyContains(db);
+    ASSERT_TRUE(via_templates.ok()) << via_templates.status().ToString();
+    EXPECT_EQ(*direct, *via_templates) << "D = {" << db.ToString() << "}";
+  }
+}
+
+TEST(Theorem41Test, SingleSourceIdentity) {
+  ExpectTheorem41(
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1}, "1/2", "1/2")}),
+      IntDomain(4));
+}
+
+TEST(Theorem41Test, OverlappingIdentitySources) {
+  ExpectTheorem41(
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")}),
+      IntDomain(4));
+}
+
+TEST(Theorem41Test, ExactAndLooseSource) {
+  ExpectTheorem41(
+      MakeUnaryCollection({MakeUnarySource("S1", {0}, "1", "1"),
+                           MakeUnarySource("S2", {0, 1}, "1/3", "1/2")}),
+      IntDomain(3));
+}
+
+TEST(Theorem41Test, ZeroBoundsSource) {
+  ExpectTheorem41(
+      MakeUnaryCollection({MakeUnarySource("S", {0, 1}, "0", "0")}),
+      IntDomain(3));
+}
+
+TEST(Theorem41Test, InconsistentCollectionHasEmptyFamily) {
+  // Two exact contradictory sources: both sides must be empty.
+  ExpectTheorem41(
+      MakeUnaryCollection({MakeUnarySource("S1", {0}, "1", "1"),
+                           MakeUnarySource("S2", {1}, "1", "1")}),
+      IntDomain(2));
+}
+
+TEST(Theorem41Test, ProjectionViewOverBinaryRelation) {
+  // Non-identity views: V(x) ← R2(x, y) with a tiny binary universe.
+  auto view = testing::Q("V(x) <- R2(x, y)");
+  Relation extension = {testing::U(0)};
+  auto source = SourceDescriptor::Create("P", view, extension, Rational(1, 2),
+                                         Rational::One());
+  ASSERT_TRUE(source.ok());
+  auto collection = SourceCollection::Create({*source});
+  ASSERT_TRUE(collection.ok());
+  // Universe: R2 over {0,1}² = 4 facts → 16 databases.
+  ExpectTheorem41(*collection, IntDomain(2));
+}
+
+TEST(Theorem41Test, TwoRelationJoinView) {
+  // V(x) ← E(x, y), N(y): body spans two relations.
+  auto view = testing::Q("V(x) <- E(x, y), N(y)");
+  Relation extension = {testing::U(0)};
+  auto source = SourceDescriptor::Create("J", view, extension,
+                                         Rational::Zero(), Rational::One());
+  ASSERT_TRUE(source.ok());
+  auto collection = SourceCollection::Create({*source});
+  ASSERT_TRUE(collection.ok());
+  // Universe: E over {0,1}² (4) + N over {0,1} (2) = 6 facts.
+  ExpectTheorem41(*collection, IntDomain(2));
+}
+
+TEST(Theorem41Test, RandomizedIdentityCollections) {
+  Rng rng(20260705);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomIdentityConfig config;
+    config.num_sources = 2;
+    config.universe_size = 3;
+    config.min_extension = 1;
+    config.max_extension = 3;
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    ExpectTheorem41(*collection, IntDomain(4));
+  }
+}
+
+}  // namespace
+}  // namespace psc

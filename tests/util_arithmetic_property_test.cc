@@ -1,0 +1,135 @@
+// Randomized cross-validation of the exact-arithmetic substrate against
+// native 128-bit integers — the layer every counter and threshold rests on.
+
+#include "gtest/gtest.h"
+#include "psc/util/bigint.h"
+#include "psc/util/random.h"
+#include "psc/util/rational.h"
+
+namespace psc {
+namespace {
+
+using U128 = unsigned __int128;
+
+std::string U128ToString(U128 value) {
+  if (value == 0) return "0";
+  std::string out;
+  while (value != 0) {
+    out.insert(out.begin(), static_cast<char>('0' + value % 10));
+    value /= 10;
+  }
+  return out;
+}
+
+TEST(BigIntPropertyTest, AddSubMulAgreeWithNative128) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t a = static_cast<uint64_t>(rng.engine()());
+    const uint64_t b = static_cast<uint64_t>(rng.engine()());
+    const BigInt big_a(a);
+    const BigInt big_b(b);
+    EXPECT_EQ((big_a + big_b).ToString(), U128ToString(U128(a) + b));
+    EXPECT_EQ((big_a * big_b).ToString(), U128ToString(U128(a) * b));
+    const BigInt& larger = a >= b ? big_a : big_b;
+    const BigInt& smaller = a >= b ? big_b : big_a;
+    EXPECT_EQ((larger - smaller).ToUint64(), a >= b ? a - b : b - a);
+    EXPECT_EQ(big_a.Compare(big_b), a < b ? -1 : (a == b ? 0 : 1));
+  }
+}
+
+TEST(BigIntPropertyTest, DivU32IsEuclidean) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint64_t a = static_cast<uint64_t>(rng.engine()());
+    const uint32_t d = static_cast<uint32_t>(rng.UniformInt(1, 1 << 30));
+    BigInt quotient(a);
+    const uint32_t remainder = quotient.DivU32(d);
+    EXPECT_EQ(quotient.ToUint64(), a / d);
+    EXPECT_EQ(remainder, a % d);
+    // Reconstruct: q·d + r == a.
+    BigInt reconstructed = quotient;
+    reconstructed.MulU32(d);
+    reconstructed += BigInt(remainder);
+    EXPECT_EQ(reconstructed.ToUint64(), a);
+  }
+}
+
+TEST(BigIntPropertyTest, MultiLimbAssociativityAndDistributivity) {
+  Rng rng(2028);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BigInt a(static_cast<uint64_t>(rng.engine()()));
+    const BigInt b(static_cast<uint64_t>(rng.engine()()));
+    const BigInt c(static_cast<uint64_t>(rng.engine()()));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(RationalPropertyTest, FieldLawsOnRandomGrid) {
+  Rng rng(2029);
+  const auto random_rational = [&]() {
+    return Rational(rng.UniformInt(-20, 20), rng.UniformInt(1, 20));
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rational a = random_rational();
+    const Rational b = random_rational();
+    const Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational::Zero());
+    if (!b.IsZero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+    // Order compatibility: a < b ⟹ a + c < b + c.
+    if (a < b) {
+      EXPECT_LT(a + c, b + c);
+    }
+  }
+}
+
+TEST(RationalPropertyTest, ThresholdsAgreeWithExactDefinition) {
+  // MulCeil/MulFloor/DivFloor against a slow exact reference.
+  Rng rng(2030);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int64_t num = rng.UniformInt(0, 12);
+    const int64_t den = rng.UniformInt(1, 12);
+    const int64_t k = rng.UniformInt(0, 40);
+    const Rational r(num, den);
+    // ceil(num·k / den), floor(num·k / den) via integer arithmetic.
+    const int64_t prod = num * k;
+    EXPECT_EQ(r.MulCeil(k), (prod + den - 1) / den) << num << "/" << den
+                                                    << " k=" << k;
+    EXPECT_EQ(r.MulFloor(k), prod / den);
+    if (num > 0) {
+      EXPECT_EQ(r.DivFloor(k), (k * den) / num);
+    }
+  }
+}
+
+TEST(RationalPropertyTest, ParsePrintRoundTrip) {
+  Rng rng(2031);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rational original(rng.UniformInt(-1000, 1000),
+                            rng.UniformInt(1, 1000));
+    auto reparsed = Rational::Parse(original.ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(*reparsed, original);
+  }
+}
+
+TEST(BigIntPropertyTest, RatioToDoubleMatchesNativeForSmallValues) {
+  Rng rng(2032);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t num = rng.UniformInt(0, 1 << 30);
+    const uint64_t den = rng.UniformInt(1, 1 << 30);
+    EXPECT_NEAR(BigInt::RatioToDouble(BigInt(num), BigInt(den)),
+                static_cast<double>(num) / static_cast<double>(den),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,117 @@
+#include "psc/util/combinatorics.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+TEST(BinomialTableTest, SmallValues) {
+  BinomialTable table;
+  EXPECT_EQ(table.Choose(0, 0).ToUint64(), 1u);
+  EXPECT_EQ(table.Choose(5, 0).ToUint64(), 1u);
+  EXPECT_EQ(table.Choose(5, 5).ToUint64(), 1u);
+  EXPECT_EQ(table.Choose(5, 2).ToUint64(), 10u);
+  EXPECT_EQ(table.Choose(10, 3).ToUint64(), 120u);
+  EXPECT_TRUE(table.Choose(3, 4).IsZero());
+}
+
+TEST(BinomialTableTest, PascalIdentityHoldsForLargeRows) {
+  BinomialTable table;
+  for (int64_t n = 1; n <= 80; n += 13) {
+    for (int64_t k = 1; k < n; k += 7) {
+      EXPECT_EQ(table.Choose(n, k),
+                table.Choose(n - 1, k - 1) + table.Choose(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTableTest, RowSumsArePowersOfTwo) {
+  BinomialTable table;
+  for (int64_t n = 0; n <= 40; n += 8) {
+    BigInt sum;
+    for (int64_t k = 0; k <= n; ++k) sum += table.Choose(n, k);
+    BigInt expected(1);
+    for (int64_t i = 0; i < n; ++i) expected = expected * BigInt(2);
+    EXPECT_EQ(sum, expected) << "n=" << n;
+  }
+}
+
+TEST(BinomialTableTest, CentralBinomialBeyond64Bits) {
+  BinomialTable table;
+  // C(100, 50) is a well-known 30-digit constant.
+  EXPECT_EQ(table.Choose(100, 50).ToString(),
+            "100891344545564193334812497256");
+}
+
+TEST(SubsetEnumerationTest, FixedSizeSubsetsAreExhaustiveAndSorted) {
+  std::set<std::vector<int64_t>> seen;
+  ForEachSubsetOfSize(5, 3, [&](const std::vector<int64_t>& subset) {
+    EXPECT_EQ(subset.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(subset.begin(), subset.end()));
+    seen.insert(subset);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 10u);  // C(5,3)
+}
+
+TEST(SubsetEnumerationTest, EdgeSizes) {
+  int count = 0;
+  ForEachSubsetOfSize(4, 0, [&](const std::vector<int64_t>& subset) {
+    EXPECT_TRUE(subset.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  ForEachSubsetOfSize(4, 4, [&](const std::vector<int64_t>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  ForEachSubsetOfSize(4, 5, [&](const std::vector<int64_t>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(SubsetEnumerationTest, EarlyStopPropagates) {
+  int count = 0;
+  const bool completed =
+      ForEachSubsetOfSize(6, 2, [&](const std::vector<int64_t>&) {
+        return ++count < 4;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SubsetEnumerationTest, AtLeastThresholdCountsMatchBinomials) {
+  BinomialTable table;
+  for (int64_t n = 0; n <= 8; ++n) {
+    for (int64_t min_size = 0; min_size <= n; ++min_size) {
+      uint64_t count = 0;
+      ForEachSubsetAtLeast(n, min_size, [&](uint64_t) {
+        ++count;
+        return true;
+      });
+      BigInt expected;
+      for (int64_t k = min_size; k <= n; ++k) expected += table.Choose(n, k);
+      EXPECT_EQ(count, expected.ToUint64()) << "n=" << n << " min=" << min_size;
+    }
+  }
+}
+
+TEST(SubsetEnumerationTest, AtLeastRespectsMask) {
+  ForEachSubsetAtLeast(5, 3, [&](uint64_t mask) {
+    EXPECT_GE(__builtin_popcountll(mask), 3);
+    EXPECT_LT(mask, uint64_t{1} << 5);
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,126 @@
+#include "psc/util/rational.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.numerator(), 3);
+  EXPECT_EQ(r.denominator(), 4);
+  Rational negative(3, -6);
+  EXPECT_EQ(negative.numerator(), -1);
+  EXPECT_EQ(negative.denominator(), 2);
+  Rational zero(0, 17);
+  EXPECT_EQ(zero.numerator(), 0);
+  EXPECT_EQ(zero.denominator(), 1);
+}
+
+TEST(RationalTest, ParseIntegers) {
+  auto r = Rational::Parse("7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Rational(7));
+  auto negative = Rational::Parse("-3");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(*negative, Rational(-3));
+}
+
+TEST(RationalTest, ParseFractions) {
+  auto r = Rational::Parse("3/4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Rational(3, 4));
+  auto reduced = Rational::Parse("2/8");
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(*reduced, Rational(1, 4));
+  EXPECT_FALSE(Rational::Parse("1/0").ok());
+}
+
+TEST(RationalTest, ParseDecimals) {
+  auto half = Rational::Parse("0.5");
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(*half, Rational(1, 2));
+  auto precise = Rational::Parse("0.125");
+  ASSERT_TRUE(precise.ok());
+  EXPECT_EQ(*precise, Rational(1, 8));
+  auto mixed = Rational::Parse("1.25");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(*mixed, Rational(5, 4));
+  auto negative = Rational::Parse("-0.75");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(*negative, Rational(-3, 4));
+}
+
+TEST(RationalTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Rational::Parse("").ok());
+  EXPECT_FALSE(Rational::Parse("abc").ok());
+  EXPECT_FALSE(Rational::Parse("1/два").ok());
+  EXPECT_FALSE(Rational::Parse("1.2.3").ok());
+}
+
+TEST(RationalTest, Arithmetic) {
+  const Rational half(1, 2);
+  const Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+}
+
+TEST(RationalTest, ArithmeticAvoidsIntermediateOverflow) {
+  // (a/b) * (b/a) with large co-prime-ish operands.
+  const Rational a(1000000007, 998244353);
+  const Rational b(998244353, 1000000007);
+  EXPECT_EQ(a * b, Rational::One());
+  EXPECT_EQ(a / a, Rational::One());
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(3, 4), Rational(2, 3));
+  EXPECT_GE(Rational(-1, 2), Rational(-2, 3));
+  EXPECT_LT(Rational(-1, 2), Rational::Zero());
+}
+
+TEST(RationalTest, MulCeilExactAtBoundaries) {
+  // ⌈(1/3)·k⌉: the soundness-threshold formula.
+  EXPECT_EQ(Rational(1, 3).MulCeil(3), 1);
+  EXPECT_EQ(Rational(1, 3).MulCeil(4), 2);
+  EXPECT_EQ(Rational(1, 3).MulCeil(0), 0);
+  EXPECT_EQ(Rational::One().MulCeil(5), 5);
+  EXPECT_EQ(Rational::Zero().MulCeil(100), 0);
+  EXPECT_EQ(Rational(2, 3).MulCeil(3), 2);
+  EXPECT_EQ(Rational(2, 3).MulCeil(4), 3);  // 8/3 → 3
+}
+
+TEST(RationalTest, MulFloor) {
+  EXPECT_EQ(Rational(1, 3).MulFloor(4), 1);
+  EXPECT_EQ(Rational(2, 3).MulFloor(4), 2);
+  EXPECT_EQ(Rational::One().MulFloor(9), 9);
+}
+
+TEST(RationalTest, DivFloorIsCompletenessCap) {
+  // m = ⌊t/c⌋.
+  EXPECT_EQ(Rational(1, 2).DivFloor(3), 6);
+  EXPECT_EQ(Rational(2, 3).DivFloor(2), 3);
+  EXPECT_EQ(Rational(1, 3).DivFloor(1), 3);
+  EXPECT_EQ(Rational::One().DivFloor(7), 7);
+}
+
+TEST(RationalTest, ToStringRoundTrip) {
+  EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(-1, 2).ToString(), "-1/2");
+  auto parsed = Rational::Parse(Rational(7, 9).ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, Rational(7, 9));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_NEAR(Rational(1, 3).ToDouble(), 1.0 / 3.0, 1e-15);
+  EXPECT_EQ(Rational::Zero().ToDouble(), 0.0);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,110 @@
+#include "psc/util/status.h"
+
+#include "gtest/gtest.h"
+#include "psc/util/result.h"
+
+namespace psc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Inconsistent("x").code(), StatusCode::kInconsistent);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CopyIsCheapAndIndependent) {
+  Status original = Status::Internal("boom");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  original = Status::OK();
+  EXPECT_FALSE(copy.ok());
+}
+
+Status FailsThrough() {
+  PSC_RETURN_NOT_OK(Status::NotFound("inner"));
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(FailsThrough(), Status::NotFound("inner"));
+}
+
+Status SucceedsThrough() {
+  PSC_RETURN_NOT_OK(Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPassesOk) { EXPECT_TRUE(SucceedsThrough().ok()); }
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).ValueOrDie();
+  EXPECT_EQ(*value, 7);
+}
+
+Result<int> Doubler(Result<int> input) {
+  PSC_ASSIGN_OR_RETURN(const int value, input);
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnOnSuccess) {
+  Result<int> result = Doubler(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, AssignOrReturnOnError) {
+  Result<int> result = Doubler(Status::Internal("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,42 @@
+#include "psc/util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace psc {
+namespace {
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"", ""}, "-"), "-");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::string text = "alpha|beta||gamma";
+  EXPECT_EQ(Join(Split(text, '|'), "|"), text);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(StringUtilTest, StrCatMixedTypes) {
+  EXPECT_EQ(StrCat("n=", 3, " ratio=", 0.5, " flag=", true), "n=3 ratio=0.5 flag=1");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat("solo"), "solo");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,94 @@
+#include "psc/workload/cache_workload.h"
+
+#include "gtest/gtest.h"
+#include "psc/consistency/identity_consistency.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+TEST(CacheWorkloadTest, GeneratesRequestedShape) {
+  CacheConfig config;
+  config.num_objects = 50;
+  config.num_caches = 3;
+  config.coverage = 0.6;
+  config.staleness = 0.1;
+  auto workload = MakeCacheWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->collection.size(), 3u);
+  EXPECT_EQ(workload->live_objects.size(), 50u);
+  EXPECT_TRUE(workload->collection.AllIdentityViews());
+}
+
+TEST(CacheWorkloadTest, TruthIsAPossibleWorld) {
+  CacheConfig config;
+  config.num_objects = 40;
+  config.num_caches = 4;
+  config.coverage = 0.5;
+  config.staleness = 0.2;
+  auto workload = MakeCacheWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  Database truth;
+  for (const int64_t id : workload->live_objects) {
+    truth.AddFact("Object", {Value(id)});
+  }
+  EXPECT_TRUE(*workload->collection.IsPossibleWorld(truth));
+}
+
+TEST(CacheWorkloadTest, StalenessShowsUpInBounds) {
+  CacheConfig fresh;
+  fresh.staleness = 0.0;
+  fresh.coverage = 1.0;
+  auto fresh_workload = MakeCacheWorkload(fresh);
+  ASSERT_TRUE(fresh_workload.ok());
+  for (const auto& source : fresh_workload->collection.sources()) {
+    EXPECT_EQ(source.soundness_bound(), Rational::One());
+    EXPECT_EQ(source.completeness_bound(), Rational::One());
+  }
+  CacheConfig stale;
+  stale.staleness = 0.4;
+  stale.coverage = 1.0;
+  auto stale_workload = MakeCacheWorkload(stale);
+  ASSERT_TRUE(stale_workload.ok());
+  for (const auto& source : stale_workload->collection.sources()) {
+    EXPECT_LT(source.soundness_bound(), Rational::One());
+  }
+}
+
+TEST(CacheWorkloadTest, CollectionIsConsistent) {
+  CacheConfig config;
+  config.num_objects = 30;
+  config.num_caches = 3;
+  config.coverage = 0.5;
+  config.staleness = 0.15;
+  auto workload = MakeCacheWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  auto report = CheckIdentityConsistency(workload->collection);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->consistent);
+}
+
+TEST(CacheWorkloadTest, ValidationRejectsBadConfig) {
+  CacheConfig bad;
+  bad.num_objects = 0;
+  EXPECT_FALSE(MakeCacheWorkload(bad).ok());
+  CacheConfig bad_rate;
+  bad_rate.coverage = 1.5;
+  EXPECT_FALSE(MakeCacheWorkload(bad_rate).ok());
+}
+
+TEST(CacheWorkloadTest, DeterministicPerSeed) {
+  CacheConfig config;
+  config.seed = 123;
+  auto a = MakeCacheWorkload(config);
+  auto b = MakeCacheWorkload(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->collection.size(), b->collection.size());
+  for (size_t i = 0; i < a->collection.size(); ++i) {
+    EXPECT_EQ(a->collection.source(i).extension(),
+              b->collection.source(i).extension());
+  }
+}
+
+}  // namespace
+}  // namespace psc

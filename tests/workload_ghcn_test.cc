@@ -1,0 +1,128 @@
+#include "psc/workload/ghcn.h"
+
+#include "gtest/gtest.h"
+#include "psc/source/measures.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+GhcnConfig SmallConfig() {
+  GhcnConfig config;
+  config.num_stations = 6;
+  config.start_year = 1990;
+  config.end_year = 1990;
+  return config;
+}
+
+TEST(GhcnTest, TruthHasExpectedShape) {
+  GhcnGenerator generator(SmallConfig(), 1);
+  const GhcnWorld world = generator.GenerateTruth();
+  EXPECT_EQ(world.truth.GetRelation("Station").size(), 6u);
+  EXPECT_EQ(world.truth.GetRelation("Temperature").size(), 6u * 12u);
+  EXPECT_EQ(world.station_ids.size(), 6u);
+  EXPECT_TRUE(world.schema.HasRelation("Station"));
+  EXPECT_TRUE(world.schema.HasRelation("Temperature"));
+}
+
+TEST(GhcnTest, TruthIsDeterministicPerSeed) {
+  GhcnGenerator a(SmallConfig(), 7);
+  GhcnGenerator b(SmallConfig(), 7);
+  EXPECT_EQ(a.GenerateTruth().truth, b.GenerateTruth().truth);
+  GhcnGenerator c(SmallConfig(), 8);
+  EXPECT_NE(a.GenerateTruth().truth, c.GenerateTruth().truth);
+}
+
+TEST(GhcnTest, CatalogSourceIsExact) {
+  GhcnGenerator generator(SmallConfig(), 2);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto catalog = generator.MakeCatalogSource(world, "S0");
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->extension_size(), 6u);
+  EXPECT_TRUE(*IsExact(*catalog, world.truth));
+}
+
+TEST(GhcnTest, CountrySourceBoundsHoldOnTruth) {
+  GhcnGenerator generator(SmallConfig(), 3);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto source = generator.MakeCountrySource(world, "S1", "Canada",
+                                            /*after_year=*/1900,
+                                            /*coverage=*/0.7,
+                                            /*error_rate=*/0.2);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  // The claimed bounds are derived from actual measures, so the ground
+  // truth must satisfy them (it is a possible world).
+  EXPECT_TRUE(*SatisfiesBounds(*source, world.truth));
+  // And they are tight: the actual measures equal the claims.
+  auto measures = ComputeMeasures(*source, world.truth);
+  ASSERT_TRUE(measures.ok());
+  EXPECT_EQ(measures->completeness, source->completeness_bound());
+  EXPECT_EQ(measures->soundness, source->soundness_bound());
+}
+
+TEST(GhcnTest, FullCoverageNoErrorIsExact) {
+  GhcnGenerator generator(SmallConfig(), 4);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto source = generator.MakeCountrySource(world, "S", "US", 1900, 1.0, 0.0);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->completeness_bound(), Rational::One());
+  EXPECT_EQ(source->soundness_bound(), Rational::One());
+  EXPECT_TRUE(*IsExact(*source, world.truth));
+}
+
+TEST(GhcnTest, ErrorRateLowersSoundness) {
+  GhcnGenerator generator(SmallConfig(), 5);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto noisy = generator.MakeCountrySource(world, "S", "Canada", 1900, 1.0,
+                                           0.5);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_LT(noisy->soundness_bound(), Rational::One());
+  EXPECT_GT(noisy->soundness_bound(), Rational::Zero());
+}
+
+TEST(GhcnTest, OverclaimBreaksBoundsOnTruth) {
+  GhcnGenerator generator(SmallConfig(), 6);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto braggart = generator.MakeCountrySource(world, "S", "Canada", 1900,
+                                              0.5, 0.4, /*overclaim=*/true);
+  ASSERT_TRUE(braggart.ok());
+  EXPECT_FALSE(*SatisfiesBounds(*braggart, world.truth));
+}
+
+TEST(GhcnTest, StationSourceUsesHeadConstant) {
+  GhcnGenerator generator(SmallConfig(), 7);
+  const GhcnWorld world = generator.GenerateTruth();
+  const int64_t station = world.station_ids[0];
+  auto source = generator.MakeStationSource(world, "S3", station, 1.0, 0.0);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->extension_size(), 12u);  // one year of months
+  EXPECT_TRUE(*IsExact(*source, world.truth));
+  EXPECT_EQ(source->view().head().arity(), 3u);
+}
+
+TEST(GhcnTest, InvalidRatesRejected) {
+  GhcnGenerator generator(SmallConfig(), 8);
+  const GhcnWorld world = generator.GenerateTruth();
+  EXPECT_FALSE(
+      generator.MakeCountrySource(world, "S", "Canada", 1900, 1.5, 0.0).ok());
+  EXPECT_FALSE(
+      generator.MakeCountrySource(world, "S", "Canada", 1900, 0.5, -0.1)
+          .ok());
+}
+
+TEST(GhcnTest, FederationIsConsistentCollection) {
+  GhcnGenerator generator(SmallConfig(), 9);
+  const GhcnWorld world = generator.GenerateTruth();
+  auto s0 = generator.MakeCatalogSource(world, "S0");
+  auto s1 = generator.MakeCountrySource(world, "S1", "Canada", 1900, 0.8,
+                                        0.1);
+  auto s2 = generator.MakeCountrySource(world, "S2", "US", 1900, 0.6, 0.3);
+  ASSERT_TRUE(s0.ok() && s1.ok() && s2.ok());
+  auto collection = SourceCollection::Create({*s0, *s1, *s2});
+  ASSERT_TRUE(collection.ok());
+  // The ground truth is a possible world of the federation.
+  EXPECT_TRUE(*collection->IsPossibleWorld(world.truth));
+}
+
+}  // namespace
+}  // namespace psc

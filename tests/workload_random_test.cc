@@ -1,0 +1,78 @@
+#include "psc/workload/random_collections.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+TEST(RandomCollectionTest, RespectsConfig) {
+  Rng rng(1);
+  RandomIdentityConfig config;
+  config.num_sources = 4;
+  config.universe_size = 6;
+  config.min_extension = 2;
+  config.max_extension = 4;
+  auto collection = MakeRandomIdentityCollection(config, &rng);
+  ASSERT_TRUE(collection.ok());
+  EXPECT_EQ(collection->size(), 4u);
+  EXPECT_TRUE(collection->AllIdentityViews());
+  const Rational zero = Rational::Zero();
+  const Rational one = Rational::One();
+  for (const auto& source : collection->sources()) {
+    EXPECT_GE(source.extension_size(), 2u);
+    EXPECT_LE(source.extension_size(), 4u);
+    EXPECT_GE(source.completeness_bound(), zero);
+    EXPECT_LE(source.completeness_bound(), one);
+    EXPECT_GE(source.soundness_bound(), zero);
+    EXPECT_LE(source.soundness_bound(), one);
+    for (const Tuple& tuple : source.extension()) {
+      EXPECT_GE(tuple[0].AsInt(), 0);
+      EXPECT_LT(tuple[0].AsInt(), 6);
+    }
+  }
+}
+
+TEST(RandomCollectionTest, InvalidConfigRejected) {
+  Rng rng(2);
+  RandomIdentityConfig config;
+  config.num_sources = 0;
+  EXPECT_FALSE(MakeRandomIdentityCollection(config, &rng).ok());
+  RandomIdentityConfig bad_ext;
+  bad_ext.min_extension = 5;
+  bad_ext.max_extension = 2;
+  EXPECT_FALSE(MakeRandomIdentityCollection(bad_ext, &rng).ok());
+}
+
+TEST(RandomCollectionTest, BoundGranularityQuantizes) {
+  Rng rng(3);
+  RandomIdentityConfig config;
+  config.bound_granularity = 2;  // bounds ∈ {0, 1/2, 1}
+  for (int i = 0; i < 20; ++i) {
+    auto collection = MakeRandomIdentityCollection(config, &rng);
+    ASSERT_TRUE(collection.ok());
+    for (const auto& source : collection->sources()) {
+      EXPECT_LE(source.soundness_bound().denominator(), 2);
+      EXPECT_LE(source.completeness_bound().denominator(), 2);
+    }
+  }
+}
+
+TEST(RandomHittingSetTest, ShapeAndValidity) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const HittingSetInstance instance =
+        MakeRandomHittingSet(8, 5, 3, 2, &rng);
+    EXPECT_EQ(instance.universe_size, 8);
+    EXPECT_EQ(instance.budget, 2);
+    EXPECT_EQ(instance.subsets.size(), 5u);
+    EXPECT_TRUE(instance.Validate().ok()) << instance.ToString();
+    for (const auto& subset : instance.subsets) {
+      EXPECT_GE(subset.size(), 1u);
+      EXPECT_LE(subset.size(), 3u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,307 @@
+// psc — command-line front end for the library.
+//
+//   psc check <file>                        consistency + witness
+//   psc print <file>                        parse and pretty-print
+//   psc confidences <file> [options]        Section 5.1 base confidences
+//   psc answer <file> "<query>" [options]   certain/possible/confidence
+//   psc certain <file> "<query>"            certain-answer lower bound
+//                                           (templates + view rewriting)
+//   psc consensus <file>                    source trust report
+//   psc audit <file>                        blame / maximal subsets /
+//                                           uniform relaxation
+//
+// Options:
+//   --domain v1,v2,...   finite domain (integers or bare strings);
+//                        default: every constant mentioned by the sources
+//   --method exact|compositional|mc        (answer; default exact)
+//   --samples N          Monte-Carlo samples  (answer --method mc)
+//   --seed N             Monte-Carlo seed
+//
+// Source files use the text format documented in psc/parser/parser.h; see
+// examples in the repository README.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "psc/consistency/diagnostics.h"
+#include "psc/core/certain_answer.h"
+#include "psc/core/query_system.h"
+#include "psc/counting/consensus.h"
+#include "psc/algebra/plan_compiler.h"
+#include "psc/parser/parser.h"
+#include "psc/rewriting/bucket_rewriter.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: psc "
+               "<check|print|confidences|answer|certain|consensus|audit> "
+               "<file> [\"query\"] [--domain v1,v2,...] "
+               "[--method exact|compositional|mc] [--samples N] [--seed N]\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) {
+    return Status::NotFound(StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return buffer.str();
+}
+
+/// "1,2,abc" → {1, 2, "abc"}; integers parse as ints, the rest as strings.
+std::vector<Value> ParseDomainFlag(const std::string& text) {
+  std::vector<Value> domain;
+  for (const std::string& raw : Split(text, ',')) {
+    const std::string token = Trim(raw);
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const long long as_int = std::strtoll(token.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && end != token.c_str()) {
+      domain.push_back(Value(static_cast<int64_t>(as_int)));
+    } else {
+      domain.push_back(Value(token));
+    }
+  }
+  return domain;
+}
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  std::string query;
+  std::vector<Value> domain;
+  bool domain_given = false;
+  std::string method = "exact";
+  uint64_t samples = 10000;
+  uint64_t seed = 1;
+};
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  if (argc < 3) return Status::InvalidArgument("missing arguments");
+  options.command = argv[1];
+  options.file = argv[2];
+  int position = 3;
+  if (options.command == "answer" || options.command == "certain") {
+    if (argc < 4) return Status::InvalidArgument("missing query");
+    options.query = argv[3];
+    position = 4;
+  }
+  for (int i = position; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(StrCat("missing value for ", arg));
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--domain") {
+      PSC_ASSIGN_OR_RETURN(const std::string value, next());
+      options.domain = ParseDomainFlag(value);
+      options.domain_given = true;
+    } else if (arg == "--method") {
+      PSC_ASSIGN_OR_RETURN(options.method, next());
+    } else if (arg == "--samples") {
+      PSC_ASSIGN_OR_RETURN(const std::string value, next());
+      options.samples = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      PSC_ASSIGN_OR_RETURN(const std::string value, next());
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return Status::InvalidArgument(StrCat("unknown flag ", arg));
+    }
+  }
+  return options;
+}
+
+int RunCheck(const SourceCollection& collection) {
+  auto system = QuerySystem::Create(collection);
+  if (!system.ok()) return Fail(system.status());
+  auto report = system->CheckConsistency();
+  if (!report.ok()) return Fail(report.status());
+  std::printf("verdict: %s\n", ConsistencyVerdictToString(report->verdict));
+  std::printf("method:  %s\n", report->method.c_str());
+  if (!report->unknown_reason.empty()) {
+    std::printf("reason:  %s\n", report->unknown_reason.c_str());
+  }
+  if (report->witness.has_value()) {
+    std::printf("witness possible world (%zu facts):\n%s\n",
+                report->witness->size(),
+                report->witness->ToString().c_str());
+  }
+  return report->verdict == ConsistencyVerdict::kInconsistent ? 3 : 0;
+}
+
+int RunConfidences(const SourceCollection& collection,
+                   const std::vector<Value>& domain) {
+  auto system = QuerySystem::Create(collection);
+  if (!system.ok()) return Fail(system.status());
+  auto table = system->BaseConfidences(domain);
+  if (!table.ok()) return Fail(table.status());
+  std::printf("|poss(S)| = %s\n", table->world_count.ToString().c_str());
+  for (const TupleConfidence& entry : table->entries) {
+    std::printf("%-30s %.6f\n", TupleToString(entry.tuple).c_str(),
+                entry.confidence);
+  }
+  return 0;
+}
+
+int RunAnswer(const SourceCollection& collection, const CliOptions& options) {
+  auto query = ParseQuery(options.query);
+  if (!query.ok()) return Fail(query.status());
+  auto system = QuerySystem::Create(collection);
+  if (!system.ok()) return Fail(system.status());
+  Result<QueryAnswer> answer = Status::Internal("unset");
+  if (options.method == "exact") {
+    answer = system->AnswerExact(*query, options.domain);
+  } else if (options.method == "compositional") {
+    answer = system->AnswerCompositional(*query, options.domain);
+  } else if (options.method == "mc") {
+    answer = system->AnswerMonteCarlo(*query, options.domain,
+                                      options.samples, options.seed);
+  } else {
+    return Fail(Status::InvalidArgument(
+        StrCat("unknown method '", options.method, "'")));
+  }
+  if (!answer.ok()) return Fail(answer.status());
+  std::printf("method: %s  (worlds used: %llu)\n", answer->method.c_str(),
+              static_cast<unsigned long long>(answer->worlds_used));
+  std::printf("certain answer (%zu tuples):\n", answer->certain.size());
+  for (const Tuple& tuple : answer->certain) {
+    std::printf("  %s\n", TupleToString(tuple).c_str());
+  }
+  std::printf("possible answer with confidences (%zu tuples):\n",
+              answer->confidences.size());
+  for (const auto& [tuple, confidence] : answer->confidences.entries()) {
+    std::printf("  %-28s %.6f\n", TupleToString(tuple).c_str(), confidence);
+  }
+  return 0;
+}
+
+int RunCertain(const SourceCollection& collection,
+               const CliOptions& options) {
+  auto query = ParseQuery(options.query);
+  if (!query.ok()) return Fail(query.status());
+  auto plan = CompileQuery(*query);
+  if (!plan.ok()) return Fail(plan.status());
+  auto bound = CertainAnswerLowerBound(collection, *plan);
+  if (!bound.ok()) return Fail(bound.status());
+  std::printf("template-based certain lower bound (%llu combinations%s):\n",
+              static_cast<unsigned long long>(bound->combinations),
+              bound->truncated ? ", truncated" : "");
+  for (const Tuple& tuple : bound->certain) {
+    std::printf("  %s\n", TupleToString(tuple).c_str());
+  }
+  BucketRewriter rewriter(&collection);
+  auto rewritings = rewriter.Rewrite(*query);
+  auto view_answer = rewriter.AnswerUsingViews(*query);
+  if (rewritings.ok() && view_answer.ok()) {
+    std::printf("view-based answer (%zu rewritings; certain when the used "
+                "sources are fully sound):\n",
+                rewritings->size());
+    for (const Tuple& tuple : *view_answer) {
+      std::printf("  %s\n", TupleToString(tuple).c_str());
+    }
+  }
+  return 0;
+}
+
+int RunConsensus(const SourceCollection& collection) {
+  auto instance = IdentityInstance::CreateOverExtensions(collection);
+  if (!instance.ok()) return Fail(instance.status());
+  auto consensus = ComputeSourceConsensus(*instance);
+  if (!consensus.ok()) return Fail(consensus.status());
+  std::printf("%-12s | %10s | %10s | %10s | %10s | %8s\n", "source",
+              "E[sound]", "claimed", "E[compl]", "claimed", "slack");
+  for (const SourceConsensus& entry : *consensus) {
+    std::printf("%-12s | %10.4f | %10.4f | %10.4f | %10.4f | %+8.4f\n",
+                entry.name.c_str(), entry.expected_soundness,
+                entry.claimed_soundness, entry.expected_completeness,
+                entry.claimed_completeness, entry.soundness_slack);
+  }
+  return 0;
+}
+
+int RunAudit(const SourceCollection& collection) {
+  GeneralConsistencyChecker checker;
+  auto report = checker.Check(collection);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("verdict: %s\n", ConsistencyVerdictToString(report->verdict));
+  if (report->verdict == ConsistencyVerdict::kConsistent) return 0;
+
+  auto blames = BlameSources(collection, checker);
+  if (!blames.ok()) return Fail(blames.status());
+  std::printf("\nblame (verdict without each source):\n");
+  for (const SourceBlame& blame : *blames) {
+    std::printf("  %-12s -> %s\n", blame.source_name.c_str(),
+                ConsistencyVerdictToString(blame.verdict_without));
+  }
+
+  auto maximal = MaximalConsistentSubcollections(collection, checker);
+  if (maximal.ok()) {
+    std::printf("\nmaximal consistent sub-collections:\n");
+    for (const std::vector<std::string>& names : *maximal) {
+      std::printf("  { %s }\n", Join(names, ", ").c_str());
+    }
+  }
+
+  auto lambda = MaxUniformRelaxation(collection, checker);
+  if (lambda.ok()) {
+    std::printf("\nmax uniform relaxation factor: %s (= %.4f)\n",
+                lambda->ToString().c_str(), lambda->ToDouble());
+  }
+  return 3;
+}
+
+int Main(int argc, char** argv) {
+  auto options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
+    return Usage();
+  }
+  auto text = ReadFile(options->file);
+  if (!text.ok()) return Fail(text.status());
+  auto collection = ParseCollection(*text);
+  if (!collection.ok()) return Fail(collection.status());
+  std::printf("parsed %zu source(s); global schema %s\n", collection->size(),
+              collection->schema().ToString().c_str());
+
+  if (!options->domain_given) {
+    options->domain = collection->MentionedConstants();
+  }
+
+  const std::string& command = options->command;
+  if (command == "check") return RunCheck(*collection);
+  if (command == "print") {
+    std::printf("%s\n", collection->ToString().c_str());
+    return 0;
+  }
+  if (command == "confidences") {
+    return RunConfidences(*collection, options->domain);
+  }
+  if (command == "answer") return RunAnswer(*collection, *options);
+  if (command == "certain") return RunCertain(*collection, *options);
+  if (command == "consensus") return RunConsensus(*collection);
+  if (command == "audit") return RunAudit(*collection);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace psc
+
+int main(int argc, char** argv) { return psc::Main(argc, argv); }
