@@ -6,11 +6,11 @@
 //     thousands of objects (tight bounds keep the feasible shape space
 //     small; see web_caches example).
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/counting/confidence.h"
 #include "psc/counting/world_sampler.h"
@@ -88,12 +88,9 @@ void PrintScaleTable() {
     auto instance =
         IdentityInstance::CreateOverExtensions(workload->collection);
     if (!instance.ok()) continue;
-    auto start = std::chrono::high_resolution_clock::now();
+    bench_util::Stopwatch stopwatch;
     auto sampler = WorldSampler::Create(&*instance, uint64_t{1} << 24);
-    const double build_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double build_ms = stopwatch.ElapsedMillis();
     if (!sampler.ok()) {
       std::printf("%9lld | %s\n", static_cast<long long>(objects),
                   sampler.status().ToString().c_str());
@@ -101,14 +98,11 @@ void PrintScaleTable() {
     }
     Rng rng(3);
     const int draws = 200;
-    start = std::chrono::high_resolution_clock::now();
+    stopwatch.Reset();
     for (int i = 0; i < draws; ++i) {
       benchmark::DoNotOptimize(sampler->Sample(&rng));
     }
-    const double sample_sec =
-        std::chrono::duration<double>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double sample_sec = stopwatch.ElapsedSeconds();
     std::printf("%9lld | %10zu | %12.2f | %16.1f\n",
                 static_cast<long long>(objects), sampler->num_shapes(),
                 build_ms, draws / sample_sec);
@@ -160,5 +154,6 @@ int main(int argc, char** argv) {
   psc::PrintScaleTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_caches_montecarlo");
   return 0;
 }

@@ -7,10 +7,10 @@
 // (exact), and a correlated self-product (the documented independence
 // caveat of Theorem 5.1).
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/core/query_system.h"
 
@@ -62,19 +62,13 @@ void PrintTable() {
   for (const int64_t m : {1, 2, 4, 6, 8}) {
     const std::vector<Value> domain = IntDomain(3 + m);
     for (const PlanCase& plan_case : Plans()) {
-      auto start = std::chrono::high_resolution_clock::now();
+      bench_util::Stopwatch stopwatch;
       auto exact = system.AnswerExact(plan_case.plan, domain);
-      const double exact_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::high_resolution_clock::now() - start)
-              .count();
-      start = std::chrono::high_resolution_clock::now();
+      const double exact_ms = stopwatch.ElapsedMillis();
+      stopwatch.Reset();
       auto compositional =
           system.AnswerCompositional(plan_case.plan, domain);
-      const double comp_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::high_resolution_clock::now() - start)
-              .count();
+      const double comp_ms = stopwatch.ElapsedMillis();
       if (!exact.ok() || !compositional.ok()) {
         std::printf("%6lld | %-16s | failed\n", static_cast<long long>(m),
                     plan_case.name);
@@ -128,5 +122,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_confidence_propagation");
   return 0;
 }

@@ -9,9 +9,9 @@
 // The NP-hardness worst case is exercised separately with the Theorem 3.2
 // reduction instances (E3), whose groups are forced to be singletons.
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/consistency/identity_consistency.h"
 #include "psc/consistency/possible_worlds.h"
@@ -24,13 +24,6 @@ std::vector<Value> IntDomain(int64_t n) {
   std::vector<Value> domain;
   for (int64_t i = 0; i < n; ++i) domain.push_back(Value(i));
   return domain;
-}
-
-double MillisSince(
-    const std::chrono::high_resolution_clock::time_point& start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::high_resolution_clock::now() - start)
-      .count();
 }
 
 void PrintTable() {
@@ -55,9 +48,9 @@ void PrintTable() {
     for (int t = 0; t < trials; ++t) {
       auto collection = MakeRandomIdentityCollection(config, &rng);
       if (!collection.ok()) continue;
-      auto start = std::chrono::high_resolution_clock::now();
+      bench_util::Stopwatch stopwatch;
       auto report = CheckIdentityConsistency(*collection, uint64_t{1} << 28);
-      counter_ms += MillisSince(start);
+      counter_ms += stopwatch.ElapsedMillis();
       if (!report.ok()) {
         std::printf("  (budget exhausted at universe=%lld)\n",
                     static_cast<long long>(universe));
@@ -67,10 +60,10 @@ void PrintTable() {
       shapes += report->visited_shapes;
       if (universe <= 20) {
         if (oracle_ms < 0) oracle_ms = 0;
-        start = std::chrono::high_resolution_clock::now();
+        stopwatch.Reset();
         BruteForceWorldEnumerator oracle(&*collection, IntDomain(universe));
         auto count = oracle.CountPossibleWorlds();
-        oracle_ms += MillisSince(start);
+        oracle_ms += stopwatch.ElapsedMillis();
         if (count.ok() && (*count > 0) != report->consistent) {
           std::printf("  !! disagreement with oracle\n");
         }
@@ -133,5 +126,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_consistency");
   return 0;
 }

@@ -6,9 +6,9 @@
 // which exploits the exchangeability of same-signature facts. Both must
 // return identical counts; the speedup is the point of the ablation.
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/counting/linear_system.h"
 #include "psc/counting/dp_counter.h"
@@ -45,30 +45,21 @@ void PrintTable() {
     auto instance = IdentityInstance::Create(collection, IntDomain(n));
     if (!instance.ok()) continue;
 
-    auto start = std::chrono::high_resolution_clock::now();
+    bench_util::Stopwatch stopwatch;
     BinomialTable binomials;
     SignatureCounter counter(&*instance, &binomials);
     auto outcome = counter.Count();
-    const double counter_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double counter_ms = stopwatch.ElapsedMillis();
 
-    start = std::chrono::high_resolution_clock::now();
+    stopwatch.Reset();
     DpCounter dp(&*instance);
     auto dp_outcome = dp.Count();
-    const double dp_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double dp_ms = stopwatch.ElapsedMillis();
 
-    start = std::chrono::high_resolution_clock::now();
+    stopwatch.Reset();
     auto system = LinearSystem::FromIdentityInstance(*instance);
     auto brute = system->CountSolutionsBruteForce(/*max_vars=*/24);
-    const double brute_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double brute_ms = stopwatch.ElapsedMillis();
 
     if (!outcome.ok() || !dp_outcome.ok() || !brute.ok()) continue;
     const bool match = outcome->world_count == *brute &&
@@ -83,21 +74,15 @@ void PrintTable() {
   for (const int64_t n : {64, 256, 1024, 8192}) {
     auto instance = IdentityInstance::Create(collection, IntDomain(n));
     if (!instance.ok()) continue;
-    auto start = std::chrono::high_resolution_clock::now();
+    bench_util::Stopwatch stopwatch;
     BinomialTable binomials;
     SignatureCounter counter(&*instance, &binomials);
     auto outcome = counter.Count();
-    const double counter_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
-    start = std::chrono::high_resolution_clock::now();
+    const double counter_ms = stopwatch.ElapsedMillis();
+    stopwatch.Reset();
     DpCounter dp(&*instance);
     auto dp_outcome = dp.Count();
-    const double dp_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double dp_ms = stopwatch.ElapsedMillis();
     if (!outcome.ok() || !dp_outcome.ok()) continue;
     const bool match = outcome->world_count == dp_outcome->world_count;
     std::printf("%4lld | %16s | %12.3f | %12.3f | %14s | %10s%s\n",
@@ -155,5 +140,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_counter_ablation");
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/counting/confidence.h"
 #include "psc/source/source_collection.h"
@@ -101,5 +102,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_example51");
   return 0;
 }

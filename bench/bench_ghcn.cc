@@ -5,9 +5,9 @@
 // (measure computation = view evaluation + set intersection), and (b) the
 // cost and verdict of general consistency checking via canonical freezing.
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/consistency/general_consistency.h"
 #include "psc/consistency/shrink_witness.h"
@@ -66,13 +66,10 @@ void PrintTable() {
     auto federation = MakeFederation(stations, num_sources, coverage, 99);
     if (!federation.ok()) continue;
 
-    auto start = std::chrono::high_resolution_clock::now();
+    bench_util::Stopwatch stopwatch;
     auto truth_possible =
         federation->collection.IsPossibleWorld(federation->world.truth);
-    const double validate_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double validate_ms = stopwatch.ElapsedMillis();
     if (!truth_possible.ok() || !*truth_possible) {
       std::printf("  !! ground truth rejected\n");
       continue;
@@ -82,12 +79,9 @@ void PrintTable() {
     options.max_combinations = 4096;
     options.enable_exhaustive = false;
     const GeneralConsistencyChecker checker(options);
-    start = std::chrono::high_resolution_clock::now();
+    stopwatch.Reset();
     auto report = checker.Check(federation->collection);
-    const double consistency_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double consistency_ms = stopwatch.ElapsedMillis();
     // Lemma 3.1: shrink the (large) ground truth to a bounded witness.
     auto shrunk = ShrinkWitness(federation->collection,
                                 federation->world.truth);
@@ -147,5 +141,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_ghcn");
   return 0;
 }

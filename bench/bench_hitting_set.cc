@@ -4,22 +4,15 @@
 // NP-hardness of CONSISTENCY (the reduced instances force singleton
 // signature groups, the group checker's worst case).
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/consistency/hitting_set.h"
 #include "psc/workload/random_collections.h"
 
 namespace psc {
 namespace {
-
-double MillisSince(
-    const std::chrono::high_resolution_clock::time_point& start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::high_resolution_clock::now() - start)
-      .count();
-}
 
 void PrintTable() {
   std::printf(
@@ -41,12 +34,12 @@ void PrintTable() {
       const HittingSetInstance instance = MakeRandomHittingSet(
           universe, subsets, /*max_subset_size=*/3,
           /*budget=*/universe / 3, &rng);
-      auto start = std::chrono::high_resolution_clock::now();
+      bench_util::Stopwatch stopwatch;
       auto direct = SolveHittingSet(instance, uint64_t{1} << 30);
-      direct_ms += MillisSince(start);
-      start = std::chrono::high_resolution_clock::now();
+      direct_ms += stopwatch.ElapsedMillis();
+      stopwatch.Reset();
       auto via = SolveHittingSetViaConsistency(instance, uint64_t{1} << 30);
-      reduced_ms += MillisSince(start);
+      reduced_ms += stopwatch.ElapsedMillis();
       if (!direct.ok() || !via.ok()) continue;
       solvable += direct->solvable ? 1 : 0;
       agreed += direct->solvable == via->solvable ? 1 : 0;
@@ -100,5 +93,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_hitting_set");
   return 0;
 }

@@ -6,9 +6,9 @@
 // Q(D) for every brute-forced possible world — and charts rewriting count
 // and cost as the federation grows.
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/consistency/possible_worlds.h"
 #include "psc/parser/parser.h"
@@ -70,13 +70,10 @@ void PrintTable() {
     const ConjunctiveQuery query = CanadianQuery();
     BucketRewriter rewriter(&federation->second);
 
-    auto start = std::chrono::high_resolution_clock::now();
+    const bench_util::Stopwatch stopwatch;
     auto rewritings = rewriter.Rewrite(query);
     auto answer = rewriter.AnswerUsingViews(query);
-    const double rewrite_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::high_resolution_clock::now() - start)
-            .count();
+    const double rewrite_ms = stopwatch.ElapsedMillis();
     if (!rewritings.ok() || !answer.ok()) {
       std::printf("  error: %s\n", rewritings.status().ToString().c_str());
       continue;
@@ -131,5 +128,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_rewriting");
   return 0;
 }

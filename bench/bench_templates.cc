@@ -6,9 +6,9 @@
 // versus the direct measure-based test, over every database of a small
 // universe.
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "psc/tableau/template_builder.h"
 #include "psc/relational/database.h"
@@ -59,16 +59,12 @@ void PrintTable() {
       for (size_t j = 0; j < universe->size(); ++j) {
         if ((mask >> j) & 1) db.AddFact((*universe)[j]);
       }
-      auto start = std::chrono::high_resolution_clock::now();
+      bench_util::Stopwatch stopwatch;
       auto via_family = builder.FamilyContains(db);
-      family_ms += std::chrono::duration<double, std::milli>(
-                       std::chrono::high_resolution_clock::now() - start)
-                       .count();
-      start = std::chrono::high_resolution_clock::now();
+      family_ms += stopwatch.ElapsedMillis();
+      stopwatch.Reset();
       auto direct = collection.IsPossibleWorld(db);
-      direct_ms += std::chrono::duration<double, std::milli>(
-                       std::chrono::high_resolution_clock::now() - start)
-                       .count();
+      direct_ms += stopwatch.ElapsedMillis();
       if (via_family.ok() && direct.ok()) {
         ++total;
         if (*via_family == *direct) ++agree;
@@ -119,5 +115,6 @@ int main(int argc, char** argv) {
   psc::PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  psc::bench_util::EmitMetricsRecord("bench_templates");
   return 0;
 }

@@ -1,0 +1,61 @@
+#ifndef PSC_BENCH_BENCH_UTIL_H_
+#define PSC_BENCH_BENCH_UTIL_H_
+
+/// \file
+/// Shared helpers for the bench_* drivers: a monotonic stopwatch (the
+/// benches used to hand-roll high_resolution_clock arithmetic, which is
+/// not guaranteed monotonic) and an end-of-run structured metrics record.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "psc/obs/report.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace bench_util {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints one JSON line `{"bench":...,"metrics":<run report>}` so harnesses
+/// can scrape structured counters from bench output. When the environment
+/// variable PSC_BENCH_METRICS_OUT names a file, the record is also written
+/// there.
+inline void EmitMetricsRecord(const char* bench_name) {
+  const std::string line =
+      StrCat("{\"bench\":\"", obs::JsonEscape(bench_name),
+             "\",\"metrics\":", obs::RunReport::Capture().ToJson(), "}");
+  std::printf("%s\n", line.c_str());
+  const char* path = std::getenv("PSC_BENCH_METRICS_OUT");
+  if (path != nullptr && path[0] != '\0') {
+    std::FILE* out = std::fopen(path, "w");
+    if (out != nullptr) {
+      std::fprintf(out, "%s\n", line.c_str());
+      std::fclose(out);
+    }
+  }
+}
+
+}  // namespace bench_util
+}  // namespace psc
+
+#endif  // PSC_BENCH_BENCH_UTIL_H_

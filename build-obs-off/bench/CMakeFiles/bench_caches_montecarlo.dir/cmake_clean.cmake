@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_caches_montecarlo.dir/bench_caches_montecarlo.cc.o"
+  "CMakeFiles/bench_caches_montecarlo.dir/bench_caches_montecarlo.cc.o.d"
+  "bench_caches_montecarlo"
+  "bench_caches_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_caches_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confidence_propagation.dir/bench_confidence_propagation.cc.o"
+  "CMakeFiles/bench_confidence_propagation.dir/bench_confidence_propagation.cc.o.d"
+  "bench_confidence_propagation"
+  "bench_confidence_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confidence_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_confidence_propagation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counter_ablation.dir/bench_counter_ablation.cc.o"
+  "CMakeFiles/bench_counter_ablation.dir/bench_counter_ablation.cc.o.d"
+  "bench_counter_ablation"
+  "bench_counter_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counter_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

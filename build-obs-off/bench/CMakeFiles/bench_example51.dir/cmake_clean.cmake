@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example51.dir/bench_example51.cc.o"
+  "CMakeFiles/bench_example51.dir/bench_example51.cc.o.d"
+  "bench_example51"
+  "bench_example51.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example51.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ghcn.dir/bench_ghcn.cc.o"
+  "CMakeFiles/bench_ghcn.dir/bench_ghcn.cc.o.d"
+  "bench_ghcn"
+  "bench_ghcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ghcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

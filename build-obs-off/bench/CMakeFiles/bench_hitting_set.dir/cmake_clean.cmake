@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hitting_set.dir/bench_hitting_set.cc.o"
+  "CMakeFiles/bench_hitting_set.dir/bench_hitting_set.cc.o.d"
+  "bench_hitting_set"
+  "bench_hitting_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hitting_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewriting.dir/bench_rewriting.cc.o"
+  "CMakeFiles/bench_rewriting.dir/bench_rewriting.cc.o.d"
+  "bench_rewriting"
+  "bench_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_templates.dir/bench_templates.cc.o"
+  "CMakeFiles/bench_templates.dir/bench_templates.cc.o.d"
+  "bench_templates"
+  "bench_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climatology.dir/climatology.cpp.o"
+  "CMakeFiles/climatology.dir/climatology.cpp.o.d"
+  "climatology"
+  "climatology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climatology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

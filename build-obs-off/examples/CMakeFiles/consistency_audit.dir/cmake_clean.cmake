@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_audit.dir/consistency_audit.cpp.o"
+  "CMakeFiles/consistency_audit.dir/consistency_audit.cpp.o.d"
+  "consistency_audit"
+  "consistency_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

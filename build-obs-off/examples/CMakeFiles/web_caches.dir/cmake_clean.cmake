@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_caches.dir/web_caches.cpp.o"
+  "CMakeFiles/web_caches.dir/web_caches.cpp.o.d"
+  "web_caches"
+  "web_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-obs-off/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("psc/util")
+subdirs("psc/obs")
+subdirs("psc/relational")
+subdirs("psc/parser")
+subdirs("psc/source")
+subdirs("psc/counting")
+subdirs("psc/tableau")
+subdirs("psc/consistency")
+subdirs("psc/rewriting")
+subdirs("psc/algebra")
+subdirs("psc/core")
+subdirs("psc/workload")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/algebra/expression.cc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/expression.cc.o" "gcc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/expression.cc.o.d"
+  "/root/repo/src/psc/algebra/operators.cc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/operators.cc.o" "gcc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/operators.cc.o.d"
+  "/root/repo/src/psc/algebra/plan_compiler.cc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/plan_compiler.cc.o" "gcc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/plan_compiler.cc.o.d"
+  "/root/repo/src/psc/algebra/prob_relation.cc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/prob_relation.cc.o" "gcc" "src/psc/algebra/CMakeFiles/psc_algebra.dir/prob_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-obs-off/src/psc/obs/CMakeFiles/psc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/relational/CMakeFiles/psc_relational.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_algebra.dir/expression.cc.o"
+  "CMakeFiles/psc_algebra.dir/expression.cc.o.d"
+  "CMakeFiles/psc_algebra.dir/operators.cc.o"
+  "CMakeFiles/psc_algebra.dir/operators.cc.o.d"
+  "CMakeFiles/psc_algebra.dir/plan_compiler.cc.o"
+  "CMakeFiles/psc_algebra.dir/plan_compiler.cc.o.d"
+  "CMakeFiles/psc_algebra.dir/prob_relation.cc.o"
+  "CMakeFiles/psc_algebra.dir/prob_relation.cc.o.d"
+  "libpsc_algebra.a"
+  "libpsc_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/consistency/diagnostics.cc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/diagnostics.cc.o" "gcc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/diagnostics.cc.o.d"
+  "/root/repo/src/psc/consistency/general_consistency.cc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/general_consistency.cc.o" "gcc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/general_consistency.cc.o.d"
+  "/root/repo/src/psc/consistency/hitting_set.cc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/hitting_set.cc.o" "gcc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/hitting_set.cc.o.d"
+  "/root/repo/src/psc/consistency/identity_consistency.cc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/identity_consistency.cc.o" "gcc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/identity_consistency.cc.o.d"
+  "/root/repo/src/psc/consistency/possible_worlds.cc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/possible_worlds.cc.o" "gcc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/possible_worlds.cc.o.d"
+  "/root/repo/src/psc/consistency/shrink_witness.cc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/shrink_witness.cc.o" "gcc" "src/psc/consistency/CMakeFiles/psc_consistency.dir/shrink_witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-obs-off/src/psc/obs/CMakeFiles/psc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/tableau/CMakeFiles/psc_tableau.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/counting/CMakeFiles/psc_counting.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/source/CMakeFiles/psc_source.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/relational/CMakeFiles/psc_relational.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_consistency.dir/diagnostics.cc.o"
+  "CMakeFiles/psc_consistency.dir/diagnostics.cc.o.d"
+  "CMakeFiles/psc_consistency.dir/general_consistency.cc.o"
+  "CMakeFiles/psc_consistency.dir/general_consistency.cc.o.d"
+  "CMakeFiles/psc_consistency.dir/hitting_set.cc.o"
+  "CMakeFiles/psc_consistency.dir/hitting_set.cc.o.d"
+  "CMakeFiles/psc_consistency.dir/identity_consistency.cc.o"
+  "CMakeFiles/psc_consistency.dir/identity_consistency.cc.o.d"
+  "CMakeFiles/psc_consistency.dir/possible_worlds.cc.o"
+  "CMakeFiles/psc_consistency.dir/possible_worlds.cc.o.d"
+  "CMakeFiles/psc_consistency.dir/shrink_witness.cc.o"
+  "CMakeFiles/psc_consistency.dir/shrink_witness.cc.o.d"
+  "libpsc_consistency.a"
+  "libpsc_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_core.dir/certain_answer.cc.o"
+  "CMakeFiles/psc_core.dir/certain_answer.cc.o.d"
+  "CMakeFiles/psc_core.dir/query_system.cc.o"
+  "CMakeFiles/psc_core.dir/query_system.cc.o.d"
+  "libpsc_core.a"
+  "libpsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

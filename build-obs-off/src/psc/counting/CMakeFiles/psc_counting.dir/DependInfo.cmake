@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/counting/confidence.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/confidence.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/confidence.cc.o.d"
+  "/root/repo/src/psc/counting/consensus.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/consensus.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/consensus.cc.o.d"
+  "/root/repo/src/psc/counting/dp_counter.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/dp_counter.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/dp_counter.cc.o.d"
+  "/root/repo/src/psc/counting/identity_instance.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/identity_instance.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/identity_instance.cc.o.d"
+  "/root/repo/src/psc/counting/linear_system.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/linear_system.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/linear_system.cc.o.d"
+  "/root/repo/src/psc/counting/model_counter.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/model_counter.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/model_counter.cc.o.d"
+  "/root/repo/src/psc/counting/world_enumerator.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/world_enumerator.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/world_enumerator.cc.o.d"
+  "/root/repo/src/psc/counting/world_sampler.cc" "src/psc/counting/CMakeFiles/psc_counting.dir/world_sampler.cc.o" "gcc" "src/psc/counting/CMakeFiles/psc_counting.dir/world_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-obs-off/src/psc/obs/CMakeFiles/psc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/source/CMakeFiles/psc_source.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/relational/CMakeFiles/psc_relational.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

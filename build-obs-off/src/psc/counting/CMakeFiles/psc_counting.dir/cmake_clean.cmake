@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_counting.dir/confidence.cc.o"
+  "CMakeFiles/psc_counting.dir/confidence.cc.o.d"
+  "CMakeFiles/psc_counting.dir/consensus.cc.o"
+  "CMakeFiles/psc_counting.dir/consensus.cc.o.d"
+  "CMakeFiles/psc_counting.dir/dp_counter.cc.o"
+  "CMakeFiles/psc_counting.dir/dp_counter.cc.o.d"
+  "CMakeFiles/psc_counting.dir/identity_instance.cc.o"
+  "CMakeFiles/psc_counting.dir/identity_instance.cc.o.d"
+  "CMakeFiles/psc_counting.dir/linear_system.cc.o"
+  "CMakeFiles/psc_counting.dir/linear_system.cc.o.d"
+  "CMakeFiles/psc_counting.dir/model_counter.cc.o"
+  "CMakeFiles/psc_counting.dir/model_counter.cc.o.d"
+  "CMakeFiles/psc_counting.dir/world_enumerator.cc.o"
+  "CMakeFiles/psc_counting.dir/world_enumerator.cc.o.d"
+  "CMakeFiles/psc_counting.dir/world_sampler.cc.o"
+  "CMakeFiles/psc_counting.dir/world_sampler.cc.o.d"
+  "libpsc_counting.a"
+  "libpsc_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/obs/json.cc" "src/psc/obs/CMakeFiles/psc_obs.dir/json.cc.o" "gcc" "src/psc/obs/CMakeFiles/psc_obs.dir/json.cc.o.d"
+  "/root/repo/src/psc/obs/metrics.cc" "src/psc/obs/CMakeFiles/psc_obs.dir/metrics.cc.o" "gcc" "src/psc/obs/CMakeFiles/psc_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/psc/obs/report.cc" "src/psc/obs/CMakeFiles/psc_obs.dir/report.cc.o" "gcc" "src/psc/obs/CMakeFiles/psc_obs.dir/report.cc.o.d"
+  "/root/repo/src/psc/obs/trace.cc" "src/psc/obs/CMakeFiles/psc_obs.dir/trace.cc.o" "gcc" "src/psc/obs/CMakeFiles/psc_obs.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-obs-off/src/psc/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

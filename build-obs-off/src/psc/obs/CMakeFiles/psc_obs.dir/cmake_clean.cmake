@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_obs.dir/json.cc.o"
+  "CMakeFiles/psc_obs.dir/json.cc.o.d"
+  "CMakeFiles/psc_obs.dir/metrics.cc.o"
+  "CMakeFiles/psc_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/psc_obs.dir/report.cc.o"
+  "CMakeFiles/psc_obs.dir/report.cc.o.d"
+  "CMakeFiles/psc_obs.dir/trace.cc.o"
+  "CMakeFiles/psc_obs.dir/trace.cc.o.d"
+  "libpsc_obs.a"
+  "libpsc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_parser.dir/lexer.cc.o"
+  "CMakeFiles/psc_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/psc_parser.dir/parser.cc.o"
+  "CMakeFiles/psc_parser.dir/parser.cc.o.d"
+  "libpsc_parser.a"
+  "libpsc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/relational/atom.cc" "src/psc/relational/CMakeFiles/psc_relational.dir/atom.cc.o" "gcc" "src/psc/relational/CMakeFiles/psc_relational.dir/atom.cc.o.d"
+  "/root/repo/src/psc/relational/builtin.cc" "src/psc/relational/CMakeFiles/psc_relational.dir/builtin.cc.o" "gcc" "src/psc/relational/CMakeFiles/psc_relational.dir/builtin.cc.o.d"
+  "/root/repo/src/psc/relational/conjunctive_query.cc" "src/psc/relational/CMakeFiles/psc_relational.dir/conjunctive_query.cc.o" "gcc" "src/psc/relational/CMakeFiles/psc_relational.dir/conjunctive_query.cc.o.d"
+  "/root/repo/src/psc/relational/database.cc" "src/psc/relational/CMakeFiles/psc_relational.dir/database.cc.o" "gcc" "src/psc/relational/CMakeFiles/psc_relational.dir/database.cc.o.d"
+  "/root/repo/src/psc/relational/schema.cc" "src/psc/relational/CMakeFiles/psc_relational.dir/schema.cc.o" "gcc" "src/psc/relational/CMakeFiles/psc_relational.dir/schema.cc.o.d"
+  "/root/repo/src/psc/relational/term.cc" "src/psc/relational/CMakeFiles/psc_relational.dir/term.cc.o" "gcc" "src/psc/relational/CMakeFiles/psc_relational.dir/term.cc.o.d"
+  "/root/repo/src/psc/relational/value.cc" "src/psc/relational/CMakeFiles/psc_relational.dir/value.cc.o" "gcc" "src/psc/relational/CMakeFiles/psc_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-obs-off/src/psc/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_relational.dir/atom.cc.o"
+  "CMakeFiles/psc_relational.dir/atom.cc.o.d"
+  "CMakeFiles/psc_relational.dir/builtin.cc.o"
+  "CMakeFiles/psc_relational.dir/builtin.cc.o.d"
+  "CMakeFiles/psc_relational.dir/conjunctive_query.cc.o"
+  "CMakeFiles/psc_relational.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/psc_relational.dir/database.cc.o"
+  "CMakeFiles/psc_relational.dir/database.cc.o.d"
+  "CMakeFiles/psc_relational.dir/schema.cc.o"
+  "CMakeFiles/psc_relational.dir/schema.cc.o.d"
+  "CMakeFiles/psc_relational.dir/term.cc.o"
+  "CMakeFiles/psc_relational.dir/term.cc.o.d"
+  "CMakeFiles/psc_relational.dir/value.cc.o"
+  "CMakeFiles/psc_relational.dir/value.cc.o.d"
+  "libpsc_relational.a"
+  "libpsc_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

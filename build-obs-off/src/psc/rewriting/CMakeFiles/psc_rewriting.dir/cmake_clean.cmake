@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_rewriting.dir/bucket_rewriter.cc.o"
+  "CMakeFiles/psc_rewriting.dir/bucket_rewriter.cc.o.d"
+  "CMakeFiles/psc_rewriting.dir/containment.cc.o"
+  "CMakeFiles/psc_rewriting.dir/containment.cc.o.d"
+  "libpsc_rewriting.a"
+  "libpsc_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

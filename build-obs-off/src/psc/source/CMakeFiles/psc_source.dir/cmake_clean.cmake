@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_source.dir/measures.cc.o"
+  "CMakeFiles/psc_source.dir/measures.cc.o.d"
+  "CMakeFiles/psc_source.dir/source_collection.cc.o"
+  "CMakeFiles/psc_source.dir/source_collection.cc.o.d"
+  "CMakeFiles/psc_source.dir/source_descriptor.cc.o"
+  "CMakeFiles/psc_source.dir/source_descriptor.cc.o.d"
+  "libpsc_source.a"
+  "libpsc_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

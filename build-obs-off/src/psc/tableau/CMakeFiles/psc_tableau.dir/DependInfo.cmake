@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/tableau/constraint.cc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/constraint.cc.o" "gcc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/constraint.cc.o.d"
+  "/root/repo/src/psc/tableau/database_template.cc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/database_template.cc.o" "gcc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/database_template.cc.o.d"
+  "/root/repo/src/psc/tableau/tableau.cc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/tableau.cc.o" "gcc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/tableau.cc.o.d"
+  "/root/repo/src/psc/tableau/template_builder.cc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/template_builder.cc.o" "gcc" "src/psc/tableau/CMakeFiles/psc_tableau.dir/template_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-obs-off/src/psc/obs/CMakeFiles/psc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/source/CMakeFiles/psc_source.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/relational/CMakeFiles/psc_relational.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_tableau.dir/constraint.cc.o"
+  "CMakeFiles/psc_tableau.dir/constraint.cc.o.d"
+  "CMakeFiles/psc_tableau.dir/database_template.cc.o"
+  "CMakeFiles/psc_tableau.dir/database_template.cc.o.d"
+  "CMakeFiles/psc_tableau.dir/tableau.cc.o"
+  "CMakeFiles/psc_tableau.dir/tableau.cc.o.d"
+  "CMakeFiles/psc_tableau.dir/template_builder.cc.o"
+  "CMakeFiles/psc_tableau.dir/template_builder.cc.o.d"
+  "libpsc_tableau.a"
+  "libpsc_tableau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_tableau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsc_tableau.a"
+)

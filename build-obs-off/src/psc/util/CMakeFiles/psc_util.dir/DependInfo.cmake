@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/util/bigint.cc" "src/psc/util/CMakeFiles/psc_util.dir/bigint.cc.o" "gcc" "src/psc/util/CMakeFiles/psc_util.dir/bigint.cc.o.d"
+  "/root/repo/src/psc/util/combinatorics.cc" "src/psc/util/CMakeFiles/psc_util.dir/combinatorics.cc.o" "gcc" "src/psc/util/CMakeFiles/psc_util.dir/combinatorics.cc.o.d"
+  "/root/repo/src/psc/util/random.cc" "src/psc/util/CMakeFiles/psc_util.dir/random.cc.o" "gcc" "src/psc/util/CMakeFiles/psc_util.dir/random.cc.o.d"
+  "/root/repo/src/psc/util/rational.cc" "src/psc/util/CMakeFiles/psc_util.dir/rational.cc.o" "gcc" "src/psc/util/CMakeFiles/psc_util.dir/rational.cc.o.d"
+  "/root/repo/src/psc/util/status.cc" "src/psc/util/CMakeFiles/psc_util.dir/status.cc.o" "gcc" "src/psc/util/CMakeFiles/psc_util.dir/status.cc.o.d"
+  "/root/repo/src/psc/util/string_util.cc" "src/psc/util/CMakeFiles/psc_util.dir/string_util.cc.o" "gcc" "src/psc/util/CMakeFiles/psc_util.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_util.dir/bigint.cc.o"
+  "CMakeFiles/psc_util.dir/bigint.cc.o.d"
+  "CMakeFiles/psc_util.dir/combinatorics.cc.o"
+  "CMakeFiles/psc_util.dir/combinatorics.cc.o.d"
+  "CMakeFiles/psc_util.dir/random.cc.o"
+  "CMakeFiles/psc_util.dir/random.cc.o.d"
+  "CMakeFiles/psc_util.dir/rational.cc.o"
+  "CMakeFiles/psc_util.dir/rational.cc.o.d"
+  "CMakeFiles/psc_util.dir/status.cc.o"
+  "CMakeFiles/psc_util.dir/status.cc.o.d"
+  "CMakeFiles/psc_util.dir/string_util.cc.o"
+  "CMakeFiles/psc_util.dir/string_util.cc.o.d"
+  "libpsc_util.a"
+  "libpsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_workload.dir/cache_workload.cc.o"
+  "CMakeFiles/psc_workload.dir/cache_workload.cc.o.d"
+  "CMakeFiles/psc_workload.dir/ghcn.cc.o"
+  "CMakeFiles/psc_workload.dir/ghcn.cc.o.d"
+  "CMakeFiles/psc_workload.dir/random_collections.cc.o"
+  "CMakeFiles/psc_workload.dir/random_collections.cc.o.d"
+  "libpsc_workload.a"
+  "libpsc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

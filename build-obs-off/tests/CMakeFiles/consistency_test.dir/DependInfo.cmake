@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/consistency_brute_force_test.cc" "tests/CMakeFiles/consistency_test.dir/consistency_brute_force_test.cc.o" "gcc" "tests/CMakeFiles/consistency_test.dir/consistency_brute_force_test.cc.o.d"
+  "/root/repo/tests/consistency_diagnostics_test.cc" "tests/CMakeFiles/consistency_test.dir/consistency_diagnostics_test.cc.o" "gcc" "tests/CMakeFiles/consistency_test.dir/consistency_diagnostics_test.cc.o.d"
+  "/root/repo/tests/consistency_general_test.cc" "tests/CMakeFiles/consistency_test.dir/consistency_general_test.cc.o" "gcc" "tests/CMakeFiles/consistency_test.dir/consistency_general_test.cc.o.d"
+  "/root/repo/tests/consistency_hitting_set_test.cc" "tests/CMakeFiles/consistency_test.dir/consistency_hitting_set_test.cc.o" "gcc" "tests/CMakeFiles/consistency_test.dir/consistency_hitting_set_test.cc.o.d"
+  "/root/repo/tests/consistency_identity_test.cc" "tests/CMakeFiles/consistency_test.dir/consistency_identity_test.cc.o" "gcc" "tests/CMakeFiles/consistency_test.dir/consistency_identity_test.cc.o.d"
+  "/root/repo/tests/consistency_shrink_witness_test.cc" "tests/CMakeFiles/consistency_test.dir/consistency_shrink_witness_test.cc.o" "gcc" "tests/CMakeFiles/consistency_test.dir/consistency_shrink_witness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-obs-off/src/psc/parser/CMakeFiles/psc_parser.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/rewriting/CMakeFiles/psc_rewriting.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/core/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/algebra/CMakeFiles/psc_algebra.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/workload/CMakeFiles/psc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/consistency/CMakeFiles/psc_consistency.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/counting/CMakeFiles/psc_counting.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/tableau/CMakeFiles/psc_tableau.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/obs/CMakeFiles/psc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/source/CMakeFiles/psc_source.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/relational/CMakeFiles/psc_relational.dir/DependInfo.cmake"
+  "/root/repo/build-obs-off/src/psc/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

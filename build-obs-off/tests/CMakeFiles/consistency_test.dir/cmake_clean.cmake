@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_test.dir/consistency_brute_force_test.cc.o"
+  "CMakeFiles/consistency_test.dir/consistency_brute_force_test.cc.o.d"
+  "CMakeFiles/consistency_test.dir/consistency_diagnostics_test.cc.o"
+  "CMakeFiles/consistency_test.dir/consistency_diagnostics_test.cc.o.d"
+  "CMakeFiles/consistency_test.dir/consistency_general_test.cc.o"
+  "CMakeFiles/consistency_test.dir/consistency_general_test.cc.o.d"
+  "CMakeFiles/consistency_test.dir/consistency_hitting_set_test.cc.o"
+  "CMakeFiles/consistency_test.dir/consistency_hitting_set_test.cc.o.d"
+  "CMakeFiles/consistency_test.dir/consistency_identity_test.cc.o"
+  "CMakeFiles/consistency_test.dir/consistency_identity_test.cc.o.d"
+  "CMakeFiles/consistency_test.dir/consistency_shrink_witness_test.cc.o"
+  "CMakeFiles/consistency_test.dir/consistency_shrink_witness_test.cc.o.d"
+  "consistency_test"
+  "consistency_test.pdb"
+  "consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

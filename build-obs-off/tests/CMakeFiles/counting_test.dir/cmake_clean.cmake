@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_test.dir/counting_consensus_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_consensus_test.cc.o.d"
+  "CMakeFiles/counting_test.dir/counting_counter_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_counter_test.cc.o.d"
+  "CMakeFiles/counting_test.dir/counting_dp_counter_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_dp_counter_test.cc.o.d"
+  "CMakeFiles/counting_test.dir/counting_example51_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_example51_test.cc.o.d"
+  "CMakeFiles/counting_test.dir/counting_instance_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_instance_test.cc.o.d"
+  "CMakeFiles/counting_test.dir/counting_linear_system_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_linear_system_test.cc.o.d"
+  "CMakeFiles/counting_test.dir/counting_sampler_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_sampler_test.cc.o.d"
+  "CMakeFiles/counting_test.dir/counting_world_enumerator_test.cc.o"
+  "CMakeFiles/counting_test.dir/counting_world_enumerator_test.cc.o.d"
+  "counting_test"
+  "counting_test.pdb"
+  "counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

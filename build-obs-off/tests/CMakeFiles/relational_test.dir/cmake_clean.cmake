@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_test.dir/relational_atom_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational_atom_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational_builtin_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational_builtin_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational_database_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational_database_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational_query_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational_query_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational_schema_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational_schema_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational_value_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational_value_test.cc.o.d"
+  "relational_test"
+  "relational_test.pdb"
+  "relational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

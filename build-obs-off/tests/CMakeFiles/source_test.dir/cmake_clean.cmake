@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_test.dir/source_collection_test.cc.o"
+  "CMakeFiles/source_test.dir/source_collection_test.cc.o.d"
+  "CMakeFiles/source_test.dir/source_descriptor_test.cc.o"
+  "CMakeFiles/source_test.dir/source_descriptor_test.cc.o.d"
+  "CMakeFiles/source_test.dir/source_measures_test.cc.o"
+  "CMakeFiles/source_test.dir/source_measures_test.cc.o.d"
+  "source_test"
+  "source_test.pdb"
+  "source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_test.dir/tableau_constraint_test.cc.o"
+  "CMakeFiles/tableau_test.dir/tableau_constraint_test.cc.o.d"
+  "CMakeFiles/tableau_test.dir/tableau_tableau_test.cc.o"
+  "CMakeFiles/tableau_test.dir/tableau_tableau_test.cc.o.d"
+  "CMakeFiles/tableau_test.dir/tableau_template_test.cc.o"
+  "CMakeFiles/tableau_test.dir/tableau_template_test.cc.o.d"
+  "CMakeFiles/tableau_test.dir/tableau_theorem41_test.cc.o"
+  "CMakeFiles/tableau_test.dir/tableau_theorem41_test.cc.o.d"
+  "tableau_test"
+  "tableau_test.pdb"
+  "tableau_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util_arithmetic_property_test.cc.o"
+  "CMakeFiles/util_test.dir/util_arithmetic_property_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_bigint_test.cc.o"
+  "CMakeFiles/util_test.dir/util_bigint_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_combinatorics_test.cc.o"
+  "CMakeFiles/util_test.dir/util_combinatorics_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_random_test.cc.o"
+  "CMakeFiles/util_test.dir/util_random_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_rational_test.cc.o"
+  "CMakeFiles/util_test.dir/util_rational_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_status_test.cc.o"
+  "CMakeFiles/util_test.dir/util_status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_string_test.cc.o"
+  "CMakeFiles/util_test.dir/util_string_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-obs-off/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-obs-off/tests/util_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/relational_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/parser_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/source_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/counting_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/tableau_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/rewriting_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/core_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/property_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-obs-off/tests/obs_test[1]_include.cmake")

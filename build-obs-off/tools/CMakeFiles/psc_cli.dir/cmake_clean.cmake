@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_cli.dir/psc_cli.cc.o"
+  "CMakeFiles/psc_cli.dir/psc_cli.cc.o.d"
+  "psc"
+  "psc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

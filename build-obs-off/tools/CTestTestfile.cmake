@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-obs-off/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(metrics_schema_check "/usr/bin/cmake" "-DPSC_CLI=/root/repo/build-obs-off/tools/psc" "-DPYTHON=/root/.pyenv/shims/python3" "-DCHECKER=/root/repo/tools/check_metrics_schema.py" "-DINPUT=/root/repo/data/example51.psc" "-DOUTPUT=/root/repo/build-obs-off/tools/metrics_schema_check.json" "-DREQUIRED_COUNTERS=" "-P" "/root/repo/tools/run_metrics_check.cmake")
+set_tests_properties(metrics_schema_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")

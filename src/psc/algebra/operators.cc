@@ -1,5 +1,6 @@
 #include "psc/algebra/operators.h"
 
+#include "psc/obs/metrics.h"
 #include "psc/relational/builtin.h"
 #include "psc/util/string_util.h"
 
@@ -69,6 +70,7 @@ Result<ProbRelation> Project(const ProbRelation& input,
     PSC_ASSIGN_OR_RETURN(Tuple projected, ProjectTuple(tuple, columns));
     PSC_RETURN_NOT_OK(output.Merge(std::move(projected), confidence));
   }
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 
@@ -79,6 +81,7 @@ Result<ProbRelation> Select(const ProbRelation& input,
     PSC_ASSIGN_OR_RETURN(const bool keep, EvalConditions(tuple, conditions));
     if (keep) PSC_RETURN_NOT_OK(output.Insert(tuple, confidence));
   }
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 
@@ -93,6 +96,7 @@ Result<ProbRelation> CrossProduct(const ProbRelation& left,
                                       left_conf * right_conf));
     }
   }
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 
@@ -136,6 +140,7 @@ Result<ProbRelation> Union(const ProbRelation& left,
   for (const auto& [tuple, confidence] : right.entries()) {
     PSC_RETURN_NOT_OK(output.Merge(tuple, confidence));
   }
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 
@@ -149,6 +154,7 @@ Result<Relation> ProjectRelation(const Relation& input, size_t arity,
     PSC_ASSIGN_OR_RETURN(Tuple projected, ProjectTuple(tuple, columns));
     output.insert(std::move(projected));
   }
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 
@@ -159,6 +165,7 @@ Result<Relation> SelectRelation(const Relation& input,
     PSC_ASSIGN_OR_RETURN(const bool keep, EvalConditions(tuple, conditions));
     if (keep) output.insert(tuple);
   }
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 
@@ -171,6 +178,7 @@ Relation CrossProductRelation(const Relation& left, const Relation& right) {
       output.insert(std::move(combined));
     }
   }
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 
@@ -205,6 +213,7 @@ Result<Relation> EquiJoinRelation(
 Relation UnionRelation(const Relation& left, const Relation& right) {
   Relation output = left;
   output.insert(right.begin(), right.end());
+  PSC_OBS_COUNTER_ADD("algebra.tuples_produced", output.size());
   return output;
 }
 

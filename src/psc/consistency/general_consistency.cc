@@ -4,6 +4,8 @@
 
 #include "psc/consistency/identity_consistency.h"
 #include "psc/consistency/possible_worlds.h"
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/tableau/template_builder.h"
 #include "psc/util/string_util.h"
 
@@ -40,6 +42,7 @@ Result<std::optional<Database>> TryCanonicalFreeze(
           return false;
         }
         ++report->combinations_tried;
+        PSC_OBS_COUNTER_INC("consistency.combinations_tried");
         auto built = builder.BuildTableau(combination);
         if (!built.ok()) {
           if (built.status().code() == StatusCode::kUnimplemented) {
@@ -62,6 +65,7 @@ Result<std::optional<Database>> TryCanonicalFreeze(
         const size_t tries = candidates[0] == candidates[1] ? 1 : 2;
         for (size_t t = 0; t < tries; ++t) {
           ++report->candidates_checked;
+          PSC_OBS_COUNTER_INC("consistency.candidates_checked");
           auto possible = collection.IsPossibleWorld(candidates[t]);
           if (!possible.ok()) {
             deferred_error = possible.status();
@@ -82,6 +86,8 @@ Result<std::optional<Database>> TryCanonicalFreeze(
 
 Result<ConsistencyReport> GeneralConsistencyChecker::Check(
     const SourceCollection& collection) const {
+  PSC_OBS_SPAN("consistency.check");
+  PSC_OBS_COUNTER_INC("consistency.checks");
   ConsistencyReport report;
 
   if (collection.size() == 0) {
@@ -100,6 +106,10 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
       report.verdict = identity->consistent ? ConsistencyVerdict::kConsistent
                                             : ConsistencyVerdict::kInconsistent;
       report.witness = identity->witness;
+      if (report.witness.has_value()) {
+        PSC_OBS_GAUGE_SET("consistency.witness_facts",
+                          report.witness->AllFacts().size());
+      }
       return report;
     }
     if (identity.status().code() != StatusCode::kResourceExhausted) {
@@ -118,6 +128,8 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
     report.verdict = ConsistencyVerdict::kConsistent;
     report.witness = std::move(witness);
     report.method = "canonical-freeze";
+    PSC_OBS_GAUGE_SET("consistency.witness_facts",
+                      report.witness->AllFacts().size());
     return report;
   }
 
@@ -162,6 +174,8 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
         report.verdict = ConsistencyVerdict::kConsistent;
         report.witness = std::move(found);
         report.method = "exhaustive";
+        PSC_OBS_GAUGE_SET("consistency.witness_facts",
+                          report.witness->AllFacts().size());
         return report;
       }
       if (domain_complete) {

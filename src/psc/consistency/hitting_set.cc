@@ -4,6 +4,8 @@
 #include <set>
 
 #include "psc/consistency/identity_consistency.h"
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -111,9 +113,12 @@ class BranchAndBound {
 
 Result<HittingSetSolution> SolveHittingSet(const HittingSetInstance& instance,
                                            uint64_t max_nodes) {
+  PSC_OBS_SPAN("hitting_set.solve");
   PSC_RETURN_NOT_OK(instance.Validate());
   BranchAndBound solver(instance, max_nodes);
-  return solver.Run();
+  PSC_ASSIGN_OR_RETURN(HittingSetSolution solution, solver.Run());
+  PSC_OBS_COUNTER_ADD("hitting_set.nodes_expanded", solution.nodes_expanded);
+  return solution;
 }
 
 HittingSetInstance ReduceHsToHsStar(const HittingSetInstance& instance) {
@@ -127,6 +132,8 @@ HittingSetInstance ReduceHsToHsStar(const HittingSetInstance& instance) {
 
 Result<SourceCollection> ReduceHsStarToConsistency(
     const HittingSetInstance& instance) {
+  PSC_OBS_SPAN("hitting_set.reduce");
+  PSC_OBS_COUNTER_INC("hitting_set.reductions");
   PSC_RETURN_NOT_OK(instance.Validate());
   if (!instance.IsHsStar()) {
     return Status::InvalidArgument(
@@ -169,6 +176,7 @@ Result<HittingSetSolution> SolveHittingSetViaConsistency(
   HittingSetSolution solution;
   solution.nodes_expanded = report.visited_shapes;
   solution.solvable = report.consistent;
+  PSC_OBS_COUNTER_ADD("hitting_set.nodes_expanded", solution.nodes_expanded);
   if (!report.consistent) return solution;
 
   // Map the witness world back: A = {a : R(a) ∈ D}, minus the fresh element

@@ -2,12 +2,15 @@
 
 #include "psc/counting/identity_instance.h"
 #include "psc/counting/model_counter.h"
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/util/combinatorics.h"
 
 namespace psc {
 
 Result<IdentityConsistencyReport> CheckIdentityConsistency(
     const SourceCollection& collection, uint64_t max_shapes) {
+  PSC_OBS_SPAN("consistency.identity_check");
   PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
                        IdentityInstance::CreateOverExtensions(collection));
   BinomialTable binomials;
@@ -16,6 +19,7 @@ Result<IdentityConsistencyReport> CheckIdentityConsistency(
   PSC_ASSIGN_OR_RETURN(
       const std::optional<WorldShape> shape,
       counter.FirstFeasibleShape(max_shapes, &report.visited_shapes));
+  PSC_OBS_COUNTER_ADD("consistency.nodes_expanded", report.visited_shapes);
   if (!shape.has_value()) {
     report.consistent = false;
     return report;

@@ -1,5 +1,6 @@
 #include "psc/consistency/possible_worlds.h"
 
+#include "psc/obs/metrics.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -33,8 +34,10 @@ Result<bool> BruteForceWorldEnumerator::ForEachPossibleWorld(
     for (size_t j = 0; j < universe.size(); ++j) {
       if ((mask >> j) & 1) db.AddFact(universe[j]);
     }
+    PSC_OBS_COUNTER_INC("brute_force.worlds_checked");
     PSC_ASSIGN_OR_RETURN(const bool possible,
                          collection_->IsPossibleWorld(db));
+    if (possible) PSC_OBS_COUNTER_INC("brute_force.possible_worlds");
     if (possible && !fn(db)) return false;
   }
   return true;

@@ -7,6 +7,8 @@
 #include "psc/counting/world_enumerator.h"
 #include "psc/counting/world_sampler.h"
 #include "psc/consistency/possible_worlds.h"
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/util/random.h"
 #include "psc/util/string_util.h"
 
@@ -98,6 +100,7 @@ Result<ConfidenceTable> QuerySystem::BaseConfidences(
 Result<QueryAnswer> QuerySystem::AnswerExact(
     const AlgebraExprPtr& query, const std::vector<Value>& domain) const {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
+  PSC_OBS_SPAN("query.answer_exact");
   AnswerAccumulator accumulator(query);
   Status world_error;
   const auto consume = [&](const Database& world) {
@@ -114,7 +117,10 @@ Result<QueryAnswer> QuerySystem::AnswerExact(
         enumerator.ForEachWorld(consume, options_.max_worlds,
                                 options_.max_shapes));
     if (!completed) return world_error;
-    return accumulator.Finish("exact-enumeration");
+    PSC_ASSIGN_OR_RETURN(QueryAnswer answer,
+                         accumulator.Finish("exact-enumeration"));
+    PSC_OBS_COUNTER_ADD("query.worlds_used", answer.worlds_used);
+    return answer;
   }
 
   BruteForceWorldEnumerator::Options brute_options;
@@ -123,12 +129,16 @@ Result<QueryAnswer> QuerySystem::AnswerExact(
   PSC_ASSIGN_OR_RETURN(const bool completed,
                        enumerator.ForEachPossibleWorld(consume));
   if (!completed) return world_error;
-  return accumulator.Finish("exact-enumeration");
+  PSC_ASSIGN_OR_RETURN(QueryAnswer answer,
+                       accumulator.Finish("exact-enumeration"));
+  PSC_OBS_COUNTER_ADD("query.worlds_used", answer.worlds_used);
+  return answer;
 }
 
 Result<QueryAnswer> QuerySystem::AnswerCompositional(
     const AlgebraExprPtr& query, const std::vector<Value>& domain) const {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
+  PSC_OBS_SPAN("query.answer_compositional");
   if (!collection_.AllIdentityViews()) {
     return Status::Unimplemented(
         "compositional confidences require identity views (the Section 5.1 "
@@ -161,6 +171,7 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
     uint64_t samples, uint64_t seed) const {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
   if (samples == 0) return Status::InvalidArgument("samples must be >= 1");
+  PSC_OBS_SPAN("query.answer_monte_carlo");
   if (!collection_.AllIdentityViews()) {
     return Status::Unimplemented(
         "Monte-Carlo answering requires identity views (uniform world "
@@ -175,7 +186,9 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
   for (uint64_t i = 0; i < samples; ++i) {
     PSC_RETURN_NOT_OK(accumulator.Add(sampler.Sample(&rng)));
   }
-  return accumulator.Finish("monte-carlo");
+  PSC_ASSIGN_OR_RETURN(QueryAnswer answer, accumulator.Finish("monte-carlo"));
+  PSC_OBS_COUNTER_ADD("query.worlds_used", answer.worlds_used);
+  return answer;
 }
 
 Result<QueryAnswer> QuerySystem::AnswerExact(

@@ -1,5 +1,6 @@
 #include "psc/counting/confidence.h"
 
+#include "psc/obs/trace.h"
 #include "psc/relational/value.h"
 #include "psc/util/string_util.h"
 
@@ -31,6 +32,7 @@ std::vector<Tuple> ConfidenceTable::PossibleFacts() const {
 
 Result<ConfidenceTable> ComputeBaseFactConfidences(
     const IdentityInstance& instance, uint64_t max_shapes) {
+  PSC_OBS_SPAN("counting.base_confidences");
   BinomialTable binomials;
   SignatureCounter counter(&instance, &binomials);
   PSC_ASSIGN_OR_RETURN(const CountingOutcome outcome,

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/util/combinatorics.h"
 #include "psc/util/string_util.h"
 
@@ -48,6 +50,7 @@ Result<BigInt> RunPass(const IdentityInstance& instance,
       }
     }
     states = std::move(next);
+    PSC_OBS_COUNTER_ADD("counting.dp_cells", states.size());
     *peak_states = std::max<uint64_t>(*peak_states, states.size());
     if (states.size() > max_states) {
       return Status::ResourceExhausted(
@@ -88,6 +91,7 @@ DpCounter::DpCounter(const IdentityInstance* instance) : instance_(instance) {
 }
 
 Result<CountingOutcome> DpCounter::Count(uint64_t max_states) {
+  PSC_OBS_SPAN("counting.dp_count");
   BinomialTable binomials;
   CountingOutcome outcome;
   uint64_t peak = 0;
@@ -95,6 +99,7 @@ Result<CountingOutcome> DpCounter::Count(uint64_t max_states) {
   PSC_ASSIGN_OR_RETURN(outcome.world_count,
                        RunPass(*instance_, binomials, /*marked_group=*/-1,
                                max_states, &peak, &feasible));
+  PSC_OBS_COUNTER_INC("counting.dp_passes");
   outcome.feasible_shapes = feasible;
   const size_t num_groups = instance_->groups().size();
   outcome.worlds_containing.resize(num_groups);
@@ -104,6 +109,7 @@ Result<CountingOutcome> DpCounter::Count(uint64_t max_states) {
                          RunPass(*instance_, binomials,
                                  static_cast<int64_t>(g), max_states, &peak,
                                  nullptr));
+    PSC_OBS_COUNTER_INC("counting.dp_passes");
   }
   outcome.visited_shapes = peak;
   return outcome;

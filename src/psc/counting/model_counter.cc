@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -113,6 +115,7 @@ class ShapeEnumerator {
 }  // namespace
 
 Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes) {
+  PSC_OBS_SPAN("counting.count");
   CountingOutcome outcome;
   const auto& groups = instance_->groups();
   // Σ over feasible shapes of weight·k_g, later divided by n_g.
@@ -134,6 +137,8 @@ Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes) {
           })
           .status());
   outcome.visited_shapes = enumerator.visited();
+  PSC_OBS_COUNTER_ADD("counting.shapes_visited", outcome.visited_shapes);
+  PSC_OBS_COUNTER_ADD("counting.feasible_shapes", outcome.feasible_shapes);
 
   outcome.worlds_containing.resize(groups.size());
   for (size_t g = 0; g < groups.size(); ++g) {
@@ -171,6 +176,7 @@ Result<std::optional<WorldShape>> SignatureCounter::FirstFeasibleShape(
           })
           .status());
   if (visited != nullptr) *visited = enumerator.visited();
+  PSC_OBS_COUNTER_ADD("counting.shapes_visited", enumerator.visited());
   return first;
 }
 

@@ -1,6 +1,7 @@
 #include "psc/counting/world_enumerator.h"
 
 #include "psc/counting/model_counter.h"
+#include "psc/obs/metrics.h"
 #include "psc/util/combinatorics.h"
 #include "psc/util/string_util.h"
 
@@ -31,6 +32,7 @@ Result<bool> IdentityWorldEnumerator::ForEachWorld(
         return Status::ResourceExhausted(
             StrCat("world enumeration exceeded ", max_worlds, " worlds"));
       }
+      PSC_OBS_COUNTER_INC("counting.worlds_enumerated");
       Database world;
       for (size_t g = 0; g < groups.size(); ++g) {
         for (const int64_t pick : picks[g]) {

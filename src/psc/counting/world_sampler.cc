@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "psc/obs/metrics.h"
 #include "psc/util/combinatorics.h"
 
 namespace psc {
@@ -30,6 +31,7 @@ Result<WorldSampler> WorldSampler::Create(const IdentityInstance* instance,
 
 Database WorldSampler::Sample(Rng* rng) const {
   PSC_CHECK(rng != nullptr);
+  PSC_OBS_COUNTER_INC("counting.sampler_draws");
   const BigInt target = BigInt::RandomBelow(total_, rng->engine());
   // First shape whose cumulative weight exceeds `target`.
   const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(),

@@ -1,0 +1,66 @@
+#ifndef PSC_OBS_JSON_H_
+#define PSC_OBS_JSON_H_
+
+/// \file
+/// A minimal JSON reader, just enough to round-trip and validate the run
+/// reports this library emits (objects, arrays, strings with standard
+/// escapes, numbers, booleans, null). Not a general-purpose parser: no
+/// \uXXXX surrogate pairs, numbers are parsed as double.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psc/util/result.h"
+
+namespace psc {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Member lookup; null when missing or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses `text` as a single JSON document (trailing whitespace allowed).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `text` for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace obs
+}  // namespace psc
+
+#endif  // PSC_OBS_JSON_H_

@@ -1,0 +1,193 @@
+#include "psc/obs/metrics.h"
+
+#include <algorithm>
+
+namespace psc {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<size_t> g_trace_depth_limit{64};
+
+}  // namespace
+
+void SetOptions(const Options& options) {
+  g_enabled.store(options.enabled, std::memory_order_relaxed);
+  g_trace_enabled.store(options.trace_enabled, std::memory_order_relaxed);
+  g_trace_depth_limit.store(options.trace_depth_limit,
+                            std::memory_order_relaxed);
+}
+
+Options GetOptions() {
+  Options options;
+  options.enabled = g_enabled.load(std::memory_order_relaxed);
+  options.trace_enabled = g_trace_enabled.load(std::memory_order_relaxed);
+  options.trace_depth_limit =
+      g_trace_depth_limit.load(std::memory_order_relaxed);
+  return options;
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+double HistogramSnapshot::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; only interior quantiles go through
+  // the log2 buckets.
+  if (q == 0.0) return min;
+  if (q == 1.0) return max;
+  // Rank of the requested quantile, 1-based; q=1 must land on the last
+  // recorded value.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      // Clamp the bucket bound into the observed range so p0/p100 are
+      // exact and interior percentiles never exceed the true maximum.
+      return std::clamp(Histogram::BucketUpperBound(b), min, max);
+    }
+  }
+  return max;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // Bucket b >= 1 covers [2^(b-1), 2^b): 1 + floor(log2(value)) + ... i.e.
+  // 64 - countl_zero(value).
+  size_t bits = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++bits;
+  }
+  return bits;  // in [1, 64]
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return UINT64_MAX;
+  return uint64_t{1} << bucket;
+}
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (value < seen_min &&
+         !min_.compare_exchange_weak(seen_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (value > seen_max &&
+         !max_.compare_exchange_weak(seen_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  snapshot.min = seen_min == UINT64_MAX ? 0 : seen_min;
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  snapshot.buckets.resize(kNumBuckets);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snapshot.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->value());
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> values;
+  values.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    values.emplace_back(name, gauge->value());
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> values;
+  values.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    values.emplace_back(name, histogram->Snapshot());
+  }
+  return values;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace psc

@@ -1,0 +1,220 @@
+#ifndef PSC_OBS_METRICS_H_
+#define PSC_OBS_METRICS_H_
+
+/// \file
+/// Thread-safe, zero-cost-when-disabled metrics for the solver stack.
+///
+/// Three instrument kinds live in a process-global `MetricsRegistry`:
+///  * `Counter`   — monotonically increasing uint64 (nodes expanded, …),
+///  * `Gauge`     — last/maximum int64 value (witness size, peak states, …),
+///  * `Histogram` — log2-bucketed distribution (latencies, tree sizes).
+///
+/// Instrumentation sites use the `PSC_OBS_*` macros below, which
+///  * compile to nothing when the build sets `PSC_OBS_ENABLED=0`
+///    (CMake option `-DPSC_OBS=OFF`), and
+///  * are a single relaxed atomic check + add when enabled but the runtime
+///    switch (`obs::SetOptions({.enabled = false})`) is off.
+/// The macros cache the registry lookup in a function-local static, so the
+/// per-hit cost is one branch and one relaxed atomic increment; names
+/// passed to the macros must therefore be string literals.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef PSC_OBS_ENABLED
+#define PSC_OBS_ENABLED 1
+#endif
+
+namespace psc {
+namespace obs {
+
+/// Runtime configuration; see `SetOptions`/`GetOptions`.
+struct Options {
+  /// Master switch: when false every macro hit is a single load+branch.
+  bool enabled = true;
+  /// Span records are appended to the global trace buffer only when true
+  /// (histogram timings are recorded regardless); keeps memory flat for
+  /// long-running processes unless tracing was asked for.
+  bool trace_enabled = false;
+  /// Spans nested deeper than this are timed but not buffered.
+  size_t trace_depth_limit = 64;
+};
+
+void SetOptions(const Options& options);
+Options GetOptions();
+
+/// Fast path for the instrumentation macros.
+bool Enabled();
+
+/// Monotonic counter. All operations are wait-free relaxed atomics.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value / running-maximum gauge.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` if larger (CAS loop).
+  void RecordMax(int64_t value) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Immutable view of a histogram used by reporting.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  /// counts[b] holds values v with BucketIndex(v) == b; bucket 0 is v == 0,
+  /// bucket b >= 1 covers [2^(b-1), 2^b).
+  std::vector<uint64_t> buckets;
+
+  double Mean() const;
+  /// Upper bound of the bucket holding the q-quantile (q in [0,1]);
+  /// exact for min/max, otherwise within a factor of 2 by construction.
+  uint64_t Percentile(double q) const;
+};
+
+/// Log2-scale histogram over non-negative integers (microsecond latencies,
+/// search-tree sizes). Recording is wait-free.
+class Histogram {
+ public:
+  /// 0 plus one bucket per power of two up to 2^63.
+  static constexpr size_t kNumBuckets = 65;
+
+  static size_t BucketIndex(uint64_t value);
+  /// Lowest value that would land above bucket `bucket`, i.e. 2^bucket
+  /// (saturating); used as the reported bucket upper bound.
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Named instrument store. Lookup takes a mutex; returned references are
+/// stable for the registry's lifetime, so hot paths cache them (the macros
+/// do this automatically via function-local statics).
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Snapshot accessors, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramValues()
+      const;
+
+  /// Convenience for tests and the CLI summary: value of `name` or 0.
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Zeroes every registered instrument (names stay registered).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry used by the `PSC_OBS_*` macros.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace psc
+
+#if PSC_OBS_ENABLED
+
+#define PSC_OBS_COUNTER_ADD(name, delta)                              \
+  do {                                                                \
+    if (::psc::obs::Enabled()) {                                      \
+      static ::psc::obs::Counter& psc_obs_cached_counter =            \
+          ::psc::obs::GlobalMetrics().GetCounter(name);               \
+      psc_obs_cached_counter.Increment(static_cast<uint64_t>(delta)); \
+    }                                                                 \
+  } while (0)
+
+#define PSC_OBS_COUNTER_INC(name) PSC_OBS_COUNTER_ADD(name, 1)
+
+#define PSC_OBS_GAUGE_SET(name, value)                            \
+  do {                                                            \
+    if (::psc::obs::Enabled()) {                                  \
+      static ::psc::obs::Gauge& psc_obs_cached_gauge =            \
+          ::psc::obs::GlobalMetrics().GetGauge(name);             \
+      psc_obs_cached_gauge.Set(static_cast<int64_t>(value));      \
+    }                                                             \
+  } while (0)
+
+#define PSC_OBS_GAUGE_MAX(name, value)                             \
+  do {                                                             \
+    if (::psc::obs::Enabled()) {                                   \
+      static ::psc::obs::Gauge& psc_obs_cached_gauge =             \
+          ::psc::obs::GlobalMetrics().GetGauge(name);              \
+      psc_obs_cached_gauge.RecordMax(static_cast<int64_t>(value)); \
+    }                                                              \
+  } while (0)
+
+#define PSC_OBS_HISTOGRAM_RECORD(name, value)                        \
+  do {                                                               \
+    if (::psc::obs::Enabled()) {                                     \
+      static ::psc::obs::Histogram& psc_obs_cached_histogram =       \
+          ::psc::obs::GlobalMetrics().GetHistogram(name);            \
+      psc_obs_cached_histogram.Record(static_cast<uint64_t>(value)); \
+    }                                                                \
+  } while (0)
+
+#else  // PSC_OBS_ENABLED
+
+// Compiled-out stubs. Arguments are syntax-checked inside a dead branch so
+// call sites keep compiling (and stay warning-free) in both configurations,
+// but no code is generated.
+#define PSC_OBS_COUNTER_ADD(name, delta) \
+  do {                                   \
+    if (false) {                         \
+      (void)(name);                      \
+      (void)(delta);                     \
+    }                                    \
+  } while (0)
+#define PSC_OBS_COUNTER_INC(name) PSC_OBS_COUNTER_ADD(name, 1)
+#define PSC_OBS_GAUGE_SET(name, value) PSC_OBS_COUNTER_ADD(name, value)
+#define PSC_OBS_GAUGE_MAX(name, value) PSC_OBS_COUNTER_ADD(name, value)
+#define PSC_OBS_HISTOGRAM_RECORD(name, value) PSC_OBS_COUNTER_ADD(name, value)
+
+#endif  // PSC_OBS_ENABLED
+
+#endif  // PSC_OBS_METRICS_H_

@@ -1,0 +1,74 @@
+#ifndef PSC_OBS_REPORT_H_
+#define PSC_OBS_REPORT_H_
+
+/// \file
+/// Structured run reports: a point-in-time snapshot of the global metrics
+/// registry plus the trace-span buffer, serializable as machine-readable
+/// JSON (see `kRunReportSchemaVersion` / README "Observability") and as an
+/// aligned human-readable table.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psc/obs/json.h"
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
+#include "psc/util/status.h"
+
+namespace psc {
+namespace obs {
+
+/// Bumped whenever the JSON layout changes incompatibly.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+struct RunReport {
+  struct CounterEntry {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot snapshot;
+  };
+
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+  std::vector<SpanRecord> spans;
+  uint64_t spans_dropped = 0;
+
+  /// Snapshots `GlobalMetrics()` and `GlobalTrace()`.
+  static RunReport Capture();
+
+  /// Machine-readable serialization:
+  /// {"schema_version":1, "counters":{...}, "gauges":{...},
+  ///  "histograms":{name:{count,sum,min,max,mean,p50,p90,p99}},
+  ///  "spans":[{id,parent,name,depth,start_us,duration_us}],
+  ///  "spans_dropped":N}
+  std::string ToJson() const;
+
+  /// Aligned text table for terminals, one section per instrument kind,
+  /// followed by the span tree when spans were buffered.
+  std::string ToTable() const;
+
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+/// Validates that `document` is a well-formed run report: required
+/// top-level keys with the right JSON types, non-negative counters,
+/// histogram invariants (count==0 ⇒ sum==0, min ≤ max), span records with
+/// parent ids that either are -1 or reference a span in the report.
+Status ValidateRunReportJson(const JsonValue& document);
+
+/// Parses and validates in one step (convenience for tools/tests).
+Status ValidateRunReportJson(const std::string& json_text);
+
+}  // namespace obs
+}  // namespace psc
+
+#endif  // PSC_OBS_REPORT_H_

@@ -1,0 +1,137 @@
+#include "psc/obs/trace.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+/// Per-thread stack of open spans; parent/child nesting is per thread.
+struct OpenSpan {
+  uint64_t id;
+};
+thread_local std::vector<OpenSpan> t_span_stack;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - TraceEpoch());
+  return elapsed.count() < 0 ? 0 : static_cast<uint64_t>(elapsed.count());
+}
+
+void TraceBuffer::Append(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  dropped_ = 0;
+}
+
+TraceBuffer& GlobalTrace() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  active_ = true;
+  start_ = std::chrono::steady_clock::now();
+  const Options options = GetOptions();
+  if (!options.trace_enabled) return;
+  depth_ = static_cast<uint32_t>(t_span_stack.size());
+  if (depth_ >= options.trace_depth_limit) return;
+  buffered_ = true;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = t_span_stack.empty()
+                   ? -1
+                   : static_cast<int64_t>(t_span_stack.back().id);
+  start_us_ = TraceNowMicros();
+  t_span_stack.push_back(OpenSpan{id_});
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  assert(end >= start_ && "TraceSpan observed a negative duration");
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  const uint64_t micros = elapsed < 0 ? 0 : static_cast<uint64_t>(elapsed);
+  GlobalMetrics().GetHistogram(name_).Record(micros);
+  if (!buffered_) return;
+  // Unwind to this span's frame even if an inner span leaked (it cannot
+  // with RAII, but stay robust against exceptions skipping frames).
+  while (!t_span_stack.empty() && t_span_stack.back().id != id_) {
+    t_span_stack.pop_back();
+  }
+  if (!t_span_stack.empty()) t_span_stack.pop_back();
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.name = name_;
+  record.depth = depth_;
+  record.start_us = start_us_;
+  record.duration_us = micros;
+  GlobalTrace().Append(std::move(record));
+}
+
+std::string FormatSpanTree(const std::vector<SpanRecord>& spans) {
+  // Children are emitted in start order below their parent. Spans arrive
+  // in completion order, so index them first.
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return spans[a].start_us < spans[b].start_us;
+  });
+  std::string out;
+  std::function<void(int64_t, uint32_t)> emit = [&](int64_t parent,
+                                                    uint32_t indent) {
+    for (const size_t i : order) {
+      const SpanRecord& span = spans[i];
+      if (span.parent_id != parent) continue;
+      out += StrCat(std::string(2 * indent, ' '), span.name, "  ",
+                    static_cast<double>(span.duration_us) / 1000.0, "ms\n");
+      emit(static_cast<int64_t>(span.id), indent + 1);
+    }
+  };
+  emit(-1, 0);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace psc

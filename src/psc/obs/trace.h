@@ -1,0 +1,141 @@
+#ifndef PSC_OBS_TRACE_H_
+#define PSC_OBS_TRACE_H_
+
+/// \file
+/// RAII wall-clock timers and an in-memory span buffer with parent/child
+/// nesting.
+///
+/// `ScopedTimer` records elapsed microseconds into a `Histogram` when it
+/// leaves scope. `TraceSpan` does the same under a registry name and, when
+/// tracing is switched on (`Options::trace_enabled`), additionally appends
+/// a `SpanRecord` to the global `TraceBuffer` with the id of the enclosing
+/// span, giving a reconstructable call tree.
+///
+/// Both use `std::chrono::steady_clock` — a monotonic clock — so an
+/// elapsed interval can never be negative; a debug assertion in the
+/// destructors guards against the classic `duration_cast(begin - end)`
+/// operand swap regressing into the codebase.
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "psc/obs/metrics.h"
+
+namespace psc {
+namespace obs {
+
+/// One completed span. Times are microseconds relative to the process
+/// trace epoch (first use of the clock helper).
+struct SpanRecord {
+  uint64_t id = 0;
+  /// Id of the enclosing span, or -1 for a root span.
+  int64_t parent_id = -1;
+  std::string name;
+  uint32_t depth = 0;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+};
+
+/// Append-only buffer of completed spans, guarded by a mutex. Appends past
+/// `capacity` are counted but dropped so tracing cannot grow unbounded.
+class TraceBuffer {
+ public:
+  void Append(SpanRecord record);
+  std::vector<SpanRecord> Snapshot() const;
+  uint64_t dropped() const;
+  void SetCapacity(size_t capacity);
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  size_t capacity_ = 1 << 16;
+  uint64_t dropped_ = 0;
+};
+
+TraceBuffer& GlobalTrace();
+
+/// Microseconds since the process trace epoch (monotonic).
+uint64_t TraceNowMicros();
+
+/// Records elapsed wall time (microseconds) into a histogram at scope
+/// exit. The histogram may be null, in which case only `ElapsedMicros` is
+/// useful (manual timing).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(Clock::now()) {}
+  /// Convenience: resolves `histogram_name` in the global registry.
+  explicit ScopedTimer(const char* histogram_name)
+      : ScopedTimer(&GlobalMetrics().GetHistogram(histogram_name)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedMicros());
+  }
+
+  uint64_t ElapsedMicros() const {
+    const Clock::time_point end = Clock::now();
+    // steady_clock is monotonic; a negative interval here means the
+    // begin/end operands were swapped somewhere (the Snippet-1 bug class).
+    assert(end >= start_ && "ScopedTimer observed a negative duration");
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+            .count();
+    return elapsed < 0 ? 0 : static_cast<uint64_t>(elapsed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+/// RAII span: times the enclosing scope into the histogram named `name`
+/// and, when tracing is enabled, records a nested `SpanRecord`. Use via
+/// `PSC_OBS_SPAN("subsystem.operation")`. `name` must outlive the span
+/// (string literals at every call site).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_;
+  bool active_ = false;    // metrics enabled at construction
+  bool buffered_ = false;  // span will be appended to the trace buffer
+  uint64_t id_ = 0;
+  int64_t parent_id_ = -1;
+  uint32_t depth_ = 0;
+  uint64_t start_us_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Renders `spans` as an indented tree ("name  12.3ms"), one line per
+/// span, children below their parents.
+std::string FormatSpanTree(const std::vector<SpanRecord>& spans);
+
+}  // namespace obs
+}  // namespace psc
+
+#if PSC_OBS_ENABLED
+#define PSC_OBS_INTERNAL_CONCAT2(a, b) a##b
+#define PSC_OBS_INTERNAL_CONCAT(a, b) PSC_OBS_INTERNAL_CONCAT2(a, b)
+#define PSC_OBS_SPAN(name)                                      \
+  ::psc::obs::TraceSpan PSC_OBS_INTERNAL_CONCAT(psc_obs_span_,  \
+                                                __LINE__)(name)
+#else
+#define PSC_OBS_SPAN(name) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // PSC_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/rewriting/containment.h"
 #include "psc/tableau/tableau.h"
 #include "psc/util/string_util.h"
@@ -90,6 +92,7 @@ BucketRewriter::BucketRewriter(const SourceCollection* collection)
 
 Result<std::vector<Rewriting>> BucketRewriter::Rewrite(
     const ConjunctiveQuery& query, uint64_t max_candidates) const {
+  PSC_OBS_SPAN("rewriting.rewrite");
   const std::set<std::string> shared = SharedQueryVariables(query);
   const std::vector<Atom>& subgoals = query.relational_body();
   if (subgoals.empty()) {
@@ -105,7 +108,10 @@ Result<std::vector<Rewriting>> BucketRewriter::Rewrite(
       for (const Atom& body_atom : view.relational_body()) {
         std::optional<Usage> usage =
             TryCover(query, subgoals[g], i, view, body_atom, shared);
-        if (usage.has_value()) buckets[g].push_back(std::move(*usage));
+        if (usage.has_value()) {
+          PSC_OBS_COUNTER_INC("rewriting.buckets_filled");
+          buckets[g].push_back(std::move(*usage));
+        }
       }
     }
     if (buckets[g].empty()) return std::vector<Rewriting>{};  // uncoverable
@@ -118,6 +124,7 @@ Result<std::vector<Rewriting>> BucketRewriter::Rewrite(
   uint64_t visited = 0;
   while (true) {
     if (++visited > max_candidates) break;
+    PSC_OBS_COUNTER_INC("rewriting.candidates_tried");
 
     // Assemble the candidate's body atoms (one per usage, deduplicated)
     // and its expansion.
@@ -161,6 +168,7 @@ Result<std::vector<Rewriting>> BucketRewriter::Rewrite(
         auto contained = IsContainedIn(*expansion, query);
         if (!contained.ok()) return contained.status();
         if (*contained) {
+          PSC_OBS_COUNTER_INC("rewriting.rewritings_emitted");
           rewritings.push_back(Rewriting{std::move(*over_views),
                                          std::move(*expansion),
                                          std::move(sources_used)});

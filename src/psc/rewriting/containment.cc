@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "psc/obs/metrics.h"
 #include "psc/relational/builtin.h"
 #include "psc/tableau/tableau.h"
 
@@ -104,6 +105,7 @@ class HomomorphismSearch {
 
 Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) {
+  PSC_OBS_COUNTER_INC("rewriting.containment_checks");
   HomomorphismSearch search(q1, q2);
   return search.Run();
 }

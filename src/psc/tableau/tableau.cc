@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "psc/obs/metrics.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -75,6 +76,7 @@ bool EmbedFrom(const std::vector<Atom>& atoms, size_t index, Valuation& sigma,
 
 bool ForEachEmbedding(const Tableau& tableau, const Database& db,
                       const std::function<bool(const Valuation&)>& fn) {
+  PSC_OBS_COUNTER_INC("tableau.embedding_searches");
   const std::vector<Atom> atoms(tableau.begin(), tableau.end());
   Valuation sigma;
   return EmbedFrom(atoms, 0, sigma, db, fn);
@@ -86,6 +88,7 @@ bool HasEmbedding(const Tableau& tableau, const Database& db) {
 }
 
 Database FreezeTableau(const Tableau& tableau, size_t fresh_offset) {
+  PSC_OBS_COUNTER_INC("tableau.freezes");
   Substitution freeze;
   size_t next = fresh_offset;
   for (const std::string& var : TableauVariables(tableau)) {

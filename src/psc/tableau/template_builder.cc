@@ -1,5 +1,6 @@
 #include "psc/tableau/template_builder.h"
 
+#include "psc/obs/metrics.h"
 #include "psc/relational/builtin.h"
 #include "psc/util/combinatorics.h"
 #include "psc/util/string_util.h"
@@ -57,6 +58,7 @@ Result<std::optional<Tableau>> TemplateBuilder::BuildTableau(
         StrCat("combination has ", combination.size(), " subsets, expected ",
                collection_->size()));
   }
+  PSC_OBS_COUNTER_INC("tableau.templates_built");
   Tableau tableau;
   for (size_t i = 0; i < collection_->size(); ++i) {
     const SourceDescriptor& source = collection_->source(i);
@@ -166,6 +168,7 @@ Result<std::optional<DatabaseTemplate>> TemplateBuilder::Build(
       }
     }
     constraints.push_back(std::move(constraint));
+    PSC_OBS_COUNTER_INC("tableau.constraints_emitted");
   }
 
   return std::optional<DatabaseTemplate>(
@@ -187,7 +190,10 @@ Result<bool> TemplateBuilder::ForEachAllowableCombination(
   // consistency witness, so callers that stop early see it immediately.
   Combination combination(n);
   std::function<bool(size_t)> recurse = [&](size_t i) -> bool {
-    if (i == n) return fn(combination);
+    if (i == n) {
+      PSC_OBS_COUNTER_INC("tableau.combinations_enumerated");
+      return fn(combination);
+    }
     const int64_t size = static_cast<int64_t>(extensions[i].size());
     const int64_t min_size = collection_->source(i).MinSoundFacts();
     for (int64_t subset_size = size; subset_size >= min_size;

@@ -1,0 +1,195 @@
+#include "psc/obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "psc/obs/trace.h"
+
+namespace psc {
+namespace {
+
+// The registry and options are process-global; every test restores the
+// default options and zeroes the instruments it touched so ordering does
+// not matter within the shared gtest binary.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetOptions(obs::Options{});
+    obs::GlobalMetrics().Reset();
+  }
+  void TearDown() override {
+    obs::SetOptions(obs::Options{});
+    obs::GlobalMetrics().Reset();
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterIncrementsAndResets) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAndRecordMax) {
+  obs::Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Set(-3);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.RecordMax(10);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.RecordMax(5);  // lower values do not regress the maximum
+  EXPECT_EQ(gauge.value(), 10);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketIndexIsLog2) {
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1024), 11u);
+}
+
+TEST_F(ObsMetricsTest, HistogramSnapshotInvariants) {
+  obs::Histogram histogram;
+  const obs::HistogramSnapshot empty = histogram.Snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.sum, 0u);
+  EXPECT_EQ(empty.Mean(), 0.0);
+
+  for (const uint64_t v : {1u, 2u, 4u, 100u}) histogram.Record(v);
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_EQ(snapshot.sum, 107u);
+  EXPECT_EQ(snapshot.min, 1u);
+  EXPECT_EQ(snapshot.max, 100u);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 107.0 / 4.0);
+  // Percentiles are bucket upper bounds: exact at the extremes, within a
+  // factor of two elsewhere.
+  EXPECT_EQ(snapshot.Percentile(0.0), 1u);
+  EXPECT_EQ(snapshot.Percentile(1.0), 100u);
+  EXPECT_GE(snapshot.Percentile(0.5), 2u);
+  EXPECT_LE(snapshot.Percentile(0.5), 4u);
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsStableReferences) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.GetCounter("x");
+  obs::Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(registry.CounterValue("x"), 3u);
+  EXPECT_EQ(registry.CounterValue("missing"), 0u);
+
+  registry.GetGauge("g").Set(-1);
+  registry.GetHistogram("h").Record(9);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue("x"), 0u);
+  EXPECT_EQ(registry.GetGauge("g").value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h").count(), 0u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotAccessorsAreSortedByName) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("zeta").Increment();
+  registry.GetCounter("alpha").Increment(2);
+  const auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "alpha");
+  EXPECT_EQ(values[0].second, 2u);
+  EXPECT_EQ(values[1].first, "zeta");
+}
+
+TEST_F(ObsMetricsTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 25000;
+  obs::MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Each thread resolves the counter itself: lookup is mutex-guarded,
+      // increments are lock-free.
+      obs::Counter& counter = registry.GetCounter("contended");
+      obs::Histogram& histogram = registry.GetHistogram("contended_h");
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter.Increment();
+        histogram.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.CounterValue("contended"),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+  EXPECT_EQ(registry.GetHistogram("contended_h").count(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST_F(ObsMetricsTest, ScopedTimerRecordsIntoHistogram) {
+  obs::Histogram histogram;
+  {
+    obs::ScopedTimer timer(&histogram);
+    EXPECT_EQ(histogram.count(), 0u);  // nothing recorded until scope exit
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  // steady_clock is monotonic, so the recorded duration is non-negative by
+  // construction (and the debug assert in ElapsedMicros enforces it).
+  EXPECT_GE(snapshot.max, snapshot.min);
+}
+
+TEST_F(ObsMetricsTest, ScopedTimerElapsedIsMonotone) {
+  const obs::ScopedTimer timer(static_cast<obs::Histogram*>(nullptr));
+  const uint64_t first = timer.ElapsedMicros();
+  const uint64_t second = timer.ElapsedMicros();
+  EXPECT_GE(second, first);
+}
+
+#if PSC_OBS_ENABLED
+TEST_F(ObsMetricsTest, MacrosRespectRuntimeSwitch) {
+  obs::GlobalMetrics().Reset();
+  PSC_OBS_COUNTER_INC("obs_test.switch");
+  EXPECT_EQ(obs::GlobalMetrics().CounterValue("obs_test.switch"), 1u);
+
+  obs::Options off;
+  off.enabled = false;
+  obs::SetOptions(off);
+  PSC_OBS_COUNTER_INC("obs_test.switch");
+  EXPECT_EQ(obs::GlobalMetrics().CounterValue("obs_test.switch"), 1u);
+
+  obs::SetOptions(obs::Options{});
+  PSC_OBS_COUNTER_ADD("obs_test.switch", 4);
+  EXPECT_EQ(obs::GlobalMetrics().CounterValue("obs_test.switch"), 5u);
+}
+
+TEST_F(ObsMetricsTest, GaugeAndHistogramMacros) {
+  obs::GlobalMetrics().Reset();
+  PSC_OBS_GAUGE_SET("obs_test.gauge", 11);
+  PSC_OBS_GAUGE_MAX("obs_test.gauge", 3);  // below current value: ignored
+  EXPECT_EQ(obs::GlobalMetrics().GetGauge("obs_test.gauge").value(), 11);
+  PSC_OBS_GAUGE_MAX("obs_test.gauge", 30);
+  EXPECT_EQ(obs::GlobalMetrics().GetGauge("obs_test.gauge").value(), 30);
+
+  PSC_OBS_HISTOGRAM_RECORD("obs_test.histogram", 8);
+  EXPECT_EQ(obs::GlobalMetrics().GetHistogram("obs_test.histogram").count(),
+            1u);
+}
+#else
+TEST_F(ObsMetricsTest, MacrosCompileToNothingWhenDisabled) {
+  obs::GlobalMetrics().Reset();
+  PSC_OBS_COUNTER_INC("obs_test.disabled");
+  PSC_OBS_COUNTER_ADD("obs_test.disabled", 10);
+  PSC_OBS_GAUGE_SET("obs_test.disabled_gauge", 1);
+  PSC_OBS_HISTOGRAM_RECORD("obs_test.disabled_histogram", 1);
+  EXPECT_EQ(obs::GlobalMetrics().CounterValue("obs_test.disabled"), 0u);
+}
+#endif  // PSC_OBS_ENABLED
+
+}  // namespace
+}  // namespace psc

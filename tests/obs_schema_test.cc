@@ -1,0 +1,132 @@
+#include "psc/obs/report.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
+
+namespace psc {
+namespace {
+
+class ObsSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Options options;
+    options.trace_enabled = true;
+    obs::SetOptions(options);
+    obs::GlobalTrace().Clear();
+    obs::GlobalMetrics().Reset();
+  }
+  void TearDown() override {
+    obs::SetOptions(obs::Options{});
+    obs::GlobalTrace().Clear();
+    obs::GlobalMetrics().Reset();
+  }
+};
+
+TEST_F(ObsSchemaTest, CapturedReportValidates) {
+  obs::GlobalMetrics().GetCounter("obs_test.schema_counter").Increment(3);
+  obs::GlobalMetrics().GetGauge("obs_test.schema_gauge").Set(12);
+  obs::GlobalMetrics().GetHistogram("obs_test.schema_histogram").Record(7);
+  {
+    obs::TraceSpan root("obs_test.schema_root");
+    obs::TraceSpan child("obs_test.schema_child");
+    (void)child;
+    (void)root;
+  }
+  const obs::RunReport report = obs::RunReport::Capture();
+  const Status status = obs::ValidateRunReportJson(report.ToJson());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST_F(ObsSchemaTest, EmptyReportValidates) {
+  const Status status =
+      obs::ValidateRunReportJson(obs::RunReport::Capture().ToJson());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST_F(ObsSchemaTest, MinimalHandWrittenDocumentValidates) {
+  const std::string minimal =
+      "{\"schema_version\":1,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},\"spans\":[],\"spans_dropped\":0}";
+  EXPECT_TRUE(obs::ValidateRunReportJson(minimal).ok());
+}
+
+TEST_F(ObsSchemaTest, RejectsMalformedDocuments) {
+  // Not JSON at all.
+  EXPECT_FALSE(obs::ValidateRunReportJson("not json").ok());
+  // Not an object.
+  EXPECT_FALSE(obs::ValidateRunReportJson("[1,2]").ok());
+  // Missing schema_version.
+  EXPECT_FALSE(obs::ValidateRunReportJson(
+                   "{\"counters\":{},\"gauges\":{},\"histograms\":{},"
+                   "\"spans\":[],\"spans_dropped\":0}")
+                   .ok());
+  // Unsupported schema_version.
+  EXPECT_FALSE(obs::ValidateRunReportJson(
+                   "{\"schema_version\":99,\"counters\":{},\"gauges\":{},"
+                   "\"histograms\":{},\"spans\":[],\"spans_dropped\":0}")
+                   .ok());
+  // Negative counter.
+  EXPECT_FALSE(obs::ValidateRunReportJson(
+                   "{\"schema_version\":1,\"counters\":{\"c\":-1},"
+                   "\"gauges\":{},\"histograms\":{},\"spans\":[],"
+                   "\"spans_dropped\":0}")
+                   .ok());
+  // Counter value of the wrong JSON type.
+  EXPECT_FALSE(obs::ValidateRunReportJson(
+                   "{\"schema_version\":1,\"counters\":{\"c\":\"five\"},"
+                   "\"gauges\":{},\"histograms\":{},\"spans\":[],"
+                   "\"spans_dropped\":0}")
+                   .ok());
+}
+
+TEST_F(ObsSchemaTest, RejectsHistogramInvariantViolations) {
+  // min > max is impossible for a real histogram.
+  const std::string min_above_max =
+      "{\"schema_version\":1,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{\"h\":{\"count\":2,\"sum\":10,\"min\":8,\"max\":2,"
+      "\"mean\":5,\"p50\":5,\"p90\":8,\"p99\":8}},"
+      "\"spans\":[],\"spans_dropped\":0}";
+  EXPECT_FALSE(obs::ValidateRunReportJson(min_above_max).ok());
+  // A sum without any samples.
+  const std::string sum_without_samples =
+      "{\"schema_version\":1,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{\"h\":{\"count\":0,\"sum\":10,\"min\":0,\"max\":0,"
+      "\"mean\":0,\"p50\":0,\"p90\":0,\"p99\":0}},"
+      "\"spans\":[],\"spans_dropped\":0}";
+  EXPECT_FALSE(obs::ValidateRunReportJson(sum_without_samples).ok());
+}
+
+TEST_F(ObsSchemaTest, RejectsDanglingSpanParents) {
+  const std::string dangling_parent =
+      "{\"schema_version\":1,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},"
+      "\"spans\":[{\"id\":1,\"parent\":99,\"name\":\"s\",\"depth\":1,"
+      "\"start_us\":0,\"duration_us\":1}],"
+      "\"spans_dropped\":0}";
+  EXPECT_FALSE(obs::ValidateRunReportJson(dangling_parent).ok());
+  // The same link is tolerated when spans were dropped: the parent may
+  // simply have fallen out of the buffer.
+  const std::string dangling_but_truncated =
+      "{\"schema_version\":1,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},"
+      "\"spans\":[{\"id\":1,\"parent\":99,\"name\":\"s\",\"depth\":1,"
+      "\"start_us\":0,\"duration_us\":1}],"
+      "\"spans_dropped\":3}";
+  EXPECT_TRUE(obs::ValidateRunReportJson(dangling_but_truncated).ok());
+}
+
+TEST_F(ObsSchemaTest, TableRendersEveryInstrumentName) {
+  obs::GlobalMetrics().GetCounter("obs_test.table_counter").Increment();
+  obs::GlobalMetrics().GetGauge("obs_test.table_gauge").Set(5);
+  obs::GlobalMetrics().GetHistogram("obs_test.table_histogram").Record(1);
+  const std::string table = obs::RunReport::Capture().ToTable();
+  EXPECT_NE(table.find("obs_test.table_counter"), std::string::npos);
+  EXPECT_NE(table.find("obs_test.table_gauge"), std::string::npos);
+  EXPECT_NE(table.find("obs_test.table_histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psc

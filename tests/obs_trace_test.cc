@@ -1,0 +1,196 @@
+#include "psc/obs/trace.h"
+
+#include <algorithm>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "psc/obs/json.h"
+#include "psc/obs/report.h"
+
+namespace psc {
+namespace {
+
+const obs::SpanRecord* FindSpan(const std::vector<obs::SpanRecord>& spans,
+                                const std::string& name) {
+  const auto it =
+      std::find_if(spans.begin(), spans.end(),
+                   [&name](const obs::SpanRecord& s) { return s.name == name; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+// Tracing shares one process-global buffer and option block; each test
+// starts from a clean, tracing-enabled state and restores the defaults.
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Options options;
+    options.trace_enabled = true;
+    obs::SetOptions(options);
+    obs::GlobalTrace().Clear();
+    obs::GlobalMetrics().Reset();
+  }
+  void TearDown() override {
+    obs::SetOptions(obs::Options{});
+    obs::GlobalTrace().Clear();
+    obs::GlobalMetrics().Reset();
+  }
+};
+
+TEST_F(ObsTraceTest, NestedSpansRecordParentAndDepth) {
+  {
+    obs::TraceSpan root("obs_test.root");
+    {
+      obs::TraceSpan child("obs_test.child");
+      obs::TraceSpan grandchild("obs_test.grandchild");
+      (void)grandchild;
+      (void)child;
+    }
+    (void)root;
+  }
+  const std::vector<obs::SpanRecord> spans = obs::GlobalTrace().Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+
+  const obs::SpanRecord* root = FindSpan(spans, "obs_test.root");
+  const obs::SpanRecord* child = FindSpan(spans, "obs_test.child");
+  const obs::SpanRecord* grandchild = FindSpan(spans, "obs_test.grandchild");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(grandchild, nullptr);
+
+  EXPECT_EQ(root->parent_id, -1);
+  EXPECT_EQ(root->depth, 0u);
+  EXPECT_EQ(child->parent_id, static_cast<int64_t>(root->id));
+  EXPECT_EQ(child->depth, 1u);
+  EXPECT_EQ(grandchild->parent_id, static_cast<int64_t>(child->id));
+  EXPECT_EQ(grandchild->depth, 2u);
+
+  // A parent's interval encloses its child's.
+  EXPECT_LE(root->start_us, child->start_us);
+  EXPECT_GE(root->start_us + root->duration_us,
+            child->start_us + child->duration_us);
+}
+
+TEST_F(ObsTraceTest, SpansAreNotBufferedWhenTracingIsOff) {
+  obs::SetOptions(obs::Options{});  // trace_enabled = false
+  { obs::TraceSpan span("obs_test.untraced"); (void)span; }
+  EXPECT_TRUE(obs::GlobalTrace().Snapshot().empty());
+  // The histogram timing is still recorded: spans always time their scope.
+  EXPECT_EQ(
+      obs::GlobalMetrics().GetHistogram("obs_test.untraced").count(), 1u);
+}
+
+TEST_F(ObsTraceTest, DepthLimitSuppressesDeepSpans) {
+  obs::Options options;
+  options.trace_enabled = true;
+  options.trace_depth_limit = 1;
+  obs::SetOptions(options);
+  {
+    obs::TraceSpan root("obs_test.shallow");
+    {
+      obs::TraceSpan deep("obs_test.deep");
+      (void)deep;
+    }
+    (void)root;
+  }
+  const std::vector<obs::SpanRecord> spans = obs::GlobalTrace().Snapshot();
+  EXPECT_NE(FindSpan(spans, "obs_test.shallow"), nullptr);
+  EXPECT_EQ(FindSpan(spans, "obs_test.deep"), nullptr);
+}
+
+TEST_F(ObsTraceTest, BufferCountsDroppedSpansPastCapacity) {
+  obs::TraceBuffer buffer;
+  buffer.SetCapacity(2);
+  for (uint64_t i = 0; i < 5; ++i) {
+    obs::SpanRecord record;
+    record.id = i;
+    record.name = "overflow";
+    buffer.Append(record);
+  }
+  EXPECT_EQ(buffer.Snapshot().size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+  buffer.Clear();
+  EXPECT_TRUE(buffer.Snapshot().empty());
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST_F(ObsTraceTest, FormatSpanTreeIndentsChildrenBelowParents) {
+  {
+    obs::TraceSpan root("obs_test.tree_root");
+    obs::TraceSpan child("obs_test.tree_child");
+    (void)child;
+    (void)root;
+  }
+  const std::string tree =
+      obs::FormatSpanTree(obs::GlobalTrace().Snapshot());
+  const size_t root_pos = tree.find("obs_test.tree_root");
+  const size_t child_pos = tree.find("obs_test.tree_child");
+  ASSERT_NE(root_pos, std::string::npos);
+  ASSERT_NE(child_pos, std::string::npos);
+  EXPECT_LT(root_pos, child_pos);  // parents print before their children
+}
+
+TEST_F(ObsTraceTest, RunReportJsonRoundTripsThroughParser) {
+  obs::GlobalMetrics().GetCounter("obs_test.rt_counter").Increment(17);
+  obs::GlobalMetrics().GetGauge("obs_test.rt_gauge").Set(-4);
+  obs::GlobalMetrics().GetHistogram("obs_test.rt_histogram").Record(1000);
+  {
+    obs::TraceSpan root("obs_test.rt_root");
+    obs::TraceSpan child("obs_test.rt_child");
+    (void)child;
+    (void)root;
+  }
+
+  const std::string json = obs::RunReport::Capture().ToJson();
+  auto document = obs::ParseJson(json);
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+
+  const obs::JsonValue* version = document->Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(static_cast<int>(version->number()),
+            obs::kRunReportSchemaVersion);
+
+  const obs::JsonValue* counters = document->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* counter = counters->Find("obs_test.rt_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->number(), 17.0);
+
+  const obs::JsonValue* gauges = document->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const obs::JsonValue* gauge = gauges->Find("obs_test.rt_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->number(), -4.0);
+
+  const obs::JsonValue* histograms = document->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const obs::JsonValue* histogram =
+      histograms->Find("obs_test.rt_histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->Find("count")->number(), 1.0);
+  EXPECT_EQ(histogram->Find("sum")->number(), 1000.0);
+
+  const obs::JsonValue* spans = document->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  ASSERT_EQ(spans->array().size(), 2u);
+  bool found_child = false;
+  for (const obs::JsonValue& span : spans->array()) {
+    ASSERT_NE(span.Find("name"), nullptr);
+    if (span.Find("name")->string() == "obs_test.rt_child") {
+      found_child = true;
+      EXPECT_EQ(span.Find("depth")->number(), 1.0);
+      EXPECT_NE(span.Find("parent")->number(), -1.0);
+    }
+  }
+  EXPECT_TRUE(found_child);
+}
+
+TEST_F(ObsTraceTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::JsonEscape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace psc

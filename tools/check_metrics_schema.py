@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validate psc::obs run-report JSON against the documented schema.
+
+Accepts either format the toolchain emits:
+  * a single run report object, as written by `psc ... --metrics-out=FILE`
+    (schema_version 1; see src/psc/obs/report.h), or
+  * JSON-lines of bench metrics records, one
+    `{"bench": <name>, "metrics": <run report>}` object per line, as
+    appended by the benchmarks when PSC_BENCH_METRICS_OUT is set.
+
+Usage:
+  check_metrics_schema.py FILE...
+  check_metrics_schema.py --require-counter consistency.checks FILE
+  psc check data/example51.psc --metrics-out=/dev/stdout --quiet \
+      | check_metrics_schema.py -
+
+Exits 0 when every report validates (and every required counter is
+present with a positive value in at least one report), 1 otherwise.
+This mirrors obs::ValidateRunReportJson so CI can check artifacts
+without rebuilding the C++ toolchain.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+SPAN_NUMERIC_FIELDS = ("parent", "depth", "start_us", "duration_us")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _expect(condition, message):
+    if not condition:
+        raise SchemaError(message)
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_report(report):
+    """Raises SchemaError when `report` is not a valid run report."""
+    _expect(isinstance(report, dict), "document not an object")
+    version = report.get("schema_version")
+    _expect(_is_number(version), "missing numeric schema_version")
+    _expect(int(version) == SCHEMA_VERSION,
+            "unsupported schema_version %r" % (version,))
+
+    counters = report.get("counters")
+    _expect(isinstance(counters, dict), "missing counters object")
+    for name, value in counters.items():
+        _expect(_is_number(value) and value >= 0,
+                "counter %r not a non-negative number" % name)
+
+    gauges = report.get("gauges")
+    _expect(isinstance(gauges, dict), "missing gauges object")
+    for name, value in gauges.items():
+        _expect(_is_number(value), "gauge %r not numeric" % name)
+
+    histograms = report.get("histograms")
+    _expect(isinstance(histograms, dict), "missing histograms object")
+    for name, snapshot in histograms.items():
+        _expect(isinstance(snapshot, dict),
+                "histogram %r not an object" % name)
+        for field in HISTOGRAM_FIELDS:
+            _expect(_is_number(snapshot.get(field)) and snapshot[field] >= 0,
+                    "histogram %r field %r invalid" % (name, field))
+        _expect(snapshot["count"] > 0 or snapshot["sum"] == 0,
+                "histogram %r has sum without samples" % name)
+        _expect(snapshot["min"] <= snapshot["max"],
+                "histogram %r has min > max" % name)
+
+    spans = report.get("spans")
+    _expect(isinstance(spans, list), "missing spans array")
+    span_ids = set()
+    for span in spans:
+        _expect(isinstance(span, dict), "span not an object")
+        _expect(_is_number(span.get("id")), "span missing numeric id")
+        _expect(isinstance(span.get("name"), str), "span missing name")
+        for field in SPAN_NUMERIC_FIELDS:
+            _expect(_is_number(span.get(field)),
+                    "span missing field %r" % field)
+        span_ids.add(int(span["id"]))
+
+    dropped = report.get("spans_dropped")
+    _expect(_is_number(dropped) and dropped >= 0,
+            "missing numeric spans_dropped")
+    # Parent links are only guaranteed complete when nothing was dropped.
+    if dropped == 0:
+        for span in spans:
+            parent = int(span["parent"])
+            _expect(parent == -1 or parent in span_ids,
+                    "span parent %d not present in the report" % parent)
+
+
+def extract_reports(text, origin):
+    """Yields (label, report) pairs for every run report found in `text`."""
+    stripped = text.strip()
+    if not stripped:
+        raise SchemaError("%s: empty input" % origin)
+    try:
+        document = json.loads(stripped)
+    except ValueError:
+        document = None
+    if document is not None:
+        if isinstance(document, dict) and "metrics" in document:
+            yield ("%s (bench %r)" % (origin, document.get("bench")),
+                   document["metrics"])
+        else:
+            yield (origin, document)
+        return
+    # Fall back to JSON-lines (bench metrics records).
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise SchemaError("%s:%d: not JSON: %s" % (origin, lineno, error))
+        if isinstance(record, dict) and "metrics" in record:
+            yield ("%s:%d (bench %r)" % (origin, lineno, record.get("bench")),
+                   record["metrics"])
+        else:
+            yield ("%s:%d" % (origin, lineno), record)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="run-report JSON or bench JSONL ('-' = stdin)")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless some report has NAME > 0 "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    reports = 0
+    seen_counters = {}
+    for path in args.files:
+        try:
+            text = (sys.stdin.read() if path == "-"
+                    else open(path, "r", encoding="utf-8").read())
+        except OSError as error:
+            print("FAIL %s: %s" % (path, error), file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            for label, report in extract_reports(text, path):
+                validate_report(report)
+                reports += 1
+                for name, value in report["counters"].items():
+                    seen_counters[name] = max(seen_counters.get(name, 0),
+                                              value)
+                print("ok   %s (%d counters, %d spans)"
+                      % (label, len(report["counters"]),
+                         len(report["spans"])))
+        except SchemaError as error:
+            print("FAIL %s" % error, file=sys.stderr)
+            failures += 1
+
+    for name in args.require_counter:
+        if seen_counters.get(name, 0) <= 0:
+            print("FAIL required counter %r missing or zero" % name,
+                  file=sys.stderr)
+            failures += 1
+
+    if failures:
+        return 1
+    print("validated %d report(s)" % reports)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

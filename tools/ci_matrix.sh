@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build-and-test matrix over the observability configurations:
+#   PSC_OBS=ON  (default; instrumentation compiled in)
+#   PSC_OBS=OFF (PSC_OBS_* macros compile to nothing)
+# Both configurations must build warning-free (-Werror) and pass ctest.
+#
+# Usage: tools/ci_matrix.sh [build-root]   (default: build-matrix)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_root="${1:-build-matrix}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for obs in ON OFF; do
+  build_dir="${build_root}/obs-${obs}"
+  echo "=== PSC_OBS=${obs} -> ${build_dir} ==="
+  cmake -B "${build_dir}" -S . -DPSC_OBS="${obs}" >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}"
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+done
+
+echo "ci matrix passed: PSC_OBS=ON and PSC_OBS=OFF both green"

@@ -16,6 +16,9 @@
 //   --method exact|compositional|mc        (answer; default exact)
 //   --samples N          Monte-Carlo samples  (answer --method mc)
 //   --seed N             Monte-Carlo seed
+//   --metrics-out PATH   write the observability run report as JSON
+//   --trace              buffer trace spans and print the span tree
+//   --quiet              suppress the one-line solver stats summary
 //
 // Source files use the text format documented in psc/parser/parser.h; see
 // examples in the repository README.
@@ -32,8 +35,12 @@
 #include "psc/core/query_system.h"
 #include "psc/counting/consensus.h"
 #include "psc/algebra/plan_compiler.h"
+#include "psc/obs/report.h"
+#include "psc/obs/trace.h"
 #include "psc/parser/parser.h"
 #include "psc/rewriting/bucket_rewriter.h"
+#include "psc/tableau/template_builder.h"
+#include "psc/util/bigint.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -49,7 +56,8 @@ int Usage() {
                "usage: psc "
                "<check|print|confidences|answer|certain|consensus|audit> "
                "<file> [\"query\"] [--domain v1,v2,...] "
-               "[--method exact|compositional|mc] [--samples N] [--seed N]\n");
+               "[--method exact|compositional|mc] [--samples N] [--seed N] "
+               "[--metrics-out PATH] [--trace] [--quiet]\n");
   return 2;
 }
 
@@ -89,6 +97,9 @@ struct CliOptions {
   std::string method = "exact";
   uint64_t samples = 10000;
   uint64_t seed = 1;
+  std::string metrics_out;
+  bool trace = false;
+  bool quiet = false;
 };
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -122,11 +133,43 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--seed") {
       PSC_ASSIGN_OR_RETURN(const std::string value, next());
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      PSC_ASSIGN_OR_RETURN(options.metrics_out, next());
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(std::strlen("--metrics-out="));
+      if (options.metrics_out.empty()) {
+        return Status::InvalidArgument("empty path for --metrics-out");
+      }
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
     } else {
       return Status::InvalidArgument(StrCat("unknown flag ", arg));
     }
   }
   return options;
+}
+
+/// Small-instance cut-off for the witness cross-check: above this many
+/// allowable combinations the rep(𝒯^U) scan is skipped.
+constexpr int64_t kMaxCrossCheckCombinations = 4096;
+
+/// Re-derives the witness through the Theorem 4.1 template family: a found
+/// witness must be a member of rep(𝒯^U) for some allowable U. Only run on
+/// small instances; disagreement indicates a solver bug, not user error.
+void CrossCheckWitness(const SourceCollection& collection,
+                       const Database& witness) {
+  TemplateBuilder builder(&collection);
+  if (builder.CountAllowableCombinations() >
+      BigInt(kMaxCrossCheckCombinations)) {
+    return;
+  }
+  auto contained = builder.FamilyContains(witness);
+  if (!contained.ok()) return;  // e.g. built-ins: the check is best-effort
+  std::printf("witness cross-check: %s\n",
+              *contained ? "member of the rep(T^U) template family"
+                         : "WARNING: not matched by any template");
 }
 
 int RunCheck(const SourceCollection& collection) {
@@ -143,6 +186,7 @@ int RunCheck(const SourceCollection& collection) {
     std::printf("witness possible world (%zu facts):\n%s\n",
                 report->witness->size(),
                 report->witness->ToString().c_str());
+    CrossCheckWitness(collection, *report->witness);
   }
   return report->verdict == ConsistencyVerdict::kInconsistent ? 3 : 0;
 }
@@ -268,11 +312,36 @@ int RunAudit(const SourceCollection& collection) {
   return 3;
 }
 
+/// One-line summary of the headline solver counters, printed after every
+/// solving command unless --quiet. Counters read 0 when PSC_OBS=OFF.
+void PrintStatsLine(uint64_t start_us) {
+  const double elapsed_ms =
+      static_cast<double>(obs::TraceNowMicros() - start_us) / 1000.0;
+  const obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  std::printf(
+      "stats: nodes=%llu combinations=%llu shapes=%llu tuples=%llu "
+      "time_ms=%.1f\n",
+      static_cast<unsigned long long>(
+          metrics.CounterValue("consistency.nodes_expanded")),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("tableau.combinations_enumerated")),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("counting.shapes_visited")),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("algebra.tuples_produced")),
+      elapsed_ms);
+}
+
 int Main(int argc, char** argv) {
   auto options = ParseArgs(argc, argv);
   if (!options.ok()) {
     std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
     return Usage();
+  }
+  if (options->trace) {
+    obs::Options obs_options = obs::GetOptions();
+    obs_options.trace_enabled = true;
+    obs::SetOptions(obs_options);
   }
   auto text = ReadFile(options->file);
   if (!text.ok()) return Fail(text.status());
@@ -286,19 +355,41 @@ int Main(int argc, char** argv) {
   }
 
   const std::string& command = options->command;
-  if (command == "check") return RunCheck(*collection);
+  const uint64_t start_us = obs::TraceNowMicros();
+  int exit_code = -1;
+  if (command == "check") exit_code = RunCheck(*collection);
   if (command == "print") {
     std::printf("%s\n", collection->ToString().c_str());
-    return 0;
+    exit_code = 0;
   }
   if (command == "confidences") {
-    return RunConfidences(*collection, options->domain);
+    exit_code = RunConfidences(*collection, options->domain);
   }
-  if (command == "answer") return RunAnswer(*collection, *options);
-  if (command == "certain") return RunCertain(*collection, *options);
-  if (command == "consensus") return RunConsensus(*collection);
-  if (command == "audit") return RunAudit(*collection);
-  return Usage();
+  if (command == "answer") exit_code = RunAnswer(*collection, *options);
+  if (command == "certain") exit_code = RunCertain(*collection, *options);
+  if (command == "consensus") exit_code = RunConsensus(*collection);
+  if (command == "audit") exit_code = RunAudit(*collection);
+  if (exit_code < 0) return Usage();
+
+  if (!options->quiet && command != "print") PrintStatsLine(start_us);
+  if (options->trace) {
+    const std::vector<obs::SpanRecord> spans = obs::GlobalTrace().Snapshot();
+    if (spans.empty()) {
+      std::printf("trace: no spans recorded\n");
+    } else {
+      std::printf("trace (%zu spans):\n%s", spans.size(),
+                  obs::FormatSpanTree(spans).c_str());
+    }
+  }
+  if (!options->metrics_out.empty()) {
+    const Status written =
+        obs::RunReport::Capture().WriteJsonFile(options->metrics_out);
+    if (!written.ok()) return Fail(written);
+    if (!options->quiet) {
+      std::printf("metrics written to %s\n", options->metrics_out.c_str());
+    }
+  }
+  return exit_code;
 }
 
 }  // namespace

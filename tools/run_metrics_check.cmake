@@ -1,0 +1,24 @@
+# Test driver for the metrics-schema ctest: runs the CLI with
+# --metrics-out and validates the emitted JSON with
+# check_metrics_schema.py. Invoked as
+#   cmake -DPSC_CLI=... -DPYTHON=... -DCHECKER=... -DINPUT=...
+#         -DOUTPUT=... [-DREQUIRED_COUNTERS=a;b;c] -P run_metrics_check.cmake
+
+execute_process(
+  COMMAND "${PSC_CLI}" check "${INPUT}" "--metrics-out=${OUTPUT}" --quiet
+  RESULT_VARIABLE cli_result)
+if(NOT cli_result EQUAL 0)
+  message(FATAL_ERROR "psc check failed with status ${cli_result}")
+endif()
+
+set(checker_args "${OUTPUT}")
+foreach(counter IN LISTS REQUIRED_COUNTERS)
+  list(PREPEND checker_args --require-counter "${counter}")
+endforeach()
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" ${checker_args}
+  RESULT_VARIABLE checker_result)
+if(NOT checker_result EQUAL 0)
+  message(FATAL_ERROR
+      "check_metrics_schema.py rejected ${OUTPUT} (status ${checker_result})")
+endif()
