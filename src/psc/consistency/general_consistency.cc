@@ -1,9 +1,16 @@
 #include "psc/consistency/general_consistency.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "psc/consistency/identity_consistency.h"
 #include "psc/consistency/possible_worlds.h"
+#include "psc/exec/thread_pool.h"
 #include "psc/obs/metrics.h"
 #include "psc/obs/trace.h"
 #include "psc/tableau/template_builder.h"
@@ -82,6 +89,151 @@ Result<std::optional<Database>> TryCanonicalFreeze(
   return witness;
 }
 
+/// Parallel canonical-freeze pass. Combinations are streamed from the
+/// enumerator in blocks onto the pool; each worker evaluates its block's
+/// combinations exactly as the sequential pass would (build, freeze both
+/// candidates in order, verify). The winning outcome is the one with the
+/// *minimal* global combination index — the very combination the
+/// sequential scan would have stopped at — so the returned witness (or
+/// error) is bit-identical for every worker count. An atomic `bound` set
+/// to the current best index lets workers and the producer skip indices
+/// that can no longer win, which is what cancels the search early once a
+/// witness is found.
+Result<std::optional<Database>> TryCanonicalFreezeParallel(
+    const SourceCollection& collection,
+    const GeneralConsistencyChecker::Options& options, exec::ThreadPool* pool,
+    ConsistencyReport* report, bool* hit_limits) {
+  TemplateBuilder builder(&collection);
+  constexpr size_t kBlockSize = 16;
+  constexpr uint64_t kNoIndex = ~uint64_t{0};
+  const size_t max_outstanding = 4 * pool->size();
+
+  struct SearchState {
+    std::mutex mu;
+    /// Index of the best (minimal) decided combination; its outcome.
+    uint64_t best_index;
+    Status error;
+    std::optional<Database> witness;
+    /// Combinations with index >= bound cannot win; they may be skipped.
+    std::atomic<uint64_t> bound;
+    std::atomic<uint64_t> combinations_tried{0};
+    std::atomic<uint64_t> candidates_checked{0};
+    std::atomic<bool> hit_limits{false};
+    /// Outstanding-block throttle and completion latch.
+    std::mutex blocks_mu;
+    std::condition_variable blocks_cv;
+    size_t outstanding_blocks = 0;
+  };
+  SearchState state;
+  state.best_index = kNoIndex;
+  state.bound.store(kNoIndex, std::memory_order_relaxed);
+
+  // Records a decided combination; the minimal index wins.
+  auto record = [&state](uint64_t index, Status error,
+                         std::optional<Database> witness) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (index >= state.best_index) return;
+    state.best_index = index;
+    state.error = std::move(error);
+    state.witness = std::move(witness);
+    state.bound.store(index, std::memory_order_release);
+  };
+
+  // Evaluates one combination, mirroring the sequential pass body.
+  auto evaluate = [&](uint64_t index, const Combination& combination) {
+    if (index >= state.bound.load(std::memory_order_acquire)) return;
+    state.combinations_tried.fetch_add(1, std::memory_order_relaxed);
+    PSC_OBS_COUNTER_INC("consistency.combinations_tried");
+    auto built = builder.BuildTableau(combination);
+    if (!built.ok()) {
+      if (built.status().code() == StatusCode::kUnimplemented) {
+        state.hit_limits.store(true, std::memory_order_relaxed);
+        return;
+      }
+      record(index, built.status(), std::nullopt);
+      return;
+    }
+    if (!built->has_value()) return;  // rep(𝒯^U) = ∅
+    Database candidates[2] = {FreezeTableauWithGroundMerge(**built),
+                              FreezeTableau(**built)};
+    const size_t tries = candidates[0] == candidates[1] ? 1 : 2;
+    for (size_t t = 0; t < tries; ++t) {
+      state.candidates_checked.fetch_add(1, std::memory_order_relaxed);
+      PSC_OBS_COUNTER_INC("consistency.candidates_checked");
+      auto possible = collection.IsPossibleWorld(candidates[t]);
+      if (!possible.ok()) {
+        record(index, possible.status(), std::nullopt);
+        return;
+      }
+      if (*possible) {
+        record(index, Status(), std::move(candidates[t]));
+        return;
+      }
+    }
+  };
+
+  using Block = std::vector<std::pair<uint64_t, Combination>>;
+  Block block;
+  block.reserve(kBlockSize);
+  auto flush = [&] {
+    if (block.empty()) return;
+    {
+      std::unique_lock<std::mutex> lock(state.blocks_mu);
+      state.blocks_cv.wait(lock, [&] {
+        return state.outstanding_blocks < max_outstanding;
+      });
+      ++state.outstanding_blocks;
+    }
+    auto shipped = std::make_shared<Block>(std::move(block));
+    block.clear();
+    block.reserve(kBlockSize);
+    pool->Submit([&state, &evaluate, shipped] {
+      for (const auto& [index, combination] : *shipped) {
+        evaluate(index, combination);
+      }
+      {
+        std::lock_guard<std::mutex> lock(state.blocks_mu);
+        --state.outstanding_blocks;
+        // Notify while holding the lock: once the producer observes the
+        // decrement it may destroy `state`, so the cv must not be
+        // touched after the unlock.
+        state.blocks_cv.notify_all();
+      }
+    });
+  };
+
+  uint64_t next_index = 0;
+  auto enumerated =
+      builder.ForEachAllowableCombination([&](const Combination& combination) {
+        if (next_index >= state.bound.load(std::memory_order_acquire)) {
+          return false;  // a lower index already decided the search
+        }
+        if (next_index >= options.max_combinations) {
+          state.hit_limits.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        block.emplace_back(next_index++, combination);  // copy: reused ref
+        if (block.size() >= kBlockSize) flush();
+        return true;
+      });
+  flush();
+  {
+    // All blocks reference this frame; drain them before returning.
+    std::unique_lock<std::mutex> lock(state.blocks_mu);
+    state.blocks_cv.wait(lock, [&] { return state.outstanding_blocks == 0; });
+  }
+  PSC_RETURN_NOT_OK(enumerated.status());
+
+  report->combinations_tried =
+      state.combinations_tried.load(std::memory_order_relaxed);
+  report->candidates_checked =
+      state.candidates_checked.load(std::memory_order_relaxed);
+  if (state.hit_limits.load(std::memory_order_relaxed)) *hit_limits = true;
+  std::lock_guard<std::mutex> lock(state.mu);
+  PSC_RETURN_NOT_OK(state.error);
+  return std::move(state.witness);
+}
+
 }  // namespace
 
 Result<ConsistencyReport> GeneralConsistencyChecker::Check(
@@ -119,11 +271,24 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
     return report;
   }
 
-  // Strategy 2: canonical freezing of Theorem 4.1 templates.
+  // Strategy 2: canonical freezing of Theorem 4.1 templates. With more
+  // than one resolved worker the combination search runs on a
+  // work-stealing pool; the outcome is deterministic (minimal-index
+  // witness), so every thread count returns the same report.
   bool hit_limits = false;
-  PSC_ASSIGN_OR_RETURN(
-      std::optional<Database> witness,
-      TryCanonicalFreeze(collection, options_, &report, &hit_limits));
+  std::optional<Database> witness;
+  const size_t threads = exec::ResolveThreadCount(options_.threads);
+  if (threads > 1) {
+    exec::ThreadPool pool(threads);
+    PSC_ASSIGN_OR_RETURN(witness,
+                         TryCanonicalFreezeParallel(collection, options_,
+                                                    &pool, &report,
+                                                    &hit_limits));
+  } else {
+    PSC_ASSIGN_OR_RETURN(
+        witness, TryCanonicalFreeze(collection, options_, &report,
+                                    &hit_limits));
+  }
   if (witness.has_value()) {
     report.verdict = ConsistencyVerdict::kConsistent;
     report.witness = std::move(witness);

@@ -63,6 +63,14 @@ class GeneralConsistencyChecker {
     /// Extra fresh constants added to the canonical domain, capped.
     size_t max_fresh_constants = 4;
     bool enable_exhaustive = true;
+    /// Worker threads for the canonical-freeze search. 0 (the default)
+    /// resolves via PSC_THREADS / hardware_concurrency(); 1 forces the
+    /// sequential path (byte-identical to the historical single-threaded
+    /// behaviour). The verdict and witness are deterministic for every
+    /// thread count: the parallel search returns the outcome of the
+    /// minimal combination index, which is exactly the combination the
+    /// sequential scan stops at.
+    size_t threads = 0;
   };
 
   GeneralConsistencyChecker() : options_() {}

@@ -1,12 +1,16 @@
 #include "psc/core/query_system.h"
 
+#include <algorithm>
 #include <map>
+#include <utility>
 
 #include "psc/algebra/plan_compiler.h"
 #include "psc/counting/identity_instance.h"
 #include "psc/counting/world_enumerator.h"
 #include "psc/counting/world_sampler.h"
 #include "psc/consistency/possible_worlds.h"
+#include "psc/exec/parallel.h"
+#include "psc/exec/thread_pool.h"
 #include "psc/obs/metrics.h"
 #include "psc/obs/trace.h"
 #include "psc/util/random.h"
@@ -21,13 +25,18 @@ namespace {
 constexpr double kCertainEpsilon = 1e-9;
 
 /// Accumulates per-world query results into certain/possible sets and
-/// containment counts.
+/// containment counts. Default-constructed instances are empty shells for
+/// container use; Add requires a query-bound instance. Accumulators over
+/// disjoint world blocks merge with MergeFrom — intersection, union and
+/// count addition are order-insensitive, so a block-parallel accumulation
+/// finishes with exactly the sequential result.
 class AnswerAccumulator {
  public:
-  explicit AnswerAccumulator(const AlgebraExprPtr& query) : query_(query) {}
+  AnswerAccumulator() = default;
+  explicit AnswerAccumulator(const AlgebraExprPtr* query) : query_(query) {}
 
   Status Add(const Database& world) {
-    PSC_ASSIGN_OR_RETURN(const Relation answer, query_->EvalInWorld(world));
+    PSC_ASSIGN_OR_RETURN(const Relation answer, (*query_)->EvalInWorld(world));
     if (worlds_ == 0) {
       certain_ = answer;
     } else {
@@ -45,6 +54,27 @@ class AnswerAccumulator {
     return Status::OK();
   }
 
+  /// Folds another accumulator (over a disjoint set of worlds) into this
+  /// one. Commutative and associative, so any merge order yields the
+  /// sequential result.
+  void MergeFrom(AnswerAccumulator other) {
+    if (other.worlds_ == 0) return;
+    if (worlds_ == 0) {
+      *this = std::move(other);
+      return;
+    }
+    Relation still_certain;
+    for (const Tuple& tuple : certain_) {
+      if (other.certain_.count(tuple) > 0) still_certain.insert(tuple);
+    }
+    certain_ = std::move(still_certain);
+    for (const Tuple& tuple : other.possible_) possible_.insert(tuple);
+    for (const auto& [tuple, count] : other.containment_) {
+      containment_[tuple] += count;
+    }
+    worlds_ += other.worlds_;
+  }
+
   Result<QueryAnswer> Finish(const std::string& method) const {
     if (worlds_ == 0) {
       return Status::Inconsistent(
@@ -55,7 +85,7 @@ class AnswerAccumulator {
     answer.worlds_used = worlds_;
     answer.certain = certain_;
     answer.possible = possible_;
-    answer.confidences = ProbRelation(query_->OutputArity());
+    answer.confidences = ProbRelation((*query_)->OutputArity());
     for (const auto& [tuple, count] : containment_) {
       PSC_RETURN_NOT_OK(answer.confidences.Insert(
           tuple, static_cast<double>(count) / static_cast<double>(worlds_)));
@@ -64,7 +94,7 @@ class AnswerAccumulator {
   }
 
  private:
-  const AlgebraExprPtr& query_;
+  const AlgebraExprPtr* query_ = nullptr;
   uint64_t worlds_ = 0;
   Relation certain_;
   Relation possible_;
@@ -86,6 +116,7 @@ Result<ConsistencyReport> QuerySystem::CheckConsistency() const {
   GeneralConsistencyChecker::Options options;
   options.max_shapes = options_.max_shapes;
   options.max_exhaustive_bits = options_.max_universe_bits;
+  options.threads = options_.threads;
   const GeneralConsistencyChecker checker(options);
   return checker.Check(collection_);
 }
@@ -94,6 +125,11 @@ Result<ConfidenceTable> QuerySystem::BaseConfidences(
     const std::vector<Value>& domain) const {
   PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
                        IdentityInstance::Create(collection_, domain));
+  const size_t threads = exec::ResolveThreadCount(options_.threads);
+  if (threads > 1) {
+    exec::ThreadPool pool(threads);
+    return ComputeBaseFactConfidences(instance, options_.max_shapes, &pool);
+  }
   return ComputeBaseFactConfidences(instance, options_.max_shapes);
 }
 
@@ -101,7 +137,7 @@ Result<QueryAnswer> QuerySystem::AnswerExact(
     const AlgebraExprPtr& query, const std::vector<Value>& domain) const {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
   PSC_OBS_SPAN("query.answer_exact");
-  AnswerAccumulator accumulator(query);
+  AnswerAccumulator accumulator(&query);
   Status world_error;
   const auto consume = [&](const Database& world) {
     world_error = accumulator.Add(world);
@@ -146,9 +182,17 @@ Result<QueryAnswer> QuerySystem::AnswerCompositional(
   }
   PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
                        IdentityInstance::Create(collection_, domain));
-  PSC_ASSIGN_OR_RETURN(const ConfidenceTable table,
-                       ComputeBaseFactConfidences(instance,
-                                                  options_.max_shapes));
+  ConfidenceTable table;
+  const size_t threads = exec::ResolveThreadCount(options_.threads);
+  if (threads > 1) {
+    exec::ThreadPool pool(threads);
+    PSC_ASSIGN_OR_RETURN(table,
+                         ComputeBaseFactConfidences(
+                             instance, options_.max_shapes, &pool));
+  } else {
+    PSC_ASSIGN_OR_RETURN(
+        table, ComputeBaseFactConfidences(instance, options_.max_shapes));
+  }
   ProbRelation base_relation(instance.arity());
   for (const TupleConfidence& entry : table.entries) {
     PSC_RETURN_NOT_OK(base_relation.Insert(entry.tuple, entry.confidence));
@@ -181,12 +225,60 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
                        IdentityInstance::Create(collection_, domain));
   PSC_ASSIGN_OR_RETURN(const WorldSampler sampler,
                        WorldSampler::Create(&instance, options_.max_worlds));
-  Rng rng(seed);
-  AnswerAccumulator accumulator(query);
-  for (uint64_t i = 0; i < samples; ++i) {
-    PSC_RETURN_NOT_OK(accumulator.Add(sampler.Sample(&rng)));
+
+  const size_t threads = exec::ResolveThreadCount(options_.threads);
+  if (threads <= 1) {
+    // Historical single-stream path: one Rng(seed) consumed in sample
+    // order. Kept verbatim so --threads 1 replays previous releases
+    // byte for byte.
+    Rng rng(seed);
+    AnswerAccumulator accumulator(&query);
+    for (uint64_t i = 0; i < samples; ++i) {
+      PSC_RETURN_NOT_OK(accumulator.Add(sampler.Sample(&rng)));
+    }
+    PSC_ASSIGN_OR_RETURN(QueryAnswer answer,
+                         accumulator.Finish("monte-carlo"));
+    PSC_OBS_COUNTER_ADD("query.worlds_used", answer.worlds_used);
+    return answer;
   }
-  PSC_ASSIGN_OR_RETURN(QueryAnswer answer, accumulator.Finish("monte-carlo"));
+
+  // Counter-based streams: block b always draws its (at most)
+  // kBlockSamples worlds from Rng(MixSeed(seed, b)), no matter which
+  // worker runs it — the sampled multiset, and hence the estimate, is a
+  // pure function of (seed, samples), identical for every thread count
+  // >= 2. The block size is fixed (not derived from the worker count) for
+  // the same reason.
+  constexpr uint64_t kBlockSamples = 64;
+  const uint64_t num_blocks = (samples + kBlockSamples - 1) / kBlockSamples;
+  struct BlockResult {
+    AnswerAccumulator acc;
+    Status error;
+  };
+  exec::ThreadPool pool(threads);
+  BlockResult merged = exec::ParallelReduce<BlockResult>(
+      &pool, static_cast<size_t>(num_blocks), BlockResult{},
+      [&](size_t block) {
+        BlockResult result;
+        result.acc = AnswerAccumulator(&query);
+        Rng rng(MixSeed(seed, block));
+        const uint64_t begin = block * kBlockSamples;
+        const uint64_t end = std::min(samples, begin + kBlockSamples);
+        for (uint64_t i = begin; i < end; ++i) {
+          result.error = result.acc.Add(sampler.Sample(&rng));
+          if (!result.error.ok()) break;
+        }
+        return result;
+      },
+      [](BlockResult& acc, BlockResult part) {
+        if (!acc.error.ok()) return;
+        if (!part.error.ok()) {
+          acc.error = std::move(part.error);
+          return;
+        }
+        acc.acc.MergeFrom(std::move(part.acc));
+      });
+  PSC_RETURN_NOT_OK(merged.error);
+  PSC_ASSIGN_OR_RETURN(QueryAnswer answer, merged.acc.Finish("monte-carlo"));
   PSC_OBS_COUNTER_ADD("query.worlds_used", answer.worlds_used);
   return answer;
 }

@@ -46,6 +46,14 @@ class QuerySystem {
     /// Universe-size cap (bits) for brute-force fallbacks on non-identity
     /// collections.
     size_t max_universe_bits = 22;
+    /// Worker threads for consistency search, exact counting and
+    /// Monte-Carlo sampling. 0 (the default) resolves via the PSC_THREADS
+    /// environment variable, falling back to hardware_concurrency(); 1
+    /// forces the sequential code paths byte-identical to the historical
+    /// behaviour. Verdicts, exact counts and confidences are bit-identical
+    /// for every thread count; Monte-Carlo estimates are identical across
+    /// all multi-threaded counts (see AnswerMonteCarlo).
+    size_t threads = 0;
   };
 
   /// Builds a system over `collection`.

@@ -31,12 +31,13 @@ std::vector<Tuple> ConfidenceTable::PossibleFacts() const {
 }
 
 Result<ConfidenceTable> ComputeBaseFactConfidences(
-    const IdentityInstance& instance, uint64_t max_shapes) {
+    const IdentityInstance& instance, uint64_t max_shapes,
+    exec::ThreadPool* pool) {
   PSC_OBS_SPAN("counting.base_confidences");
   BinomialTable binomials;
   SignatureCounter counter(&instance, &binomials);
   PSC_ASSIGN_OR_RETURN(const CountingOutcome outcome,
-                       counter.Count(max_shapes));
+                       counter.Count(max_shapes, pool));
   if (outcome.world_count.IsZero()) {
     return Status::Inconsistent(
         "poss(S) is empty: tuple confidence is undefined for inconsistent "

@@ -42,9 +42,12 @@ struct ConfidenceTable {
 ///
 /// Fails with Inconsistent when poss(S) = ∅ (the paper's confidence ratio
 /// is only defined for consistent collections).
+///
+/// With a multi-worker `pool` the underlying count is sharded across
+/// workers; the resulting table is bit-identical for any worker count.
 Result<ConfidenceTable> ComputeBaseFactConfidences(
     const IdentityInstance& instance,
-    uint64_t max_shapes = uint64_t{1} << 26);
+    uint64_t max_shapes = uint64_t{1} << 26, exec::ThreadPool* pool = nullptr);
 
 }  // namespace psc
 

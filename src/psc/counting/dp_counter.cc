@@ -1,7 +1,9 @@
 #include "psc/counting/dp_counter.h"
 
+#include <algorithm>
 #include <map>
 
+#include "psc/exec/parallel.h"
 #include "psc/obs/metrics.h"
 #include "psc/obs/trace.h"
 #include "psc/util/combinatorics.h"
@@ -90,26 +92,64 @@ DpCounter::DpCounter(const IdentityInstance* instance) : instance_(instance) {
   PSC_CHECK(instance_ != nullptr);
 }
 
-Result<CountingOutcome> DpCounter::Count(uint64_t max_states) {
+Result<CountingOutcome> DpCounter::Count(uint64_t max_states,
+                                         exec::ThreadPool* pool) {
   PSC_OBS_SPAN("counting.dp_count");
-  BinomialTable binomials;
   CountingOutcome outcome;
-  uint64_t peak = 0;
-  uint64_t feasible = 0;
-  PSC_ASSIGN_OR_RETURN(outcome.world_count,
-                       RunPass(*instance_, binomials, /*marked_group=*/-1,
-                               max_states, &peak, &feasible));
-  PSC_OBS_COUNTER_INC("counting.dp_passes");
-  outcome.feasible_shapes = feasible;
   const size_t num_groups = instance_->groups().size();
   outcome.worlds_containing.resize(num_groups);
+
+  // Pass list: -1 counts all worlds, g >= 0 counts worlds containing a
+  // designated fact of group g. Passes are independent DPs writing into
+  // fixed per-pass slots, so the outcome is scheduling-independent (with
+  // a null/single-worker pool this runs sequentially in pass order).
+  std::vector<int64_t> passes;
+  passes.push_back(-1);
   for (size_t g = 0; g < num_groups; ++g) {
-    if (instance_->groups()[g].size == 0) continue;
-    PSC_ASSIGN_OR_RETURN(outcome.worlds_containing[g],
-                         RunPass(*instance_, binomials,
-                                 static_cast<int64_t>(g), max_states, &peak,
-                                 nullptr));
+    if (instance_->groups()[g].size > 0) {
+      passes.push_back(static_cast<int64_t>(g));
+    }
+  }
+
+  struct PassResult {
+    BigInt total;
+    uint64_t peak = 0;
+    uint64_t feasible = 0;
+    Status error;
+  };
+  std::vector<PassResult> slots(passes.size());
+  // One shared table: every row a pass can touch (C(n_g, ·) and the
+  // marked C(n_g−1, ·)) is materialized up front, so concurrent passes
+  // only read it and no pass rebuilds the large rows.
+  BinomialTable binomials;
+  for (const auto& group : instance_->groups()) {
+    binomials.Warm(group.size);
+    if (group.size > 0) binomials.Warm(group.size - 1);
+  }
+  exec::ParallelFor(pool, passes.size(), [&](size_t p) {
+    PassResult& slot = slots[p];  // disjoint per-pass slot
+    auto total = RunPass(*instance_, binomials, passes[p], max_states,
+                         &slot.peak,
+                         passes[p] < 0 ? &slot.feasible : nullptr);
+    if (total.ok()) {
+      slot.total = std::move(*total);
+    } else {
+      slot.error = total.status();
+    }
     PSC_OBS_COUNTER_INC("counting.dp_passes");
+  });
+
+  uint64_t peak = 0;
+  for (size_t p = 0; p < passes.size(); ++p) {
+    const PassResult& slot = slots[p];
+    PSC_RETURN_NOT_OK(slot.error);
+    peak = std::max(peak, slot.peak);
+    if (passes[p] < 0) {
+      outcome.world_count = slot.total;
+      outcome.feasible_shapes = slot.feasible;
+    } else {
+      outcome.worlds_containing[static_cast<size_t>(passes[p])] = slot.total;
+    }
   }
   outcome.visited_shapes = peak;
   return outcome;

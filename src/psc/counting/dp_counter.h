@@ -36,7 +36,13 @@ class DpCounter {
   /// \brief Counts all worlds and per-group containment counts, exactly as
   /// SignatureCounter::Count. Fails with ResourceExhausted when the live
   /// state count exceeds `max_states`.
-  Result<CountingOutcome> Count(uint64_t max_states = uint64_t{1} << 22);
+  ///
+  /// The 1 + G passes (unmarked, then one per non-empty group) are
+  /// independent; with a multi-worker `pool` they run concurrently, each
+  /// with its own `BinomialTable`, and the per-pass results land in fixed
+  /// slots — the outcome is bit-identical for any worker count.
+  Result<CountingOutcome> Count(uint64_t max_states = uint64_t{1} << 22,
+                                exec::ThreadPool* pool = nullptr);
 
  private:
   const IdentityInstance* instance_;

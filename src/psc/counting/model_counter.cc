@@ -1,7 +1,10 @@
 #include "psc/counting/model_counter.h"
 
+#include <atomic>
 #include <functional>
+#include <utility>
 
+#include "psc/exec/parallel.h"
 #include "psc/obs/metrics.h"
 #include "psc/obs/trace.h"
 #include "psc/util/string_util.h"
@@ -34,24 +37,66 @@ namespace {
 /// Shared DFS over per-group count vectors with soundness pruning.
 /// `visit(counts, weight)` is called for every feasible leaf and returns
 /// false to stop the whole enumeration.
+///
+/// The per-depth prune condition partial[i] + suffix_max[i][g] < tᵢ is
+/// precomputed once per depth as partial[i] < needᵢ(g) with
+/// needᵢ(g) = tᵢ − suffix_max[i][g]; only sources with a positive need can
+/// ever prune (partials are non-negative), so each node scans the short
+/// per-depth `active_` list instead of all sources.
 class ShapeEnumerator {
  public:
   ShapeEnumerator(const IdentityInstance& instance, BinomialTable& binomials,
                   const std::vector<std::vector<int64_t>>& suffix_max,
-                  uint64_t max_shapes)
+                  uint64_t max_shapes,
+                  std::atomic<uint64_t>* shared_visited = nullptr)
       : instance_(instance),
         binomials_(binomials),
-        suffix_max_(suffix_max),
-        max_shapes_(max_shapes) {}
+        max_shapes_(max_shapes),
+        shared_visited_(shared_visited) {
+    const size_t depths = instance_.groups().size() + 1;
+    active_.resize(depths);
+    for (size_t g = 0; g < depths; ++g) {
+      for (size_t i = 0; i < instance_.num_sources(); ++i) {
+        const int64_t need =
+            instance_.constraints()[i].min_sound - suffix_max[i][g];
+        if (need > 0) active_[g].emplace_back(i, need);
+      }
+    }
+  }
 
   /// Returns false iff the visitor requested an early stop.
   Result<bool> Run(const std::function<bool(const std::vector<int64_t>&,
                                             const BigInt&)>& visit) {
+    return RunWithFirstGroup(-1, visit);
+  }
+
+  /// \brief Runs the DFS with the first group's count pinned to
+  /// `first_count` (or unpinned when negative).
+  ///
+  /// The pinned form enumerates exactly the subtree the unpinned DFS
+  /// explores under counts[0] == first_count, which is what makes the
+  /// parallel counter's shard union identical to the sequential
+  /// enumeration, leaf for leaf.
+  Result<bool> RunWithFirstGroup(
+      int64_t first_count,
+      const std::function<bool(const std::vector<int64_t>&, const BigInt&)>&
+          visit) {
     visit_ = &visit;
     counts_.assign(instance_.groups().size(), 0);
     partial_in_extension_.assign(instance_.num_sources(), 0);
     visited_ = 0;
-    return Recurse(0, BigInt(1));
+    if (first_count < 0) return Recurse(0, BigInt(1));
+    // Seed depth 0: counts_[0] = k, partials and weight follow.
+    PSC_CHECK(!instance_.groups().empty() &&
+              first_count <= instance_.groups()[0].size);
+    const IdentityInstance::Group& group = instance_.groups()[0];
+    counts_[0] = first_count;
+    for (size_t i = 0; i < instance_.num_sources(); ++i) {
+      if ((group.signature & (uint64_t{1} << i)) != 0) {
+        partial_in_extension_[i] += first_count;
+      }
+    }
+    return Recurse(1, binomials_.Choose(group.size, first_count));
   }
 
   uint64_t visited() const { return visited_; }
@@ -59,14 +104,16 @@ class ShapeEnumerator {
  private:
   Result<bool> Recurse(size_t g, const BigInt& weight) {
     // Soundness pruning: some source can no longer reach its minimum.
-    for (size_t i = 0; i < instance_.num_sources(); ++i) {
-      if (partial_in_extension_[i] + suffix_max_[i][g] <
-          instance_.constraints()[i].min_sound) {
-        return true;
-      }
+    for (const auto& [i, need] : active_[g]) {
+      if (partial_in_extension_[i] < need) return true;
     }
     if (g == instance_.groups().size()) {
-      if (++visited_ > max_shapes_) {
+      ++visited_;
+      const uint64_t total =
+          shared_visited_ == nullptr
+              ? visited_
+              : shared_visited_->fetch_add(1, std::memory_order_relaxed) + 1;
+      if (total > max_shapes_) {
         return Status::ResourceExhausted(
             StrCat("shape enumeration exceeded ", max_shapes_,
                    " count vectors"));
@@ -103,8 +150,12 @@ class ShapeEnumerator {
 
   const IdentityInstance& instance_;
   BinomialTable& binomials_;
-  const std::vector<std::vector<int64_t>>& suffix_max_;
   const uint64_t max_shapes_;
+  /// Budget counter shared across parallel shards (the sequential path
+  /// uses the local `visited_`).
+  std::atomic<uint64_t>* shared_visited_;
+  /// active_[g]: (source, need) pairs that can actually prune at depth g.
+  std::vector<std::vector<std::pair<size_t, int64_t>>> active_;
   const std::function<bool(const std::vector<int64_t>&, const BigInt&)>*
       visit_ = nullptr;
   std::vector<int64_t> counts_;
@@ -112,31 +163,101 @@ class ShapeEnumerator {
   uint64_t visited_ = 0;
 };
 
+/// Per-shard accumulator for the parallel count: the k-th shard owns the
+/// counts[0] == k subtree.
+struct CountShard {
+  BigInt world_count;
+  std::vector<BigInt> marked_sums;
+  uint64_t feasible_shapes = 0;
+  uint64_t visited_shapes = 0;
+  Status error;
+};
+
 }  // namespace
 
-Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes) {
+Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes,
+                                                exec::ThreadPool* pool) {
   PSC_OBS_SPAN("counting.count");
   CountingOutcome outcome;
   const auto& groups = instance_->groups();
   // Σ over feasible shapes of weight·k_g, later divided by n_g.
   std::vector<BigInt> marked_sums(groups.size());
 
-  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes);
-  PSC_RETURN_NOT_OK(
-      enumerator
-          .Run([&](const std::vector<int64_t>& counts, const BigInt& weight) {
-            ++outcome.feasible_shapes;
-            outcome.world_count += weight;
-            for (size_t g = 0; g < groups.size(); ++g) {
-              if (counts[g] == 0) continue;
-              BigInt term = weight;
-              term.MulU32(static_cast<uint32_t>(counts[g]));
-              marked_sums[g] += term;
-            }
-            return true;
-          })
-          .status());
-  outcome.visited_shapes = enumerator.visited();
+  const bool parallel =
+      pool != nullptr && pool->size() > 1 && !groups.empty();
+  if (!parallel) {
+    ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_,
+                               max_shapes);
+    PSC_RETURN_NOT_OK(
+        enumerator
+            .Run([&](const std::vector<int64_t>& counts,
+                     const BigInt& weight) {
+              ++outcome.feasible_shapes;
+              outcome.world_count += weight;
+              for (size_t g = 0; g < groups.size(); ++g) {
+                if (counts[g] == 0) continue;
+                BigInt term = weight;
+                term.MulU32(static_cast<uint32_t>(counts[g]));
+                marked_sums[g] += term;
+              }
+              return true;
+            })
+            .status());
+    outcome.visited_shapes = enumerator.visited();
+  } else {
+    // One shard per value of counts[0]; per-shard partials merge in shard
+    // order, so the BigInt totals equal the sequential fold bit for bit.
+    // Every binomial row a shard can touch is materialized up front: the
+    // shards then only read the shared table, instead of each rebuilding
+    // the (potentially huge) first-group row from scratch.
+    for (const auto& group : groups) binomials_->Warm(group.size);
+    const size_t shards = static_cast<size_t>(groups[0].size) + 1;
+    std::atomic<uint64_t> shared_visited{0};
+    CountShard merged;
+    merged.marked_sums.resize(groups.size());
+    merged = exec::ParallelReduce<CountShard>(
+        pool, shards, std::move(merged),
+        [&](size_t k) {
+          CountShard shard;
+          shard.marked_sums.resize(groups.size());
+          ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_,
+                                     max_shapes, &shared_visited);
+          auto run = enumerator.RunWithFirstGroup(
+              static_cast<int64_t>(k),
+              [&](const std::vector<int64_t>& counts, const BigInt& weight) {
+                ++shard.feasible_shapes;
+                shard.world_count += weight;
+                for (size_t g = 0; g < groups.size(); ++g) {
+                  if (counts[g] == 0) continue;
+                  BigInt term = weight;
+                  term.MulU32(static_cast<uint32_t>(counts[g]));
+                  shard.marked_sums[g] += term;
+                }
+                return true;
+              });
+          if (!run.ok()) shard.error = run.status();
+          shard.visited_shapes = enumerator.visited();
+          return shard;
+        },
+        [](CountShard& acc, CountShard part) {
+          if (!acc.error.ok()) return;
+          if (!part.error.ok()) {
+            acc.error = part.error;
+            return;
+          }
+          acc.world_count += part.world_count;
+          for (size_t g = 0; g < acc.marked_sums.size(); ++g) {
+            acc.marked_sums[g] += part.marked_sums[g];
+          }
+          acc.feasible_shapes += part.feasible_shapes;
+          acc.visited_shapes += part.visited_shapes;
+        });
+    PSC_RETURN_NOT_OK(merged.error);
+    outcome.world_count = std::move(merged.world_count);
+    marked_sums = std::move(merged.marked_sums);
+    outcome.feasible_shapes = merged.feasible_shapes;
+    outcome.visited_shapes = merged.visited_shapes;
+  }
   PSC_OBS_COUNTER_ADD("counting.shapes_visited", outcome.visited_shapes);
   PSC_OBS_COUNTER_ADD("counting.feasible_shapes", outcome.feasible_shapes);
 

@@ -12,6 +12,10 @@
 
 namespace psc {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 /// \brief A feasible "world shape": how many tuples each signature group
 /// contributes, together with the number of concrete worlds of that shape,
 /// weight = ∏_g C(n_g, counts[g]).
@@ -54,7 +58,14 @@ class SignatureCounter {
   /// \brief Counts all worlds and per-group containment counts.
   ///
   /// Fails with ResourceExhausted after visiting `max_shapes` count vectors.
-  Result<CountingOutcome> Count(uint64_t max_shapes = uint64_t{1} << 26);
+  ///
+  /// With a multi-worker `pool` the count-vector DFS is sharded on the
+  /// first group's count value; the shared `BinomialTable` is pre-warmed
+  /// so shards only read it, and per-shard BigInt accumulators are merged
+  /// in shard order, so the outcome is bit-identical to the sequential
+  /// run for any worker count.
+  Result<CountingOutcome> Count(uint64_t max_shapes = uint64_t{1} << 26,
+                                exec::ThreadPool* pool = nullptr);
 
   /// \brief Enumerates the feasible shapes themselves (for world sampling
   /// and world enumeration). Fails if more than `max_shapes` are feasible.

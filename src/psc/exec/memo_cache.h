@@ -1,0 +1,90 @@
+#ifndef PSC_EXEC_MEMO_CACHE_H_
+#define PSC_EXEC_MEMO_CACHE_H_
+
+/// \file
+/// Sharded-lock memoization cache.
+///
+/// A string-keyed concurrent map split over independently locked shards so
+/// hot read-mostly workloads (repeated containment tests during rewriting
+/// and query minimization) scale across pool workers. Entries are
+/// immutable once inserted: the first writer wins and later inserts of the
+/// same key are no-ops, which keeps lookups of deterministic computations
+/// (same key ⟹ same value) race-free by construction.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psc {
+namespace exec {
+
+template <typename Value>
+class ShardedMemoCache {
+ public:
+  /// `num_shards` is rounded up to at least 1; 16 suits the solver stack
+  /// (lock hold times are a hash map probe).
+  explicit ShardedMemoCache(size_t num_shards = 16) {
+    const size_t n = num_shards == 0 ? 1 : num_shards;
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  ShardedMemoCache(const ShardedMemoCache&) = delete;
+  ShardedMemoCache& operator=(const ShardedMemoCache&) = delete;
+
+  std::optional<Value> Lookup(const std::string& key) const {
+    const Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// First writer wins; concurrent inserts of one key are benign because
+  /// cached computations are deterministic functions of the key.
+  void Insert(const std::string& key, Value value) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.emplace(key, std::move(value));
+  }
+
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->map.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Value> map;
+  };
+
+  Shard& ShardOf(const std::string& key) const {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace exec
+}  // namespace psc
+
+#endif  // PSC_EXEC_MEMO_CACHE_H_

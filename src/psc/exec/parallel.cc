@@ -1,0 +1,52 @@
+#include "psc/exec/parallel.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace psc {
+namespace exec {
+
+namespace {
+
+/// Countdown latch for fork-join completion (C++20 std::latch is not yet
+/// universally available on the supported toolchains).
+struct Latch {
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t remaining;
+
+  explicit Latch(size_t count) : remaining(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const auto latch = std::make_shared<Latch>(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([&body, latch, i] {
+      body(i);
+      latch->CountDown();
+    });
+  }
+  latch->Wait();
+}
+
+}  // namespace exec
+}  // namespace psc

@@ -1,0 +1,66 @@
+#ifndef PSC_EXEC_PARALLEL_H_
+#define PSC_EXEC_PARALLEL_H_
+
+/// \file
+/// Deterministic fork-join facade over `ThreadPool`.
+///
+/// `ParallelFor` runs an index space on the pool and blocks until every
+/// index completed. `ParallelReduce` additionally collects one partial
+/// result per shard and merges them **in shard order** on the calling
+/// thread, so reductions over non-commutative structures (witness
+/// selection, error precedence, BigInt totals that must match the
+/// sequential fold bit-for-bit) are reproducible regardless of how many
+/// workers ran or how the OS scheduled them.
+///
+/// Both degrade to a plain sequential loop when `pool` is null, the pool
+/// has one worker, or the index space is trivial — the sequential path
+/// executes the exact same shard bodies in the exact same order, which is
+/// what makes `--threads 1` byte-identical to the pre-parallel code.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "psc/exec/thread_pool.h"
+
+namespace psc {
+namespace exec {
+
+/// \brief Runs `body(i)` for every i in [0, n), potentially in parallel.
+///
+/// Blocks until all invocations returned. `body` must be safe to call
+/// concurrently from different workers for different indices. With a null
+/// or single-worker pool the loop runs inline, in index order.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+/// \brief Shard-and-merge reduction with a deterministic merge order.
+///
+/// `shard(i)` produces the i-th partial result (concurrently); `merge`
+/// folds partials into `acc` strictly in shard order 0,1,…,n−1 on the
+/// calling thread. The result therefore equals the sequential fold for
+/// any pool size.
+template <typename T, typename ShardFn, typename MergeFn>
+T ParallelReduce(ThreadPool* pool, size_t n, T init, const ShardFn& shard,
+                 const MergeFn& merge) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    T acc = std::move(init);
+    for (size_t i = 0; i < n; ++i) {
+      merge(acc, shard(i));
+    }
+    return acc;
+  }
+  std::vector<T> parts(n);
+  ParallelFor(pool, n, [&](size_t i) { parts[i] = shard(i); });
+  T acc = std::move(init);
+  for (size_t i = 0; i < n; ++i) {
+    merge(acc, std::move(parts[i]));
+  }
+  return acc;
+}
+
+}  // namespace exec
+}  // namespace psc
+
+#endif  // PSC_EXEC_PARALLEL_H_

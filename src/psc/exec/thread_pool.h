@@ -1,0 +1,115 @@
+#ifndef PSC_EXEC_THREAD_POOL_H_
+#define PSC_EXEC_THREAD_POOL_H_
+
+/// \file
+/// Work-stealing execution runtime for the solver stack.
+///
+/// The paper's hard kernels are embarrassingly parallel at the top level:
+/// the Theorem 3.2 consistency search fans out over the allowable
+/// combinations U of Theorem 4.1, the signature/shape counters enumerate
+/// independent count-vector subtrees, and Monte-Carlo estimation shards
+/// trivially. `ThreadPool` gives them a shared substrate:
+///
+///  * a fixed worker set (no dynamic growth; sized once at construction),
+///  * one task deque per worker — owners pop from the front, idle workers
+///    steal from the back of a victim's deque,
+///  * cooperative cancellation via `CancellationToken` (tasks poll; nothing
+///    is ever killed mid-flight),
+///  * metrics through `psc::obs`: pool gauge, task/steal counters and a
+///    task-latency histogram.
+///
+/// Determinism contract: the pool itself makes no ordering promises; the
+/// `ParallelFor` / `ParallelReduce` facade (parallel.h) layers a
+/// deterministic shard-order merge on top so solver results are
+/// reproducible regardless of thread count.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psc {
+namespace exec {
+
+/// Number of hardware threads, never 0.
+size_t HardwareThreads();
+
+/// \brief Resolves a requested worker count to a concrete one.
+///
+/// `requested == 0` means "auto": the `PSC_THREADS` environment variable
+/// when set to a positive integer, otherwise `HardwareThreads()`. Any
+/// positive `requested` is returned unchanged.
+size_t ResolveThreadCount(size_t requested);
+
+/// \brief Shared cooperative cancellation flag.
+///
+/// Copies observe the same underlying state; `Cancel()` is sticky. Workers
+/// poll `cancelled()` between units of work — a relaxed atomic load — and
+/// wind down at the next check.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { state_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return state_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// \brief Fixed-size work-stealing thread pool.
+///
+/// Tasks are arbitrary `std::function<void()>`; error propagation happens
+/// through whatever state the task closes over (the library is
+/// exception-free). Submission from worker threads lands on the
+/// submitter's own deque; external submissions are spread round-robin.
+///
+/// Destruction drains nothing: the destructor waits for every already
+/// submitted task to finish, then joins the workers. Do not submit from a
+/// task racing the destructor.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  size_t size() const { return queues_.size(); }
+
+  /// Enqueues `task` for execution. Thread-safe.
+  void Submit(std::function<void()> task);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  /// Pops from the front of the worker's own deque.
+  bool TryPopOwn(size_t index, std::function<void()>* task);
+  /// Steals from the back of another worker's deque.
+  bool TrySteal(size_t thief, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  /// Tasks submitted but not yet claimed by a worker.
+  std::atomic<uint64_t> unclaimed_{0};
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace exec
+}  // namespace psc
+
+#endif  // PSC_EXEC_THREAD_POOL_H_

@@ -1,10 +1,15 @@
 #include "psc/rewriting/containment.h"
 
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "psc/exec/memo_cache.h"
 #include "psc/obs/metrics.h"
 #include "psc/relational/builtin.h"
 #include "psc/tableau/tableau.h"
+#include "psc/util/string_util.h"
 
 namespace psc {
 
@@ -101,14 +106,77 @@ class HomomorphismSearch {
   Substitution mapping_;
 };
 
+/// Appends a canonical rendering of `query`: variables are renamed v0,v1,…
+/// in first-occurrence order over head, relational body, then built-ins.
+/// Renaming is a bijection on variables, so two queries with equal
+/// canonical forms are alpha-equivalent and containment verdicts transfer
+/// verbatim — which is what makes the canonical pair a sound cache key.
+void AppendCanonicalQuery(const ConjunctiveQuery& query, std::string* out) {
+  std::unordered_map<std::string, std::string> names;
+  auto append_term = [&](const Term& term) {
+    if (term.is_constant()) {
+      out->append("c:");
+      out->append(term.constant().ToString());
+    } else {
+      const auto [it, inserted] =
+          names.emplace(term.var_name(), StrCat("v", names.size()));
+      out->append(it->second);
+    }
+  };
+  auto append_atom = [&](const Atom& atom) {
+    out->append(atom.predicate());
+    out->push_back('(');
+    for (const Term& term : atom.terms()) {
+      append_term(term);
+      out->push_back(',');
+    }
+    out->push_back(')');
+  };
+  append_atom(query.head());
+  out->append(":-");
+  for (const Atom& atom : query.relational_body()) append_atom(atom);
+  out->push_back('|');
+  for (const Atom& atom : query.builtin_body()) append_atom(atom);
+}
+
+std::string ContainmentKey(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  std::string key;
+  AppendCanonicalQuery(q1, &key);
+  key.append("\xE2\x8A\x91");  // "⊑"
+  AppendCanonicalQuery(q2, &key);
+  return key;
+}
+
+exec::ShardedMemoCache<bool>& ContainmentCache() {
+  static exec::ShardedMemoCache<bool>* cache =
+      new exec::ShardedMemoCache<bool>(16);
+  return *cache;
+}
+
 }  // namespace
 
 Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) {
   PSC_OBS_COUNTER_INC("rewriting.containment_checks");
+  const std::string key = ContainmentKey(q1, q2);
+  if (const std::optional<bool> hit = ContainmentCache().Lookup(key);
+      hit.has_value()) {
+    PSC_OBS_COUNTER_INC("rewriting.containment_cache_hits");
+    return *hit;
+  }
+  PSC_OBS_COUNTER_INC("rewriting.containment_cache_misses");
   HomomorphismSearch search(q1, q2);
-  return search.Run();
+  Result<bool> verdict = search.Run();
+  // Only ok verdicts are cached: error statuses (e.g. arity mismatch)
+  // stay cheap to recompute and keep the cache value type trivial.
+  if (verdict.ok()) ContainmentCache().Insert(key, *verdict);
+  return verdict;
 }
+
+void ClearContainmentCache() { ContainmentCache().Clear(); }
+
+size_t ContainmentCacheSize() { return ContainmentCache().size(); }
 
 Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) {

@@ -1,6 +1,8 @@
 #ifndef PSC_REWRITING_CONTAINMENT_H_
 #define PSC_REWRITING_CONTAINMENT_H_
 
+#include <cstddef>
+
 #include "psc/relational/conjunctive_query.h"
 #include "psc/util/result.h"
 
@@ -21,8 +23,21 @@ namespace psc {
 /// verbatim among Q₁'s built-ins. A `false` answer with built-ins
 /// therefore means "not provably contained", never "provably not".
 /// For built-in-free queries the test is exact.
+///
+/// Verdicts are memoized in a process-wide sharded cache keyed by the
+/// *canonical* form of the pair (variables renamed by first occurrence),
+/// so alpha-equivalent pairs — the common case during bucket rewriting,
+/// where the same view expansion is tested against many candidates — hit
+/// the cache. The cache is thread-safe and bounded only by the queries a
+/// process actually poses; `ClearContainmentCache` resets it.
 Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2);
+
+/// Drops every memoized containment verdict (mainly for tests/benchmarks).
+void ClearContainmentCache();
+
+/// Number of memoized containment verdicts currently cached.
+size_t ContainmentCacheSize();
 
 /// Q₁ ≡ Q₂: containment in both directions.
 Result<bool> AreEquivalent(const ConjunctiveQuery& q1,

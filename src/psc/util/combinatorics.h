@@ -27,6 +27,14 @@ class BinomialTable {
   /// \brief Returns C(n, k); zero when k > n. `n` and `k` must be >= 0.
   const BigInt& Choose(int64_t n, int64_t k);
 
+  /// \brief Materializes row `n` ahead of time.
+  ///
+  /// Once every row a computation can touch has been warmed, `Choose` is
+  /// a pure read and one table is safely shared by concurrent workers —
+  /// the parallel counters rely on this instead of rebuilding the large
+  /// rows once per shard.
+  void Warm(int64_t n) { Row(n); }
+
  private:
   const std::vector<BigInt>& Row(int64_t n);
 

@@ -7,6 +7,26 @@
 
 namespace psc {
 
+/// \brief SplitMix64 finalizer: a bijective avalanche mix of a 64-bit word.
+///
+/// Used to derive independent RNG streams from (seed, stream-id) pairs —
+/// the counter-based scheme the parallel Monte-Carlo sampler relies on so
+/// the drawn worlds depend only on the logical stream index, never on
+/// which worker thread ran the block.
+inline uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Seed for the `stream`-th logical RNG stream of a run seeded with
+/// `seed`. Distinct (seed, stream) pairs give decorrelated mt19937_64
+/// streams; the mapping is pure, so any thread count replays identically.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  return SplitMix64(seed ^ SplitMix64(stream));
+}
+
 /// \brief Deterministic pseudo-random generator used by workload generators,
 /// Monte-Carlo estimation and randomized property tests.
 ///

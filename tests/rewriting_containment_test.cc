@@ -122,6 +122,47 @@ TEST(MinimizeTest, PreservesBuiltinSafety) {
   EXPECT_EQ(minimized->relational_body().size(), 2u);
 }
 
+TEST(ContainmentCacheTest, AlphaEquivalentPairsShareOneEntry) {
+  ClearContainmentCache();
+  EXPECT_EQ(ContainmentCacheSize(), 0u);
+  EXPECT_TRUE(Contained("V(x) <- R(x), S(x)", "V(x) <- R(x)"));
+  const size_t after_first = ContainmentCacheSize();
+  EXPECT_GE(after_first, 1u);
+  // A renamed copy of the same pair must hit the canonical-key cache, not
+  // add an entry.
+  EXPECT_TRUE(Contained("V(a) <- R(a), S(a)", "V(b) <- R(b)"));
+  EXPECT_EQ(ContainmentCacheSize(), after_first);
+  ClearContainmentCache();
+}
+
+TEST(ContainmentCacheTest, CachedVerdictsStayCorrectBothWays) {
+  ClearContainmentCache();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(Contained("V(x) <- R(x), S(x)", "V(x) <- R(x)"));
+    EXPECT_FALSE(Contained("V(x) <- R(x)", "V(x) <- R(x), S(x)"));
+  }
+  ClearContainmentCache();
+}
+
+TEST(ContainmentCacheTest, DirectionIsPartOfTheKey) {
+  // Q1 ⊑ Q2 and Q2 ⊑ Q1 are distinct questions; a symmetric key would
+  // poison one direction with the other's verdict.
+  ClearContainmentCache();
+  EXPECT_TRUE(Contained("V(x) <- R(x), S(x)", "V(x) <- R(x)"));
+  EXPECT_FALSE(Contained("V(x) <- R(x)", "V(x) <- R(x), S(x)"));
+  EXPECT_GE(ContainmentCacheSize(), 2u);
+  ClearContainmentCache();
+}
+
+TEST(ContainmentCacheTest, DistinctConstantsDoNotCollide) {
+  ClearContainmentCache();
+  // Constants are fixed points of homomorphisms and must stay verbatim in
+  // the canonical key; only variables are renamed.
+  EXPECT_TRUE(Contained("V(x) <- E(x, 1)", "V(x) <- E(x, 1)"));
+  EXPECT_FALSE(Contained("V(x) <- E(x, 1)", "V(x) <- E(x, 2)"));
+  ClearContainmentCache();
+}
+
 TEST(MinimizeTest, SemanticsPreservedOnConcreteDatabase) {
   const ConjunctiveQuery original = Q("V(x) <- E(x, y), E(x, z), E(x, x)");
   auto minimized = MinimizeQuery(original);

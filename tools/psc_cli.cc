@@ -19,6 +19,8 @@
 //   --metrics-out PATH   write the observability run report as JSON
 //   --trace              buffer trace spans and print the span tree
 //   --quiet              suppress the one-line solver stats summary
+//   --threads N          solver worker threads; 0 = auto (PSC_THREADS env
+//                        or hardware concurrency), 1 = sequential
 //
 // Source files use the text format documented in psc/parser/parser.h; see
 // examples in the repository README.
@@ -57,7 +59,7 @@ int Usage() {
                "<check|print|confidences|answer|certain|consensus|audit> "
                "<file> [\"query\"] [--domain v1,v2,...] "
                "[--method exact|compositional|mc] [--samples N] [--seed N] "
-               "[--metrics-out PATH] [--trace] [--quiet]\n");
+               "[--metrics-out PATH] [--trace] [--quiet] [--threads N]\n");
   return 2;
 }
 
@@ -100,6 +102,8 @@ struct CliOptions {
   std::string metrics_out;
   bool trace = false;
   bool quiet = false;
+  /// 0 = auto (PSC_THREADS env, then hardware concurrency).
+  size_t threads = 0;
 };
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -140,6 +144,21 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       if (options.metrics_out.empty()) {
         return Status::InvalidArgument("empty path for --metrics-out");
       }
+    } else if (arg == "--threads") {
+      PSC_ASSIGN_OR_RETURN(const std::string value, next());
+      // Validate strictly: "-1" would wrap to SIZE_MAX and ask the pool
+      // for that many workers.
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      constexpr unsigned long long kMaxThreads = 1024;
+      if (value.empty() || end != value.c_str() + value.size() ||
+          value[0] == '-' || parsed > kMaxThreads) {
+        return Status::InvalidArgument(
+            StrCat("--threads expects an integer in [0, ", kMaxThreads,
+                   "], got '", value, "'"));
+      }
+      options.threads = static_cast<size_t>(parsed);
     } else if (arg == "--trace") {
       options.trace = true;
     } else if (arg == "--quiet") {
@@ -172,8 +191,14 @@ void CrossCheckWitness(const SourceCollection& collection,
                          : "WARNING: not matched by any template");
 }
 
-int RunCheck(const SourceCollection& collection) {
-  auto system = QuerySystem::Create(collection);
+QuerySystem::Options SystemOptions(const CliOptions& options) {
+  QuerySystem::Options system_options;
+  system_options.threads = options.threads;
+  return system_options;
+}
+
+int RunCheck(const SourceCollection& collection, const CliOptions& options) {
+  auto system = QuerySystem::Create(collection, SystemOptions(options));
   if (!system.ok()) return Fail(system.status());
   auto report = system->CheckConsistency();
   if (!report.ok()) return Fail(report.status());
@@ -192,10 +217,10 @@ int RunCheck(const SourceCollection& collection) {
 }
 
 int RunConfidences(const SourceCollection& collection,
-                   const std::vector<Value>& domain) {
-  auto system = QuerySystem::Create(collection);
+                   const CliOptions& options) {
+  auto system = QuerySystem::Create(collection, SystemOptions(options));
   if (!system.ok()) return Fail(system.status());
-  auto table = system->BaseConfidences(domain);
+  auto table = system->BaseConfidences(options.domain);
   if (!table.ok()) return Fail(table.status());
   std::printf("|poss(S)| = %s\n", table->world_count.ToString().c_str());
   for (const TupleConfidence& entry : table->entries) {
@@ -208,7 +233,7 @@ int RunConfidences(const SourceCollection& collection,
 int RunAnswer(const SourceCollection& collection, const CliOptions& options) {
   auto query = ParseQuery(options.query);
   if (!query.ok()) return Fail(query.status());
-  auto system = QuerySystem::Create(collection);
+  auto system = QuerySystem::Create(collection, SystemOptions(options));
   if (!system.ok()) return Fail(system.status());
   Result<QueryAnswer> answer = Status::Internal("unset");
   if (options.method == "exact") {
@@ -281,8 +306,10 @@ int RunConsensus(const SourceCollection& collection) {
   return 0;
 }
 
-int RunAudit(const SourceCollection& collection) {
-  GeneralConsistencyChecker checker;
+int RunAudit(const SourceCollection& collection, const CliOptions& options) {
+  GeneralConsistencyChecker::Options checker_options;
+  checker_options.threads = options.threads;
+  GeneralConsistencyChecker checker(checker_options);
   auto report = checker.Check(collection);
   if (!report.ok()) return Fail(report.status());
   std::printf("verdict: %s\n", ConsistencyVerdictToString(report->verdict));
@@ -357,18 +384,18 @@ int Main(int argc, char** argv) {
   const std::string& command = options->command;
   const uint64_t start_us = obs::TraceNowMicros();
   int exit_code = -1;
-  if (command == "check") exit_code = RunCheck(*collection);
+  if (command == "check") exit_code = RunCheck(*collection, *options);
   if (command == "print") {
     std::printf("%s\n", collection->ToString().c_str());
     exit_code = 0;
   }
   if (command == "confidences") {
-    exit_code = RunConfidences(*collection, options->domain);
+    exit_code = RunConfidences(*collection, *options);
   }
   if (command == "answer") exit_code = RunAnswer(*collection, *options);
   if (command == "certain") exit_code = RunCertain(*collection, *options);
   if (command == "consensus") exit_code = RunConsensus(*collection);
-  if (command == "audit") exit_code = RunAudit(*collection);
+  if (command == "audit") exit_code = RunAudit(*collection, *options);
   if (exit_code < 0) return Usage();
 
   if (!options->quiet && command != "print") PrintStatsLine(start_us);
