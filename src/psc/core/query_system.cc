@@ -13,6 +13,7 @@
 #include "psc/exec/thread_pool.h"
 #include "psc/obs/metrics.h"
 #include "psc/obs/trace.h"
+#include "psc/relational/query_plan.h"
 #include "psc/util/random.h"
 #include "psc/util/string_util.h"
 
@@ -109,6 +110,7 @@ Result<QuerySystem> QuerySystem::Create(SourceCollection collection) {
 
 Result<QuerySystem> QuerySystem::Create(SourceCollection collection,
                                         Options options) {
+  eval::SetCompiledEvalEnabled(options.use_compiled_eval);
   return QuerySystem(std::move(collection), options);
 }
 

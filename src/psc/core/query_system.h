@@ -54,6 +54,14 @@ class QuerySystem {
     /// for every thread count; Monte-Carlo estimates are identical across
     /// all multi-threaded counts (see AnswerMonteCarlo).
     size_t threads = 0;
+    /// Route conjunctive-query evaluation through compiled slot-based join
+    /// plans with lazy hash indexes (see relational/query_plan.h). false
+    /// selects the legacy nested-loop interpreter (CLI:
+    /// `--no-compiled-eval`) for differential testing. NOTE: the switch is
+    /// process-global — Create applies it via
+    /// eval::SetCompiledEvalEnabled, affecting every evaluation, not just
+    /// this system's. Both engines produce identical results.
+    bool use_compiled_eval = true;
   };
 
   /// Builds a system over `collection`.

@@ -74,18 +74,27 @@ class ConjunctiveQuery {
 
   /// \brief φ(D): evaluates the view over a database, returning the set of
   /// head tuples.
+  ///
+  /// Routed through a compiled slot-based join plan with lazy hash indexes
+  /// (see query_plan.h) unless `eval::SetCompiledEvalEnabled(false)`
+  /// selects the legacy interpreter; both produce the same canonical set.
   Result<Relation> Evaluate(const Database& db) const;
 
   /// \brief Enumerates every valuation of the body variables that embeds
   /// the body into `db` and satisfies all built-ins, extending the partial
   /// valuation `initial`. `fn` returns false to stop; the final return is
   /// false iff stopped early.
+  ///
+  /// The set of enumerated valuations is engine-independent, but the
+  /// enumeration *order* is unspecified (the compiled engine reorders the
+  /// join); each engine's order is deterministic for fixed inputs.
   Result<bool> ForEachValuation(
       const Database& db, const Valuation& initial,
       const std::function<bool(const Valuation&)>& fn) const;
 
   /// \brief Valuations θ witnessing `head_tuple` ∈ φ(D):
   /// head(φ)θ = head_tuple and body(φ)θ ⊆ D (built-ins satisfied).
+  /// Sorted, so the result is identical across evaluation engines.
   ///
   /// Used by the Lemma 3.1 construction and the template builder.
   Result<std::vector<Valuation>> WitnessValuations(

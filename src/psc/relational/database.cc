@@ -1,15 +1,65 @@
 #include "psc/relational/database.h"
 
+#include "psc/relational/eval_index.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
 
+Database::~Database() { delete index_cache_.load(std::memory_order_acquire); }
+
+Database::Database(const Database& o)
+    : relations_(o.relations_), generation_(o.generation_) {}
+
+Database::Database(Database&& o) noexcept
+    : relations_(std::move(o.relations_)), generation_(o.generation_) {
+  // std::set nodes survive a map move, so the cache's tuple pointers stay
+  // valid and the cache can move along with the data.
+  index_cache_.store(o.index_cache_.exchange(nullptr, std::memory_order_acq_rel),
+                     std::memory_order_release);
+}
+
+Database& Database::operator=(const Database& o) {
+  if (this == &o) return *this;
+  relations_ = o.relations_;
+  generation_ = o.generation_;
+  delete index_cache_.exchange(nullptr, std::memory_order_acq_rel);
+  return *this;
+}
+
+Database& Database::operator=(Database&& o) noexcept {
+  if (this == &o) return *this;
+  relations_ = std::move(o.relations_);
+  generation_ = o.generation_;
+  delete index_cache_.exchange(
+      o.index_cache_.exchange(nullptr, std::memory_order_acq_rel),
+      std::memory_order_acq_rel);
+  return *this;
+}
+
+eval::IndexCache& Database::index_cache() const {
+  eval::IndexCache* cache = index_cache_.load(std::memory_order_acquire);
+  if (cache == nullptr) {
+    auto* fresh = new eval::IndexCache();
+    if (index_cache_.compare_exchange_strong(cache, fresh,
+                                             std::memory_order_acq_rel)) {
+      cache = fresh;
+    } else {
+      delete fresh;  // another thread won the race
+    }
+  }
+  return *cache;
+}
+
 bool Database::AddFact(const Fact& fact) {
-  return relations_[fact.relation()].insert(fact.tuple()).second;
+  const bool inserted = relations_[fact.relation()].insert(fact.tuple()).second;
+  if (inserted) ++generation_;
+  return inserted;
 }
 
 bool Database::AddFact(const std::string& relation, Tuple tuple) {
-  return relations_[relation].insert(std::move(tuple)).second;
+  const bool inserted = relations_[relation].insert(std::move(tuple)).second;
+  if (inserted) ++generation_;
+  return inserted;
 }
 
 bool Database::RemoveFact(const Fact& fact) {
@@ -17,6 +67,7 @@ bool Database::RemoveFact(const Fact& fact) {
   if (it == relations_.end()) return false;
   const bool removed = it->second.erase(fact.tuple()) > 0;
   if (it->second.empty()) relations_.erase(it);
+  if (removed) ++generation_;
   return removed;
 }
 
@@ -64,6 +115,8 @@ void Database::UnionWith(const Database& other) {
   for (const auto& [name, tuples] : other.relations_) {
     relations_[name].insert(tuples.begin(), tuples.end());
   }
+  // Conservative: bump even when the union added nothing new.
+  ++generation_;
 }
 
 bool Database::IsSubsetOf(const Database& other) const {

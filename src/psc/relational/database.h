@@ -1,6 +1,8 @@
 #ifndef PSC_RELATIONAL_DATABASE_H_
 #define PSC_RELATIONAL_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -13,6 +15,10 @@
 
 namespace psc {
 
+namespace eval {
+class IndexCache;
+}  // namespace eval
+
 /// \brief A relation extension: a canonical (sorted, duplicate-free) set of
 /// tuples.
 using Relation = std::set<Tuple>;
@@ -20,9 +26,20 @@ using Relation = std::set<Tuple>;
 /// \brief A global database D: a finite set of facts, grouped by relation.
 ///
 /// Databases compare structurally, so they can key sets of possible worlds.
+///
+/// Each database lazily owns an `eval::IndexCache` of hash indexes used by
+/// compiled query plans (see query_plan.h). The cache is an evaluation
+/// artifact, not state: it is never copied, never participates in
+/// comparison, and is invalidated by the generation counter that every
+/// mutation bumps.
 class Database {
  public:
   Database() = default;
+  ~Database();
+  Database(const Database& o);
+  Database(Database&& o) noexcept;
+  Database& operator=(const Database& o);
+  Database& operator=(Database&& o) noexcept;
 
   /// \brief Inserts a fact; returns true if it was not already present.
   bool AddFact(const Fact& fact);
@@ -61,9 +78,25 @@ class Database {
   /// Multi-line "R(1, 2)\nS(\"x\")" listing in canonical order.
   std::string ToString() const;
 
+  /// \brief Mutation counter: bumped by every call that actually changes
+  /// the fact set. Compiled-evaluation indexes built at generation g are
+  /// discarded when probed at a later generation.
+  uint64_t generation() const { return generation_; }
+
+  /// \brief The database's lazy index cache, created on first use.
+  /// Thread-safe against concurrent const evaluations; mutating the
+  /// database while another thread evaluates over it is a data race on the
+  /// relations themselves and is not supported (same as before).
+  eval::IndexCache& index_cache() const;
+
  private:
   // Empty relations are never stored, keeping operator== structural.
   std::map<std::string, Relation> relations_;
+  uint64_t generation_ = 0;
+  /// Lazily allocated (one CAS on first use) so the many short-lived
+  /// databases of world enumeration never pay for it. Reset on copy — the
+  /// cache holds pointers into *this* database's set nodes.
+  mutable std::atomic<eval::IndexCache*> index_cache_{nullptr};
 };
 
 /// \brief Enumerates every fact over `schema` with constants drawn from

@@ -1,0 +1,80 @@
+#include "psc/relational/eval_index.h"
+
+#include <functional>
+
+#include "psc/obs/metrics.h"
+
+namespace psc {
+namespace eval {
+
+size_t TupleHash::operator()(const Tuple& tuple) const {
+  // FNV-1a over (kind, payload-hash) pairs.
+  size_t h = 1469598103934665603ULL;
+  const auto mix = [&h](size_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const Value& value : tuple) {
+    if (value.is_int()) {
+      mix(0x9e3779b97f4a7c15ULL);
+      mix(std::hash<int64_t>{}(value.AsInt()));
+    } else {
+      mix(0xc2b2ae3d27d4eb4fULL);
+      mix(std::hash<std::string>{}(value.AsString()));
+    }
+  }
+  return h;
+}
+
+Tuple RelationIndex::KeyFor(const Tuple& tuple,
+                            const std::vector<uint32_t>& positions) {
+  Tuple key;
+  key.reserve(positions.size());
+  for (const uint32_t pos : positions) key.push_back(tuple[pos]);
+  return key;
+}
+
+std::shared_ptr<const RelationIndex> RelationIndex::Build(
+    const std::set<Tuple>& extension, size_t arity,
+    std::vector<uint32_t> positions) {
+  auto index = std::make_shared<RelationIndex>();
+  index->arity = arity;
+  index->positions = std::move(positions);
+  // std::set iteration is sorted, so bucket vectors inherit canonical
+  // tuple order — probe enumeration stays deterministic.
+  for (const Tuple& tuple : extension) {
+    if (tuple.size() != arity) continue;
+    index->buckets[KeyFor(tuple, index->positions)].push_back(&tuple);
+  }
+  PSC_OBS_COUNTER_INC("eval.index.builds");
+  PSC_OBS_HISTOGRAM_RECORD("eval.index.tuples", extension.size());
+  return index;
+}
+
+std::shared_ptr<const RelationIndex> IndexCache::GetOrBuild(
+    const std::set<Tuple>& extension, uint64_t generation,
+    const std::string& relation, size_t arity,
+    const std::vector<uint32_t>& positions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (generation_ != generation) {
+    entries_.clear();
+    generation_ = generation;
+  }
+  Key key{relation, arity, positions};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    PSC_OBS_COUNTER_INC("eval.index.hits");
+    return it->second;
+  }
+  auto index = RelationIndex::Build(extension, arity, positions);
+  entries_.emplace(std::move(key), index);
+  return index;
+}
+
+size_t IndexCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace eval
+}  // namespace psc

@@ -1,0 +1,114 @@
+#ifndef PSC_RELATIONAL_EVAL_INDEX_H_
+#define PSC_RELATIONAL_EVAL_INDEX_H_
+
+/// \file
+/// Lazy hash indexes for compiled query evaluation.
+///
+/// A `RelationIndex` buckets the tuples of one relation extension by the
+/// values at a fixed set of bound positions, so a join step that arrives
+/// with those positions already bound probes one bucket instead of
+/// scanning the whole extension. Indexes are built on demand the first
+/// time a plan asks for a (relation, arity, position-set) access path and
+/// cached on the owning `Database` in an `IndexCache`; any database
+/// mutation bumps the database's generation counter, which invalidates
+/// every cached index at the next probe (see IndexCache::GetOrBuild).
+///
+/// Buckets hold pointers into the relation's `std::set` nodes. Node
+/// addresses are stable under unrelated insert/erase, and any mutation
+/// invalidates the cache before a dangling pointer could be probed, so
+/// the pointers are safe for the index's entire lifetime. Bucket order is
+/// the relation's canonical (sorted) iteration order, which keeps probe
+/// enumeration deterministic.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "psc/relational/value.h"
+
+namespace psc {
+namespace eval {
+
+/// FNV-style hash over a tuple's values, mixing a kind tag per value so
+/// Value(1) and Value("1") land in different buckets more often than not.
+struct TupleHash {
+  size_t operator()(const Tuple& tuple) const;
+};
+
+/// \brief Hash index of one relation extension on one bound-position set.
+///
+/// `positions` (ascending) are the indexed tuple positions; `buckets` maps
+/// each observed sub-tuple at those positions to the matching tuples, in
+/// canonical relation order. Only tuples whose size equals `arity` are
+/// indexed — the evaluator skips arity-mismatched tuples exactly like the
+/// legacy interpreter's full scan.
+struct RelationIndex {
+  size_t arity = 0;
+  std::vector<uint32_t> positions;
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> buckets;
+
+  /// The sub-tuple of `tuple` at `positions` (the bucket key).
+  static Tuple KeyFor(const Tuple& tuple, const std::vector<uint32_t>& positions);
+
+  /// Builds the index over `extension` (a canonical std::set<Tuple>).
+  static std::shared_ptr<const RelationIndex> Build(
+      const std::set<Tuple>& extension, size_t arity,
+      std::vector<uint32_t> positions);
+
+  /// The bucket for `key`, or nullptr when no tuple matches.
+  const std::vector<const Tuple*>* Find(const Tuple& key) const {
+    const auto it = buckets.find(key);
+    return it == buckets.end() ? nullptr : &it->second;
+  }
+};
+
+/// \brief Per-database store of lazily built `RelationIndex`es, invalidated
+/// wholesale when the database's generation counter moves.
+///
+/// Thread-safe: concurrent const evaluations over one database serialize
+/// only on the build-or-lookup critical section (a map probe; builds are
+/// rare); the returned index is immutable and probed without the lock.
+class IndexCache {
+ public:
+  IndexCache() = default;
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// \brief The index of `extension` on (`relation`, `arity`, `positions`),
+  /// built now if absent or stale. `generation` is the owning database's
+  /// current generation; a mismatch with the cached generation drops every
+  /// entry first.
+  std::shared_ptr<const RelationIndex> GetOrBuild(
+      const std::set<Tuple>& extension, uint64_t generation,
+      const std::string& relation, size_t arity,
+      const std::vector<uint32_t>& positions);
+
+  /// Number of live index entries (tests / introspection).
+  size_t size() const;
+
+ private:
+  struct Key {
+    std::string relation;
+    size_t arity;
+    std::vector<uint32_t> positions;
+    bool operator<(const Key& o) const {
+      if (relation != o.relation) return relation < o.relation;
+      if (arity != o.arity) return arity < o.arity;
+      return positions < o.positions;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  uint64_t generation_ = 0;
+  std::map<Key, std::shared_ptr<const RelationIndex>> entries_;
+};
+
+}  // namespace eval
+}  // namespace psc
+
+#endif  // PSC_RELATIONAL_EVAL_INDEX_H_

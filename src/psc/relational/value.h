@@ -32,13 +32,18 @@ class Value {
   /// The string payload; aborts if this is an integer value.
   const std::string& AsString() const;
 
+  /// \brief Three-way comparison under the total order (all integers sort
+  /// before all strings): negative, zero or positive as *this <, == or > o.
+  /// Every relational operator below is a single Compare call.
+  int Compare(const Value& o) const;
+
   bool operator==(const Value& o) const { return data_ == o.data_; }
   bool operator!=(const Value& o) const { return data_ != o.data_; }
   /// Total order: all integers sort before all strings.
-  bool operator<(const Value& o) const;
-  bool operator<=(const Value& o) const { return *this < o || *this == o; }
-  bool operator>(const Value& o) const { return o < *this; }
-  bool operator>=(const Value& o) const { return o <= *this; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
 
   /// \brief Display form: integers bare, strings double-quoted
   /// (round-trips through the parser).

@@ -35,7 +35,7 @@ echo "=== PSC_SANITIZE=thread -> ${tsan_dir} ==="
 cmake -B "${tsan_dir}" -S . -DPSC_SANITIZE=thread >/dev/null
 cmake --build "${tsan_dir}" -j "${jobs}"
 (cd "${tsan_dir}" && ctest --output-on-failure -j "${jobs}" \
-  -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache')
+  -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache|EvalDifferential')
 
 # Determinism smoke: the CLI must print byte-identical reports at
 # --threads 1 and --threads 4. --quiet suppresses the wall-clock stats
@@ -75,4 +75,43 @@ run_smoke "psc confidences (example 5.1)" \
 run_smoke "psc audit (conflicted)" \
   "${smoke_build}/tools/psc" audit data/conflicted.psc
 
-echo "ci matrix passed: PSC_OBS on/off, TSan and --threads equivalence green"
+# Evaluation-engine smoke: the compiled slot-based join plans (the
+# default) and the legacy interpreter (--no-compiled-eval) must print
+# byte-identical reports — the differential tests made end-to-end.
+echo "=== compiled vs legacy evaluation smoke ==="
+run_engine_smoke() {
+  local label="$1"
+  shift
+  local compiled legacy
+  compiled="$("$@" --quiet)" || true
+  legacy="$("$@" --quiet --no-compiled-eval)" || true
+  if [[ "${compiled}" != "${legacy}" ]]; then
+    echo "FAIL: ${label} output differs between compiled and legacy eval" >&2
+    diff <(echo "${compiled}") <(echo "${legacy}") >&2 || true
+    exit 1
+  fi
+  echo "${label}: compiled == --no-compiled-eval"
+}
+run_engine_smoke "psc check (projection views)" \
+  "${smoke_build}/tools/psc" check "${smoke_input}"
+run_engine_smoke "psc confidences (example 5.1)" \
+  "${smoke_build}/tools/psc" confidences data/example51.psc
+run_engine_smoke "psc answer (example 5.1)" \
+  "${smoke_build}/tools/psc" answer data/example51.psc "Ans(x) <- R(x)"
+run_engine_smoke "psc audit (conflicted)" \
+  "${smoke_build}/tools/psc" audit data/conflicted.psc
+
+# Query-evaluation bench smoke: the sweep cross-checks every compiled
+# result against the legacy interpreter (non-zero exit on mismatch) and
+# its metrics record must carry the eval.* counters.
+echo "=== bench_query_eval smoke ==="
+bench_metrics="$(mktemp)"
+trap 'rm -f "${smoke_input}" "${bench_metrics}"' EXIT
+PSC_BENCH_METRICS_OUT="${bench_metrics}" \
+  "${smoke_build}/bench/bench_query_eval" --smoke
+python3 tools/check_metrics_schema.py \
+  --require-counter eval.probes \
+  --require-counter eval.plans_compiled \
+  "${bench_metrics}"
+
+echo "ci matrix passed: PSC_OBS on/off, TSan, --threads and eval-engine equivalence green"

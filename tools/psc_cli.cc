@@ -21,6 +21,10 @@
 //   --quiet              suppress the one-line solver stats summary
 //   --threads N          solver worker threads; 0 = auto (PSC_THREADS env
 //                        or hardware concurrency), 1 = sequential
+//   --no-compiled-eval   evaluate conjunctive queries with the legacy
+//                        nested-loop interpreter instead of compiled
+//                        slot-based join plans (differential testing;
+//                        results are identical, only speed differs)
 //
 // Source files use the text format documented in psc/parser/parser.h; see
 // examples in the repository README.
@@ -40,6 +44,7 @@
 #include "psc/obs/report.h"
 #include "psc/obs/trace.h"
 #include "psc/parser/parser.h"
+#include "psc/relational/query_plan.h"
 #include "psc/rewriting/bucket_rewriter.h"
 #include "psc/tableau/template_builder.h"
 #include "psc/util/bigint.h"
@@ -59,7 +64,8 @@ int Usage() {
                "<check|print|confidences|answer|certain|consensus|audit> "
                "<file> [\"query\"] [--domain v1,v2,...] "
                "[--method exact|compositional|mc] [--samples N] [--seed N] "
-               "[--metrics-out PATH] [--trace] [--quiet] [--threads N]\n");
+               "[--metrics-out PATH] [--trace] [--quiet] [--threads N] "
+               "[--no-compiled-eval]\n");
   return 2;
 }
 
@@ -104,6 +110,8 @@ struct CliOptions {
   bool quiet = false;
   /// 0 = auto (PSC_THREADS env, then hardware concurrency).
   size_t threads = 0;
+  /// false = legacy interpreter for conjunctive-query evaluation.
+  bool use_compiled_eval = true;
 };
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -159,6 +167,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
                    "], got '", value, "'"));
       }
       options.threads = static_cast<size_t>(parsed);
+    } else if (arg == "--no-compiled-eval") {
+      options.use_compiled_eval = false;
     } else if (arg == "--trace") {
       options.trace = true;
     } else if (arg == "--quiet") {
@@ -194,6 +204,7 @@ void CrossCheckWitness(const SourceCollection& collection,
 QuerySystem::Options SystemOptions(const CliOptions& options) {
   QuerySystem::Options system_options;
   system_options.threads = options.threads;
+  system_options.use_compiled_eval = options.use_compiled_eval;
   return system_options;
 }
 
@@ -347,7 +358,7 @@ void PrintStatsLine(uint64_t start_us) {
   const obs::MetricsRegistry& metrics = obs::GlobalMetrics();
   std::printf(
       "stats: nodes=%llu combinations=%llu shapes=%llu tuples=%llu "
-      "time_ms=%.1f\n",
+      "evals=%llu probes=%llu time_ms=%.1f\n",
       static_cast<unsigned long long>(
           metrics.CounterValue("consistency.nodes_expanded")),
       static_cast<unsigned long long>(
@@ -356,6 +367,10 @@ void PrintStatsLine(uint64_t start_us) {
           metrics.CounterValue("counting.shapes_visited")),
       static_cast<unsigned long long>(
           metrics.CounterValue("algebra.tuples_produced")),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("eval.execs.compiled") +
+          metrics.CounterValue("eval.execs.legacy")),
+      static_cast<unsigned long long>(metrics.CounterValue("eval.probes")),
       elapsed_ms);
 }
 
@@ -370,6 +385,9 @@ int Main(int argc, char** argv) {
     obs_options.trace_enabled = true;
     obs::SetOptions(obs_options);
   }
+  // Applies to every command, including the ones (certain, audit,
+  // consensus) that never construct a QuerySystem.
+  eval::SetCompiledEvalEnabled(options->use_compiled_eval);
   auto text = ReadFile(options->file);
   if (!text.ok()) return Fail(text.status());
   auto collection = ParseCollection(*text);
