@@ -43,8 +43,12 @@ Result<std::vector<SourceBlame>> BlameSources(
     return Status::ResourceExhausted("blame analysis supports <= 63 sources");
   }
   std::vector<SourceBlame> blames;
+  const limits::Budget& budget = checker.options().budget;
   const uint64_t all = (uint64_t{1} << collection.size()) - 1;
   for (size_t i = 0; i < collection.size(); ++i) {
+    // One node per leave-one-out check; the sub-checks observe the same
+    // shared budget, so a mid-check trip also stops this loop here.
+    if (!budget.Charge()) return budget.ToStatus();
     PSC_ASSIGN_OR_RETURN(
         const SourceCollection reduced,
         Subcollection(collection, all & ~(uint64_t{1} << i)));
@@ -87,6 +91,9 @@ Result<std::vector<std::vector<std::string>>> MaximalConsistentSubcollections(
       }
     }
     if (dominated) continue;
+    if (!checker.options().budget.Charge()) {
+      return checker.options().budget.ToStatus();
+    }
     PSC_ASSIGN_OR_RETURN(const SourceCollection sub,
                          Subcollection(collection, mask));
     PSC_ASSIGN_OR_RETURN(const ConsistencyReport report, checker.Check(sub));
@@ -119,6 +126,9 @@ Result<Rational> MaxUniformRelaxation(const SourceCollection& collection,
         "consistency undecided at lambda = 1; relaxation search aborted");
   }
   while (hi - lo > 1) {
+    if (!checker.options().budget.Charge()) {
+      return checker.options().budget.ToStatus();
+    }
     const int64_t mid = lo + (hi - lo) / 2;
     PSC_ASSIGN_OR_RETURN(const SourceCollection scaled,
                          ScaleBounds(collection, Rational(mid, precision)));

@@ -48,6 +48,12 @@ Result<std::optional<Database>> TryCanonicalFreeze(
           *hit_limits = true;
           return false;
         }
+        // One budget node per combination; on a trip the caller reads the
+        // reason off the shared budget and degrades to kUnknown.
+        if (!options.budget.Charge()) {
+          *hit_limits = true;
+          return false;
+        }
         ++report->combinations_tried;
         PSC_OBS_COUNTER_INC("consistency.combinations_tried");
         auto built = builder.BuildTableau(combination);
@@ -142,6 +148,9 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
   // Evaluates one combination, mirroring the sequential pass body.
   auto evaluate = [&](uint64_t index, const Combination& combination) {
     if (index >= state.bound.load(std::memory_order_acquire)) return;
+    // The producer charges the budget per enqueued combination; workers
+    // only observe the trip so already-queued blocks drain quickly.
+    if (options.budget.reason() != limits::StopReason::kNone) return;
     state.combinations_tried.fetch_add(1, std::memory_order_relaxed);
     PSC_OBS_COUNTER_INC("consistency.combinations_tried");
     auto built = builder.BuildTableau(combination);
@@ -212,6 +221,10 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
           state.hit_limits.store(true, std::memory_order_relaxed);
           return false;
         }
+        if (!options.budget.Charge()) {
+          state.hit_limits.store(true, std::memory_order_relaxed);
+          return false;
+        }
         block.emplace_back(next_index++, combination);  // copy: reused ref
         if (block.size() >= kBlockSize) flush();
         return true;
@@ -252,7 +265,8 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
 
   // Strategy 1: exact identity-view decision procedure.
   if (collection.AllIdentityViews()) {
-    auto identity = CheckIdentityConsistency(collection, options_.max_shapes);
+    auto identity = CheckIdentityConsistency(collection, options_.max_shapes,
+                                             options_.budget);
     if (identity.ok()) {
       report.method = "identity-counter";
       report.verdict = identity->consistent ? ConsistencyVerdict::kConsistent
@@ -264,7 +278,8 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
       }
       return report;
     }
-    if (identity.status().code() != StatusCode::kResourceExhausted) {
+    if (identity.status().code() != StatusCode::kResourceExhausted &&
+        identity.status().code() != StatusCode::kDeadlineExceeded) {
       return identity.status();
     }
     report.unknown_reason = identity.status().message();
@@ -298,6 +313,14 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
     return report;
   }
 
+  // A tripped budget means the canonical-freeze pass was cut short; the
+  // exhaustive fallback would only burn more wall clock, so degrade to
+  // kUnknown right away with the trip message as the reason.
+  if (options_.budget.reason() != limits::StopReason::kNone) {
+    report.unknown_reason = options_.budget.ToStatus().message();
+    return report;
+  }
+
   // Strategy 3: exhaustive search over the canonical domain within the
   // Lemma 3.1 bound.
   if (options_.enable_exhaustive) {
@@ -327,6 +350,7 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
 
     BruteForceWorldEnumerator::Options brute_options;
     brute_options.max_universe_bits = options_.max_exhaustive_bits;
+    brute_options.budget = options_.budget;
     BruteForceWorldEnumerator enumerator(&collection, domain, brute_options);
     std::optional<Database> found;
     auto completed = enumerator.ForEachPossibleWorld([&](const Database& db) {
@@ -353,7 +377,8 @@ Result<ConsistencyReport> GeneralConsistencyChecker::Check(
           fresh_needed, " fresh constants, searched with ", fresh_added, ")");
       return report;
     }
-    if (completed.status().code() != StatusCode::kResourceExhausted) {
+    if (completed.status().code() != StatusCode::kResourceExhausted &&
+        completed.status().code() != StatusCode::kDeadlineExceeded) {
       return completed.status();
     }
     report.unknown_reason = completed.status().message();

@@ -3,7 +3,9 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "psc/limits/budget.h"
 #include "psc/relational/database.h"
 #include "psc/source/source_collection.h"
 #include "psc/util/result.h"
@@ -71,12 +73,21 @@ class GeneralConsistencyChecker {
     /// minimal combination index, which is exactly the combination the
     /// sequential scan stops at.
     size_t threads = 0;
+    /// Cooperative deadline / node budget shared by every strategy: one
+    /// node per allowable combination, count-vector node or brute-force
+    /// subset. A tripped budget degrades the verdict to kUnknown (with the
+    /// trip message as `unknown_reason`) instead of failing — consistency
+    /// is three-valued, so "ran out of time" is an honest verdict.
+    limits::Budget budget;
   };
 
   GeneralConsistencyChecker() : options_() {}
-  explicit GeneralConsistencyChecker(Options options) : options_(options) {}
+  explicit GeneralConsistencyChecker(Options options)
+      : options_(std::move(options)) {}
 
   Result<ConsistencyReport> Check(const SourceCollection& collection) const;
+
+  const Options& options() const { return options_; }
 
  private:
   Options options_;

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "psc/limits/budget.h"
 #include "psc/relational/database.h"
 #include "psc/source/source_collection.h"
 #include "psc/util/result.h"
@@ -30,9 +31,11 @@ struct IdentityConsistencyReport {
 ///
 /// Still worst-case exponential in Σ|vᵢ| (Theorem 3.2), but the signature-
 /// group abstraction collapses the 2^N search to count vectors.
+/// A tripped cooperative `budget` fails with `budget.ToStatus()`.
 Result<IdentityConsistencyReport> CheckIdentityConsistency(
     const SourceCollection& collection,
-    uint64_t max_shapes = uint64_t{1} << 26);
+    uint64_t max_shapes = uint64_t{1} << 26,
+    const limits::Budget& budget = limits::Budget());
 
 }  // namespace psc
 

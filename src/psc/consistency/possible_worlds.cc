@@ -29,7 +29,9 @@ Result<bool> BruteForceWorldEnumerator::ForEachPossibleWorld(
     const std::function<bool(const Database&)>& fn) const {
   PSC_ASSIGN_OR_RETURN(const std::vector<Fact> universe, Universe());
   const uint64_t limit = uint64_t{1} << universe.size();
+  const limits::Budget& budget = options_.budget;
   for (uint64_t mask = 0; mask < limit; ++mask) {
+    if (!budget.Charge()) return budget.ToStatus();
     Database db;
     for (size_t j = 0; j < universe.size(); ++j) {
       if ((mask >> j) & 1) db.AddFact(universe[j]);
@@ -45,18 +47,18 @@ Result<bool> BruteForceWorldEnumerator::ForEachPossibleWorld(
 
 Result<std::vector<Database>> BruteForceWorldEnumerator::CollectPossibleWorlds(
     size_t max_worlds) const {
+  // The materialization cap is a node budget over collected worlds — the
+  // same cooperative mechanism callers use for deadlines, so a tripped
+  // budget and a tripped cap surface through one code path.
+  const limits::Budget cap = limits::Budget::WithNodeBudget(max_worlds);
   std::vector<Database> worlds;
-  bool overflow = false;
   PSC_ASSIGN_OR_RETURN(const bool completed,
                        ForEachPossibleWorld([&](const Database& db) {
-                         if (worlds.size() >= max_worlds) {
-                           overflow = true;
-                           return false;
-                         }
+                         if (!cap.Charge()) return false;
                          worlds.push_back(db);
                          return true;
                        }));
-  if (!completed && overflow) {
+  if (!completed && cap.reason() != limits::StopReason::kNone) {
     return Status::ResourceExhausted(
         StrCat("more than ", max_worlds, " possible worlds"));
   }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "psc/limits/budget.h"
 #include "psc/relational/database.h"
 #include "psc/source/source_collection.h"
 #include "psc/util/result.h"
@@ -21,6 +22,10 @@ class BruteForceWorldEnumerator {
   struct Options {
     /// Refuse universes with more than this many facts (2^N subsets).
     size_t max_universe_bits = 26;
+    /// Cooperative deadline / node budget; one node is charged per subset
+    /// mask checked. A tripped budget fails the enumeration with
+    /// `budget.ToStatus()`.
+    limits::Budget budget;
   };
 
   BruteForceWorldEnumerator(const SourceCollection* collection,

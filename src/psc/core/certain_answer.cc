@@ -23,7 +23,7 @@ bool TupleHasNull(const Tuple& tuple) {
 
 Result<CertainAnswerBound> CertainAnswerLowerBound(
     const SourceCollection& collection, const AlgebraExprPtr& query,
-    uint64_t max_combinations) {
+    uint64_t max_combinations, const limits::Budget& budget) {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
   TemplateBuilder builder(&collection);
 
@@ -35,6 +35,12 @@ Result<CertainAnswerBound> CertainAnswerLowerBound(
       const bool completed,
       builder.ForEachAllowableCombination([&](const Combination& combination) {
         if (bound.combinations >= max_combinations) {
+          bound.truncated = true;
+          return false;
+        }
+        // A tripped budget truncates rather than fails: the intersection
+        // over a prefix of 𝒰 is still a sound under-approximation.
+        if (!budget.Charge()) {
           bound.truncated = true;
           return false;
         }
@@ -80,7 +86,9 @@ Result<CertainAnswerBound> CertainAnswerLowerBound(
         return !bound.certain.empty();
       }));
   if (!completed && !deferred_error.ok()) return deferred_error;
-  if (!any_realizable) {
+  // Claiming inconsistency requires having seen *every* combination; a
+  // truncated scan that found none realizable proves nothing.
+  if (!any_realizable && !bound.truncated) {
     return Status::Inconsistent(
         "every allowable combination is unrealizable: poss(S) is empty");
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "psc/algebra/expression.h"
+#include "psc/limits/budget.h"
 #include "psc/source/source_collection.h"
 #include "psc/util/result.h"
 
@@ -45,9 +46,14 @@ struct CertainAnswerBound {
 ///
 /// Errors: Inconsistent when every combination is unrealizable;
 /// InvalidArgument for a null plan.
+///
+/// A tripped cooperative `budget` stops the scan and sets `truncated`
+/// instead of failing: the intersection over the combinations seen so far
+/// is already a sound under-approximation.
 Result<CertainAnswerBound> CertainAnswerLowerBound(
     const SourceCollection& collection, const AlgebraExprPtr& query,
-    uint64_t max_combinations = uint64_t{1} << 16);
+    uint64_t max_combinations = uint64_t{1} << 16,
+    const limits::Budget& budget = limits::Budget());
 
 }  // namespace psc
 

@@ -94,6 +94,8 @@ class AnswerAccumulator {
     return answer;
   }
 
+  uint64_t worlds() const { return worlds_; }
+
  private:
   const AlgebraExprPtr* query_ = nullptr;
   uint64_t worlds_ = 0;
@@ -101,6 +103,18 @@ class AnswerAccumulator {
   Relation possible_;
   std::map<Tuple, uint64_t> containment_;
 };
+
+/// Per-call budget from the system options; inactive (null state, zero
+/// overhead, bit-identical results) when no limit is configured.
+limits::Budget MakeBudget(const QuerySystem::Options& options) {
+  if (options.deadline_ms <= 0 && options.node_budget == 0) {
+    return limits::Budget();
+  }
+  limits::BudgetOptions budget_options;
+  budget_options.deadline_ms = options.deadline_ms;
+  budget_options.node_budget = options.node_budget;
+  return limits::Budget(budget_options);
+}
 
 }  // namespace
 
@@ -119,6 +133,7 @@ Result<ConsistencyReport> QuerySystem::CheckConsistency() const {
   options.max_shapes = options_.max_shapes;
   options.max_exhaustive_bits = options_.max_universe_bits;
   options.threads = options_.threads;
+  options.budget = MakeBudget(options_);
   const GeneralConsistencyChecker checker(options);
   return checker.Check(collection_);
 }
@@ -127,12 +142,15 @@ Result<ConfidenceTable> QuerySystem::BaseConfidences(
     const std::vector<Value>& domain) const {
   PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
                        IdentityInstance::Create(collection_, domain));
+  const limits::Budget budget = MakeBudget(options_);
   const size_t threads = exec::ResolveThreadCount(options_.threads);
   if (threads > 1) {
     exec::ThreadPool pool(threads);
-    return ComputeBaseFactConfidences(instance, options_.max_shapes, &pool);
+    return ComputeBaseFactConfidences(instance, options_.max_shapes, &pool,
+                                      budget);
   }
-  return ComputeBaseFactConfidences(instance, options_.max_shapes);
+  return ComputeBaseFactConfidences(instance, options_.max_shapes, nullptr,
+                                    budget);
 }
 
 Result<QueryAnswer> QuerySystem::AnswerExact(
@@ -146,6 +164,7 @@ Result<QueryAnswer> QuerySystem::AnswerExact(
     return world_error.ok();
   };
 
+  const limits::Budget budget = MakeBudget(options_);
   if (collection_.AllIdentityViews()) {
     PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
                          IdentityInstance::Create(collection_, domain));
@@ -153,7 +172,7 @@ Result<QueryAnswer> QuerySystem::AnswerExact(
     PSC_ASSIGN_OR_RETURN(
         const bool completed,
         enumerator.ForEachWorld(consume, options_.max_worlds,
-                                options_.max_shapes));
+                                options_.max_shapes, budget));
     if (!completed) return world_error;
     PSC_ASSIGN_OR_RETURN(QueryAnswer answer,
                          accumulator.Finish("exact-enumeration"));
@@ -163,6 +182,7 @@ Result<QueryAnswer> QuerySystem::AnswerExact(
 
   BruteForceWorldEnumerator::Options brute_options;
   brute_options.max_universe_bits = options_.max_universe_bits;
+  brute_options.budget = budget;
   BruteForceWorldEnumerator enumerator(&collection_, domain, brute_options);
   PSC_ASSIGN_OR_RETURN(const bool completed,
                        enumerator.ForEachPossibleWorld(consume));
@@ -185,15 +205,17 @@ Result<QueryAnswer> QuerySystem::AnswerCompositional(
   PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
                        IdentityInstance::Create(collection_, domain));
   ConfidenceTable table;
+  const limits::Budget budget = MakeBudget(options_);
   const size_t threads = exec::ResolveThreadCount(options_.threads);
   if (threads > 1) {
     exec::ThreadPool pool(threads);
     PSC_ASSIGN_OR_RETURN(table,
                          ComputeBaseFactConfidences(
-                             instance, options_.max_shapes, &pool));
+                             instance, options_.max_shapes, &pool, budget));
   } else {
     PSC_ASSIGN_OR_RETURN(
-        table, ComputeBaseFactConfidences(instance, options_.max_shapes));
+        table, ComputeBaseFactConfidences(instance, options_.max_shapes,
+                                          nullptr, budget));
   }
   ProbRelation base_relation(instance.arity());
   for (const TupleConfidence& entry : table.entries) {
@@ -228,6 +250,7 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
   PSC_ASSIGN_OR_RETURN(const WorldSampler sampler,
                        WorldSampler::Create(&instance, options_.max_worlds));
 
+  const limits::Budget budget = MakeBudget(options_);
   const size_t threads = exec::ResolveThreadCount(options_.threads);
   if (threads <= 1) {
     // Historical single-stream path: one Rng(seed) consumed in sample
@@ -236,6 +259,17 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
     Rng rng(seed);
     AnswerAccumulator accumulator(&query);
     for (uint64_t i = 0; i < samples; ++i) {
+      // A tripped budget truncates: the samples drawn so far are a valid
+      // (smaller) estimate. With zero samples there is nothing to report.
+      if (!budget.Charge()) {
+        if (accumulator.worlds() == 0) return budget.ToStatus();
+        PSC_ASSIGN_OR_RETURN(QueryAnswer answer,
+                             accumulator.Finish("monte-carlo"));
+        answer.truncated = true;
+        answer.truncation_reason = budget.ToStatus().message();
+        PSC_OBS_COUNTER_ADD("query.worlds_used", answer.worlds_used);
+        return answer;
+      }
       PSC_RETURN_NOT_OK(accumulator.Add(sampler.Sample(&rng)));
     }
     PSC_ASSIGN_OR_RETURN(QueryAnswer answer,
@@ -257,6 +291,7 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
     Status error;
   };
   exec::ThreadPool pool(threads);
+  const limits::CancelToken cancel_token = budget.token();
   BlockResult merged = exec::ParallelReduce<BlockResult>(
       &pool, static_cast<size_t>(num_blocks), BlockResult{},
       [&](size_t block) {
@@ -266,6 +301,9 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
         const uint64_t begin = block * kBlockSamples;
         const uint64_t end = std::min(samples, begin + kBlockSamples);
         for (uint64_t i = begin; i < end; ++i) {
+          // On a trip this block returns its samples so far; the merged
+          // partial answer is flagged truncated below.
+          if (!budget.Charge()) break;
           result.error = result.acc.Add(sampler.Sample(&rng));
           if (!result.error.ok()) break;
         }
@@ -278,9 +316,18 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
           return;
         }
         acc.acc.MergeFrom(std::move(part.acc));
-      });
+      },
+      budget.active() ? &cancel_token : nullptr);
   PSC_RETURN_NOT_OK(merged.error);
+  if (budget.reason() != limits::StopReason::kNone &&
+      merged.acc.worlds() == 0) {
+    return budget.ToStatus();
+  }
   PSC_ASSIGN_OR_RETURN(QueryAnswer answer, merged.acc.Finish("monte-carlo"));
+  if (budget.reason() != limits::StopReason::kNone) {
+    answer.truncated = true;
+    answer.truncation_reason = budget.ToStatus().message();
+  }
   PSC_OBS_COUNTER_ADD("query.worlds_used", answer.worlds_used);
   return answer;
 }

@@ -9,6 +9,7 @@
 #include "psc/algebra/prob_relation.h"
 #include "psc/consistency/general_consistency.h"
 #include "psc/counting/confidence.h"
+#include "psc/limits/budget.h"
 #include "psc/source/source_collection.h"
 #include "psc/util/result.h"
 
@@ -28,6 +29,12 @@ struct QueryAnswer {
   uint64_t worlds_used = 0;
   /// "exact-enumeration", "compositional", "monte-carlo".
   std::string method;
+  /// True when a resource budget (deadline / node budget) cut the
+  /// computation short and the answer is a well-formed partial result —
+  /// today only Monte-Carlo, which returns the samples drawn so far.
+  bool truncated = false;
+  /// Why the answer was truncated, when it was.
+  std::string truncation_reason;
 };
 
 /// \brief The user-facing facade: a source collection plus query answering,
@@ -62,6 +69,20 @@ class QuerySystem {
     /// eval::SetCompiledEvalEnabled, affecting every evaluation, not just
     /// this system's. Both engines produce identical results.
     bool use_compiled_eval = true;
+    /// Wall-clock deadline in milliseconds for each entry point (0 = no
+    /// deadline; CLI: `--deadline-ms`). Every call builds a fresh budget,
+    /// so the deadline applies per call, not per system. On expiry,
+    /// consistency checks degrade to kUnknown, Monte-Carlo returns a
+    /// truncated partial answer, and exact counting/enumeration fails
+    /// with Status::DeadlineExceeded. With both limits at 0 (the default)
+    /// no budget is threaded anywhere and all results are bit-identical
+    /// to the unlimited build.
+    int64_t deadline_ms = 0;
+    /// Explored-node budget shared by all workers of one call (0 = no
+    /// budget; CLI: `--node-budget`). Nodes are the solvers' natural work
+    /// units: count-vector tree nodes, DP states, allowable combinations,
+    /// brute-force subsets, Monte-Carlo samples.
+    uint64_t node_budget = 0;
   };
 
   /// Builds a system over `collection`.

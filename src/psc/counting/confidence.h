@@ -5,6 +5,7 @@
 
 #include "psc/counting/identity_instance.h"
 #include "psc/counting/model_counter.h"
+#include "psc/limits/budget.h"
 #include "psc/util/bigint.h"
 #include "psc/util/result.h"
 
@@ -45,9 +46,11 @@ struct ConfidenceTable {
 ///
 /// With a multi-worker `pool` the underlying count is sharded across
 /// workers; the resulting table is bit-identical for any worker count.
+/// A tripped cooperative `budget` fails with `budget.ToStatus()`.
 Result<ConfidenceTable> ComputeBaseFactConfidences(
     const IdentityInstance& instance,
-    uint64_t max_shapes = uint64_t{1} << 26, exec::ThreadPool* pool = nullptr);
+    uint64_t max_shapes = uint64_t{1} << 26, exec::ThreadPool* pool = nullptr,
+    const limits::Budget& budget = limits::Budget());
 
 }  // namespace psc
 

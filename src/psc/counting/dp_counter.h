@@ -41,8 +41,14 @@ class DpCounter {
   /// independent; with a multi-worker `pool` they run concurrently, each
   /// with its own `BinomialTable`, and the per-pass results land in fixed
   /// slots — the outcome is bit-identical for any worker count.
+  /// A tripped cooperative `budget` (deadline / node budget, one node
+  /// charged per expanded DP state; the advisory memory budget is charged
+  /// with the live state-map footprint) fails with `budget.ToStatus()`
+  /// and cancels passes still queued on the pool.
   Result<CountingOutcome> Count(uint64_t max_states = uint64_t{1} << 22,
-                                exec::ThreadPool* pool = nullptr);
+                                exec::ThreadPool* pool = nullptr,
+                                const limits::Budget& budget =
+                                    limits::Budget());
 
  private:
   const IdentityInstance* instance_;

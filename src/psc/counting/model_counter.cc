@@ -48,11 +48,13 @@ class ShapeEnumerator {
   ShapeEnumerator(const IdentityInstance& instance, BinomialTable& binomials,
                   const std::vector<std::vector<int64_t>>& suffix_max,
                   uint64_t max_shapes,
-                  std::atomic<uint64_t>* shared_visited = nullptr)
+                  std::atomic<uint64_t>* shared_visited = nullptr,
+                  limits::Budget budget = limits::Budget())
       : instance_(instance),
         binomials_(binomials),
         max_shapes_(max_shapes),
-        shared_visited_(shared_visited) {
+        shared_visited_(shared_visited),
+        budget_(std::move(budget)) {
     const size_t depths = instance_.groups().size() + 1;
     active_.resize(depths);
     for (size_t g = 0; g < depths; ++g) {
@@ -103,6 +105,10 @@ class ShapeEnumerator {
 
  private:
   Result<bool> Recurse(size_t g, const BigInt& weight) {
+    // Cooperative limits: one budget node per DFS tree node. Workers of a
+    // sharded count share the budget, so the first shard to trip it stops
+    // every other shard at its next node.
+    if (!budget_.Charge()) return budget_.ToStatus();
     // Soundness pruning: some source can no longer reach its minimum.
     for (const auto& [i, need] : active_[g]) {
       if (partial_in_extension_[i] < need) return true;
@@ -151,9 +157,11 @@ class ShapeEnumerator {
   const IdentityInstance& instance_;
   BinomialTable& binomials_;
   const uint64_t max_shapes_;
-  /// Budget counter shared across parallel shards (the sequential path
+  /// Shape-count cap shared across parallel shards (the sequential path
   /// uses the local `visited_`).
   std::atomic<uint64_t>* shared_visited_;
+  /// Cooperative deadline / work budget (shared state across copies).
+  limits::Budget budget_;
   /// active_[g]: (source, need) pairs that can actually prune at depth g.
   std::vector<std::vector<std::pair<size_t, int64_t>>> active_;
   const std::function<bool(const std::vector<int64_t>&, const BigInt&)>*
@@ -176,7 +184,8 @@ struct CountShard {
 }  // namespace
 
 Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes,
-                                                exec::ThreadPool* pool) {
+                                                exec::ThreadPool* pool,
+                                                const limits::Budget& budget) {
   PSC_OBS_SPAN("counting.count");
   CountingOutcome outcome;
   const auto& groups = instance_->groups();
@@ -187,7 +196,7 @@ Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes,
       pool != nullptr && pool->size() > 1 && !groups.empty();
   if (!parallel) {
     ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_,
-                               max_shapes);
+                               max_shapes, nullptr, budget);
     PSC_RETURN_NOT_OK(
         enumerator
             .Run([&](const std::vector<int64_t>& counts,
@@ -213,6 +222,12 @@ Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes,
     for (const auto& group : groups) binomials_->Warm(group.size);
     const size_t shards = static_cast<size_t>(groups[0].size) + 1;
     std::atomic<uint64_t> shared_visited{0};
+    // A tripped budget cancels shards still queued on the pool; shards
+    // skipped this way merge as empty-and-error-free, which is safe
+    // because the shard that tripped the budget always carries the error.
+    const limits::CancelToken cancel_token = budget.token();
+    const limits::CancelToken* cancel =
+        budget.active() ? &cancel_token : nullptr;
     CountShard merged;
     merged.marked_sums.resize(groups.size());
     merged = exec::ParallelReduce<CountShard>(
@@ -221,7 +236,7 @@ Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes,
           CountShard shard;
           shard.marked_sums.resize(groups.size());
           ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_,
-                                     max_shapes, &shared_visited);
+                                     max_shapes, &shared_visited, budget);
           auto run = enumerator.RunWithFirstGroup(
               static_cast<int64_t>(k),
               [&](const std::vector<int64_t>& counts, const BigInt& weight) {
@@ -251,8 +266,14 @@ Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes,
           }
           acc.feasible_shapes += part.feasible_shapes;
           acc.visited_shapes += part.visited_shapes;
-        });
+        },
+        cancel);
     PSC_RETURN_NOT_OK(merged.error);
+    // All-shards-skipped corner (e.g. an external Cancel before any shard
+    // ran): no shard recorded an error, but the count is not complete.
+    if (budget.reason() != limits::StopReason::kNone) {
+      return budget.ToStatus();
+    }
     outcome.world_count = std::move(merged.world_count);
     marked_sums = std::move(merged.marked_sums);
     outcome.feasible_shapes = merged.feasible_shapes;
@@ -272,9 +293,10 @@ Result<CountingOutcome> SignatureCounter::Count(uint64_t max_shapes,
 }
 
 Result<std::vector<WorldShape>> SignatureCounter::FeasibleShapes(
-    uint64_t max_shapes) {
+    uint64_t max_shapes, const limits::Budget& budget) {
   std::vector<WorldShape> shapes;
-  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes);
+  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes,
+                             nullptr, budget);
   PSC_RETURN_NOT_OK(
       enumerator
           .Run([&](const std::vector<int64_t>& counts, const BigInt& weight) {
@@ -286,9 +308,10 @@ Result<std::vector<WorldShape>> SignatureCounter::FeasibleShapes(
 }
 
 Result<std::optional<WorldShape>> SignatureCounter::FirstFeasibleShape(
-    uint64_t max_shapes, uint64_t* visited) {
+    uint64_t max_shapes, uint64_t* visited, const limits::Budget& budget) {
   std::optional<WorldShape> first;
-  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes);
+  ShapeEnumerator enumerator(*instance_, *binomials_, suffix_max_, max_shapes,
+                             nullptr, budget);
   PSC_RETURN_NOT_OK(
       enumerator
           .Run([&](const std::vector<int64_t>& counts, const BigInt& weight) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "psc/counting/identity_instance.h"
+#include "psc/limits/budget.h"
 #include "psc/util/bigint.h"
 #include "psc/util/combinatorics.h"
 #include "psc/util/result.h"
@@ -57,25 +58,33 @@ class SignatureCounter {
 
   /// \brief Counts all worlds and per-group containment counts.
   ///
-  /// Fails with ResourceExhausted after visiting `max_shapes` count vectors.
+  /// Fails with ResourceExhausted after visiting `max_shapes` count
+  /// vectors, and with `budget.ToStatus()` (DeadlineExceeded /
+  /// ResourceExhausted) when the cooperative budget trips — the DFS
+  /// charges one budget node per count-vector tree node, on every worker.
   ///
   /// With a multi-worker `pool` the count-vector DFS is sharded on the
   /// first group's count value; the shared `BinomialTable` is pre-warmed
   /// so shards only read it, and per-shard BigInt accumulators are merged
   /// in shard order, so the outcome is bit-identical to the sequential
-  /// run for any worker count.
+  /// run for any worker count. A tripped budget also cancels shards still
+  /// queued on the pool.
   Result<CountingOutcome> Count(uint64_t max_shapes = uint64_t{1} << 26,
-                                exec::ThreadPool* pool = nullptr);
+                                exec::ThreadPool* pool = nullptr,
+                                const limits::Budget& budget =
+                                    limits::Budget());
 
   /// \brief Enumerates the feasible shapes themselves (for world sampling
   /// and world enumeration). Fails if more than `max_shapes` are feasible.
   Result<std::vector<WorldShape>> FeasibleShapes(
-      uint64_t max_shapes = uint64_t{1} << 22);
+      uint64_t max_shapes = uint64_t{1} << 22,
+      const limits::Budget& budget = limits::Budget());
 
   /// \brief Stops at the first feasible shape — a constructive consistency
   /// check. nullopt when poss(S) is empty over the instance's universe.
   Result<std::optional<WorldShape>> FirstFeasibleShape(
-      uint64_t max_shapes = uint64_t{1} << 26, uint64_t* visited = nullptr);
+      uint64_t max_shapes = uint64_t{1} << 26, uint64_t* visited = nullptr,
+      const limits::Budget& budget = limits::Budget());
 
  private:
   /// suffix_max_[i][g] = max tuples sources i can still gain from groups ≥ g.

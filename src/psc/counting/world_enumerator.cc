@@ -9,11 +9,11 @@ namespace psc {
 
 Result<bool> IdentityWorldEnumerator::ForEachWorld(
     const std::function<bool(const Database&)>& fn, uint64_t max_worlds,
-    uint64_t max_shapes) const {
+    uint64_t max_shapes, const limits::Budget& budget) const {
   BinomialTable binomials;
   SignatureCounter counter(instance_, &binomials);
   PSC_ASSIGN_OR_RETURN(const std::vector<WorldShape> shapes,
-                       counter.FeasibleShapes(max_shapes));
+                       counter.FeasibleShapes(max_shapes, budget));
 
   const auto& groups = instance_->groups();
   uint64_t produced = 0;
@@ -32,6 +32,7 @@ Result<bool> IdentityWorldEnumerator::ForEachWorld(
         return Status::ResourceExhausted(
             StrCat("world enumeration exceeded ", max_worlds, " worlds"));
       }
+      if (!budget.Charge()) return budget.ToStatus();
       PSC_OBS_COUNTER_INC("counting.worlds_enumerated");
       Database world;
       for (size_t g = 0; g < groups.size(); ++g) {

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "psc/counting/identity_instance.h"
+#include "psc/limits/budget.h"
 #include "psc/relational/database.h"
 #include "psc/util/result.h"
 
@@ -25,10 +26,13 @@ class IdentityWorldEnumerator {
   /// \brief Calls `fn` for every world D ∈ poss(S) over the instance's
   /// universe; `fn` returns false to stop early. Result is false iff
   /// stopped early. Fails with ResourceExhausted past `max_worlds` worlds
-  /// or `max_shapes` shapes.
+  /// or `max_shapes` shapes, and with `budget.ToStatus()` when the
+  /// cooperative budget trips (one node charged per world produced).
   Result<bool> ForEachWorld(const std::function<bool(const Database&)>& fn,
                             uint64_t max_worlds = uint64_t{1} << 22,
-                            uint64_t max_shapes = uint64_t{1} << 22) const;
+                            uint64_t max_shapes = uint64_t{1} << 22,
+                            const limits::Budget& budget =
+                                limits::Budget()) const;
 
  private:
   const IdentityInstance* instance_;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <mutex>
 
+#include "psc/obs/metrics.h"
+
 namespace psc {
 namespace exec {
 
@@ -32,16 +34,32 @@ struct Latch {
 }  // namespace
 
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& body) {
+                 const std::function<void(size_t)>& body,
+                 const limits::CancelToken* cancel) {
   if (n == 0) return;
   if (pool == nullptr || pool->size() <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) body(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        PSC_OBS_COUNTER_ADD("exec.shards_cancelled", n - i);
+        return;
+      }
+      body(i);
+    }
     return;
   }
   const auto latch = std::make_shared<Latch>(n);
+  // The token is copied into the closure (copies share state) so the
+  // caller's `cancel` pointer need not outlive late-running shards.
+  const limits::CancelToken token =
+      cancel != nullptr ? *cancel : limits::CancelToken();
+  const bool cancellable = cancel != nullptr;
   for (size_t i = 0; i < n; ++i) {
-    pool->Submit([&body, latch, i] {
-      body(i);
+    pool->Submit([&body, latch, token, cancellable, i] {
+      if (cancellable && token.cancelled()) {
+        PSC_OBS_COUNTER_INC("exec.shards_cancelled");
+      } else {
+        body(i);
+      }
       latch->CountDown();
     });
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "psc/exec/thread_pool.h"
+#include "psc/limits/budget.h"
 
 namespace psc {
 namespace exec {
@@ -32,8 +33,18 @@ namespace exec {
 /// Blocks until all invocations returned. `body` must be safe to call
 /// concurrently from different workers for different indices. With a null
 /// or single-worker pool the loop runs inline, in index order.
+///
+/// When `cancel` is non-null, workers observe the token **between
+/// shards**: an index whose turn comes after the token was cancelled is
+/// skipped entirely (its `body` is never entered), so a tripped deadline
+/// cancels queued work instead of draining it. In-flight bodies are never
+/// interrupted — cancellation inside a shard stays the shard's own
+/// (cooperative) responsibility. Skipped indices leave whatever state the
+/// caller preallocated untouched; callers that merge partial results must
+/// make "never ran" distinguishable or benign.
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& body);
+                 const std::function<void(size_t)>& body,
+                 const limits::CancelToken* cancel = nullptr);
 
 /// \brief Shard-and-merge reduction with a deterministic merge order.
 ///
@@ -41,18 +52,27 @@ void ParallelFor(ThreadPool* pool, size_t n,
 /// folds partials into `acc` strictly in shard order 0,1,…,n−1 on the
 /// calling thread. The result therefore equals the sequential fold for
 /// any pool size.
+///
+/// With a non-null `cancel`, shards queued behind a cancellation are
+/// skipped and contribute a value-initialized `T` to the merge (see
+/// ParallelFor); a shard that observed the trip from the inside should
+/// carry that fact in its `T` so the merged result is not silently
+/// partial.
 template <typename T, typename ShardFn, typename MergeFn>
 T ParallelReduce(ThreadPool* pool, size_t n, T init, const ShardFn& shard,
-                 const MergeFn& merge) {
+                 const MergeFn& merge,
+                 const limits::CancelToken* cancel = nullptr) {
   if (pool == nullptr || pool->size() <= 1 || n <= 1) {
     T acc = std::move(init);
     for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) break;
       merge(acc, shard(i));
     }
     return acc;
   }
   std::vector<T> parts(n);
-  ParallelFor(pool, n, [&](size_t i) { parts[i] = shard(i); });
+  ParallelFor(
+      pool, n, [&](size_t i) { parts[i] = shard(i); }, cancel);
   T acc = std::move(init);
   for (size_t i = 0; i < n; ++i) {
     merge(acc, std::move(parts[i]));

@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <string>
 
+#include "psc/obs/log.h"
 #include "psc/obs/metrics.h"
+#include "psc/util/string_util.h"
 
 namespace psc {
 namespace exec {
@@ -33,18 +36,26 @@ size_t HardwareThreads() {
 size_t ResolveThreadCount(size_t requested) {
   if (requested > 0) return requested;
   const char* env = std::getenv("PSC_THREADS");
-  if (env != nullptr && env[0] != '\0' && env[0] != '-') {
+  if (env == nullptr || env[0] == '\0') return HardwareThreads();
+  constexpr unsigned long long kMaxThreads = 1024;
+  if (env[0] != '-') {
     char* end = nullptr;
     const unsigned long long parsed = std::strtoull(env, &end, 10);
     // Bounded: "-1" (rejected above) or an absurd count would otherwise
     // wrap into a request for ~2^64 workers. Out-of-range values fall
     // back to the hardware count like any other unparsable setting.
-    constexpr unsigned long long kMaxThreads = 1024;
     if (end != nullptr && *end == '\0' && parsed > 0 &&
         parsed <= kMaxThreads) {
       return static_cast<size_t>(parsed);
     }
   }
+  // The fallback used to be silent, which made typos ("0", "-1", "abc",
+  // "1025") indistinguishable from a deliberate auto setting. Warn once
+  // per distinct junk value so repeated pool construction stays quiet.
+  obs::LogWarningOnce(
+      StrCat("ignoring invalid PSC_THREADS value '", env,
+             "' (expected an integer in [1, ", kMaxThreads,
+             "]); using hardware concurrency ", HardwareThreads()));
   return HardwareThreads();
 }
 

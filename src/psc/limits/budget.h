@@ -1,0 +1,154 @@
+#ifndef PSC_LIMITS_BUDGET_H_
+#define PSC_LIMITS_BUDGET_H_
+
+/// \file
+/// Unified resource limits for the solver stack.
+///
+/// Every solver in this library (consistency search, template enumeration,
+/// the Section 5.1 counters, Monte-Carlo answering) is worst-case
+/// exponential — Theorem 3.2 proves CONSISTENCY NP-complete — so a serving
+/// deployment must be able to bound latency and degrade gracefully. A
+/// `Budget` packages the three limits every hot path understands:
+///
+///  * a **wall-clock deadline** (steady_clock; immune to NTP jumps),
+///  * an **explored-node budget** (combinations, count vectors, worlds,
+///    samples — whatever "one unit of search work" means locally),
+///  * an optional advisory **memory budget** checked by solvers that can
+///    attribute their allocations (the DP counter's state maps).
+///
+/// plus a shared `CancelToken` so an external caller (RPC teardown, a
+/// user's ^C) can revoke in-flight work.
+///
+/// Copies of a `Budget` share state: hand the same budget to every worker
+/// thread and the first observer of an exceeded limit trips it for all of
+/// them. A default-constructed budget is *unlimited* and its checks are a
+/// single null test — solvers therefore thread budgets unconditionally and
+/// pay nothing when no limit was configured, keeping limit-free runs
+/// bit-identical to historical behaviour.
+///
+/// Cooperative protocol: hot loops call `Charge(n)` per unit of work and
+/// unwind (returning `ToStatus()`, or a structured partial result where
+/// one exists) as soon as it returns false. Coarse-grained loops whose
+/// units are expensive call `Expired()` — an unconditional clock poll —
+/// between units. Nothing is ever killed mid-flight.
+///
+/// Observability: tripping increments `limits.deadline_hits` /
+/// `limits.budget_hits` / `limits.cancellations`, and every thread that
+/// subsequently observes the trip records how stale its view was into the
+/// `limits.cancel_latency_us` histogram.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "psc/util/status.h"
+
+namespace psc {
+namespace limits {
+
+/// \brief Shared sticky cancellation flag.
+///
+/// Copies observe the same underlying state; `Cancel()` is sticky and
+/// thread-safe. Workers poll `cancelled()` — one relaxed atomic load —
+/// between units of work.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { state_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return state_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// \brief Why a budget stopped admitting work.
+enum class StopReason {
+  kNone = 0,
+  kDeadline,
+  kNodeBudget,
+  kMemoryBudget,
+  kCancelled,
+};
+
+const char* StopReasonToString(StopReason reason);
+
+/// \brief Limit configuration; zero always means "unlimited".
+struct BudgetOptions {
+  /// Wall-clock deadline in milliseconds from budget construction.
+  int64_t deadline_ms = 0;
+  /// Maximum units of search work (`Charge` calls, weighted).
+  uint64_t node_budget = 0;
+  /// Advisory memory ceiling for solvers that report via `ChargeMemory`.
+  uint64_t memory_budget_bytes = 0;
+};
+
+/// \brief Shared deadline / work-budget context. Cheap to copy (one
+/// shared_ptr); copies share the node counter, the trip state and the
+/// cancel token. See the file comment for the protocol.
+class Budget {
+ public:
+  /// Unlimited budget: every check passes, at the cost of one null test.
+  Budget() = default;
+
+  explicit Budget(const BudgetOptions& options);
+
+  static Budget Unlimited() { return Budget(); }
+  static Budget WithDeadline(int64_t deadline_ms);
+  static Budget WithNodeBudget(uint64_t nodes);
+
+  /// True when any limit (or a cancel token) is attached.
+  bool active() const { return state_ != nullptr; }
+
+  /// \brief Charges `n` units of work; returns true while within budget.
+  ///
+  /// The node counter is exact; the wall clock is polled every
+  /// `kDeadlineStride` charged units (and on every call with n >=
+  /// kDeadlineStride), so deadline detection lags at most one stride of
+  /// cheap work. Thread-safe; the first failing observer trips the shared
+  /// state and cancels the token.
+  bool Charge(uint64_t n = 1) const;
+
+  /// \brief Polls every limit, including an unconditional clock read,
+  /// without charging work. For coarse loops with expensive units.
+  bool Expired() const;
+
+  /// Advisory memory accounting; trips kMemoryBudget when the running
+  /// total exceeds the configured ceiling. `Release` undoes a charge.
+  bool ChargeMemory(uint64_t bytes) const;
+  void ReleaseMemory(uint64_t bytes) const;
+
+  /// Revokes all work sharing this budget (sticky).
+  void Cancel() const;
+
+  /// The shared token; observed by `exec::ParallelFor` between shards.
+  /// Cancelling the token trips the budget at its next check and vice
+  /// versa. Null-state (unlimited) budgets return a token that is never
+  /// cancelled by the budget, but `Cancel()` on a *copy* of it still
+  /// propagates to other copies of that same token.
+  CancelToken token() const;
+
+  /// Why the budget tripped (kNone while within limits).
+  StopReason reason() const;
+
+  /// Units charged so far.
+  uint64_t nodes_charged() const;
+
+  /// OK while within limits; otherwise `DeadlineExceeded` (deadline or
+  /// cancellation) or `ResourceExhausted` (node / memory budget) with a
+  /// message naming the bound reached.
+  Status ToStatus() const;
+
+  /// Wall-clock poll stride for `Charge`, in charged units.
+  static constexpr uint64_t kDeadlineStride = 64;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace limits
+}  // namespace psc
+
+#endif  // PSC_LIMITS_BUDGET_H_

@@ -1,0 +1,58 @@
+#include "psc/obs/log.h"
+
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "psc/obs/metrics.h"
+
+namespace psc {
+namespace obs {
+
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+WarningSink& CurrentSink() {
+  static WarningSink sink;
+  return sink;
+}
+
+}  // namespace
+
+void SetWarningSink(WarningSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  CurrentSink() = std::move(sink);
+}
+
+void LogWarning(const std::string& message) {
+  PSC_OBS_COUNTER_INC("obs.warnings");
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const WarningSink& sink = CurrentSink();
+  if (sink) {
+    sink(message);
+  } else {
+    std::fprintf(stderr, "psc warning: %s\n", message.c_str());
+  }
+}
+
+void LogWarningOnce(const std::string& message) {
+  {
+    static std::mutex seen_mutex;
+    static std::set<std::string> seen;
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    if (!seen.insert(message).second) return;
+  }
+  LogWarning(message);
+}
+
+uint64_t WarningCount() {
+  return GlobalMetrics().CounterValue("obs.warnings");
+}
+
+}  // namespace obs
+}  // namespace psc

@@ -1,0 +1,42 @@
+#ifndef PSC_OBS_LOG_H_
+#define PSC_OBS_LOG_H_
+
+/// \file
+/// Minimal structured warning log for the solver stack.
+///
+/// The library is exception-free and mostly Status-based, but some
+/// conditions deserve a diagnostic without failing the operation — a junk
+/// `PSC_THREADS` value silently falling back to hardware concurrency, a
+/// best-effort check being skipped. `LogWarning` routes those through one
+/// place so they are countable (the `obs.warnings` counter), capturable in
+/// tests (`SetWarningSink`) and deduplicatable (`LogWarningOnce` emits each
+/// distinct message at most once per process).
+
+#include <functional>
+#include <string>
+
+namespace psc {
+namespace obs {
+
+/// Sink invoked for every warning; the default writes
+/// "psc warning: <message>\n" to stderr. Passing nullptr restores the
+/// default. Not thread-safe against concurrent warnings — install sinks at
+/// test setup, before solver threads run.
+using WarningSink = std::function<void(const std::string&)>;
+void SetWarningSink(WarningSink sink);
+
+/// Emits `message` through the current sink and increments the
+/// `obs.warnings` counter. Thread-safe.
+void LogWarning(const std::string& message);
+
+/// Like `LogWarning`, but each distinct message text is emitted at most
+/// once per process (later duplicates are dropped silently). Thread-safe.
+void LogWarningOnce(const std::string& message);
+
+/// Number of warnings emitted so far (deduplicated ones excluded).
+uint64_t WarningCount();
+
+}  // namespace obs
+}  // namespace psc
+
+#endif  // PSC_OBS_LOG_H_

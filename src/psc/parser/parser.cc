@@ -1,5 +1,7 @@
 #include "psc/parser/parser.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <vector>
 
 #include "psc/parser/lexer.h"
@@ -282,6 +284,27 @@ Result<SourceDescriptor> ParseSource(const std::string& text) {
 Result<SourceCollection> ParseCollection(const std::string& text) {
   PSC_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
   return parser.ParseCollection();
+}
+
+std::vector<Value> ParseDomainList(const std::string& text) {
+  std::vector<Value> domain;
+  for (const std::string& raw : Split(text, ',')) {
+    const std::string token = Trim(raw);
+    if (token.empty()) continue;
+    char* end = nullptr;
+    errno = 0;
+    const long long as_int = std::strtoll(token.c_str(), &end, 10);
+    // Out-of-range tokens saturate with errno = ERANGE while still
+    // consuming every character; they must fall through to the string
+    // branch instead of silently becoming INT64_MAX / INT64_MIN.
+    if (errno != ERANGE && end != nullptr && *end == '\0' &&
+        end != token.c_str()) {
+      domain.push_back(Value(static_cast<int64_t>(as_int)));
+    } else {
+      domain.push_back(Value(token));
+    }
+  }
+  return domain;
 }
 
 }  // namespace psc

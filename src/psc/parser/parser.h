@@ -2,6 +2,7 @@
 #define PSC_PARSER_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "psc/relational/atom.h"
 #include "psc/relational/conjunctive_query.h"
@@ -62,6 +63,12 @@ Result<SourceDescriptor> ParseSource(const std::string& text);
 
 /// Parses a whole collection: a sequence of `source` blocks.
 Result<SourceCollection> ParseCollection(const std::string& text);
+
+/// Parses a comma-separated domain list ("1, 2, x") into Values: tokens
+/// that read as int64 integers become integer values, everything else —
+/// including integers too large for int64, which strtoll would silently
+/// saturate — becomes a string value. Empty tokens are dropped.
+std::vector<Value> ParseDomainList(const std::string& text);
 
 }  // namespace psc
 

@@ -189,8 +189,13 @@ Result<bool> TemplateBuilder::ForEachAllowableCombination(
   // space), largest first: the full extension uᵢ = vᵢ is the most likely
   // consistency witness, so callers that stop early see it immediately.
   Combination combination(n);
+  bool budget_tripped = false;
   std::function<bool(size_t)> recurse = [&](size_t i) -> bool {
     if (i == n) {
+      if (!budget_.Charge()) {
+        budget_tripped = true;
+        return false;
+      }
       PSC_OBS_COUNTER_INC("tableau.combinations_enumerated");
       return fn(combination);
     }
@@ -210,7 +215,9 @@ Result<bool> TemplateBuilder::ForEachAllowableCombination(
     }
     return true;
   };
-  return recurse(0);
+  const bool completed = recurse(0);
+  if (budget_tripped) return budget_.ToStatus();
+  return completed;
 }
 
 BigInt TemplateBuilder::CountAllowableCombinations() const {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "psc/limits/budget.h"
 #include "psc/source/source_collection.h"
 #include "psc/tableau/database_template.h"
 #include "psc/util/bigint.h"
@@ -62,8 +63,17 @@ class TemplateBuilder {
   /// 𝒰 = { (u₁,…,uₙ) : uᵢ ⊆ vᵢ, |uᵢ| ≥ ⌈sᵢ|vᵢ|⌉ }.
   /// `fn` returns false to stop; result is false iff stopped early.
   /// Exponential in Σ|vᵢ| — this is the Theorem 4.1 union, not a fast path.
+  /// A tripped builder budget (see SetBudget) fails the enumeration with
+  /// `budget.ToStatus()`; one node is charged per combination produced.
   Result<bool> ForEachAllowableCombination(
       const std::function<bool(const Combination&)>& fn) const;
+
+  /// \brief Installs a cooperative deadline / node budget observed by
+  /// ForEachAllowableCombination (and through it FamilyContains). Callers
+  /// that meter combinations themselves — e.g. the consistency search's
+  /// own callbacks — should leave the builder budget unset to avoid
+  /// charging each combination twice.
+  void SetBudget(limits::Budget budget) { budget_ = std::move(budget); }
 
   /// |𝒰| = ∏ᵢ Σ_{j ≥ tᵢ} C(kᵢ, j).
   BigInt CountAllowableCombinations() const;
@@ -74,6 +84,7 @@ class TemplateBuilder {
 
  private:
   const SourceCollection* collection_;
+  limits::Budget budget_;
 };
 
 }  // namespace psc

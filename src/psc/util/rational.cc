@@ -12,9 +12,13 @@ namespace {
 using Int128 = __int128;
 
 int64_t Gcd(int64_t a, int64_t b) {
-  if (a < 0) a = -a;
-  if (b < 0) b = -b;
-  return std::gcd(a, b);
+  // Magnitudes via unsigned arithmetic: `-a` on INT64_MIN is signed
+  // overflow (UB), while 0 - uint64(a) is well defined and exact.
+  const uint64_t ua =
+      a < 0 ? uint64_t{0} - static_cast<uint64_t>(a) : static_cast<uint64_t>(a);
+  const uint64_t ub =
+      b < 0 ? uint64_t{0} - static_cast<uint64_t>(b) : static_cast<uint64_t>(b);
+  return static_cast<int64_t>(std::gcd(ua, ub));
 }
 
 Rational MakeFromInt128(Int128 num, Int128 den) {
@@ -45,6 +49,10 @@ Rational MakeFromInt128(Int128 num, Int128 den) {
 Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
   PSC_CHECK_MSG(den_ != 0, "Rational: zero denominator");
   if (den_ < 0) {
+    // Negating INT64_MIN is signed overflow; abort deterministically
+    // instead of relying on UB.
+    PSC_CHECK_MSG(num_ != INT64_MIN && den_ != INT64_MIN,
+                  "Rational: INT64_MIN cannot be sign-normalized");
     num_ = -num_;
     den_ = -den_;
   }
@@ -103,9 +111,18 @@ Result<Rational> Rational::Parse(const std::string& text) {
     int64_t scale = 1;
     for (size_t i = 0; i < frac_part.size(); ++i) scale *= 10;
     const bool negative = !text.empty() && text[0] == '-';
-    int64_t num = (whole < 0 ? -whole : whole) * scale + frac;
-    if (negative) num = -num;
-    return Rational(num, scale);
+    // whole*scale + frac can exceed int64 even though each part parsed
+    // (e.g. "9223372036854775807.5"); build the numerator in 128 bits and
+    // range-check instead of silently wrapping. 128-bit arithmetic cannot
+    // overflow here: |whole| < 2^63 and scale <= 10^18.
+    const Int128 magnitude =
+        (whole < 0 ? -Int128(whole) : Int128(whole)) * scale + frac;
+    const Int128 num = negative ? -magnitude : magnitude;
+    if (num > INT64_MAX || num < INT64_MIN) {
+      return Status::ParseError("decimal literal overflows int64: '" + text +
+                                "'");
+    }
+    return Rational(static_cast<int64_t>(num), scale);
   }
 
   int64_t value = 0;

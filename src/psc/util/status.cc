@@ -25,6 +25,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Parse error";
     case StatusCode::kInconsistent:
       return "Inconsistent";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kParseError,
   kInconsistent,
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument").
@@ -71,6 +72,9 @@ class Status {
   }
   static Status Inconsistent(std::string msg) {
     return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// \brief True iff the status is OK.

@@ -9,6 +9,7 @@
 #include "gtest/gtest.h"
 #include "psc/exec/memo_cache.h"
 #include "psc/exec/parallel.h"
+#include "psc/obs/log.h"
 
 namespace psc {
 namespace {
@@ -120,6 +121,49 @@ TEST(ResolveThreadCountTest, InvalidEnvironmentFallsBackToHardware) {
   EXPECT_EQ(exec::ResolveThreadCount(0), exec::HardwareThreads());
   unsetenv("PSC_THREADS");
   EXPECT_GE(exec::HardwareThreads(), 1u);
+}
+
+TEST(ResolveThreadCountTest, EdgeValuesFallBackToHardware) {
+  // Boundary cases around the [1, 1024] accepted range.
+  setenv("PSC_THREADS", "1024", /*overwrite=*/1);
+  EXPECT_EQ(exec::ResolveThreadCount(0), 1024u);
+  setenv("PSC_THREADS", "1025", /*overwrite=*/1);
+  EXPECT_EQ(exec::ResolveThreadCount(0), exec::HardwareThreads());
+  setenv("PSC_THREADS", "-1", /*overwrite=*/1);
+  EXPECT_EQ(exec::ResolveThreadCount(0), exec::HardwareThreads());
+  setenv("PSC_THREADS", "18446744073709551617", /*overwrite=*/1);
+  EXPECT_EQ(exec::ResolveThreadCount(0), exec::HardwareThreads());
+  unsetenv("PSC_THREADS");
+}
+
+TEST(ResolveThreadCountTest, JunkEnvironmentWarnsOncePerValue) {
+  std::vector<std::string> warnings;
+  obs::SetWarningSink(
+      [&warnings](const std::string& message) { warnings.push_back(message); });
+
+  setenv("PSC_THREADS", "bogus-threads", /*overwrite=*/1);
+  EXPECT_EQ(exec::ResolveThreadCount(0), exec::HardwareThreads());
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("bogus-threads"), std::string::npos);
+  EXPECT_NE(warnings[0].find("PSC_THREADS"), std::string::npos);
+
+  // The same junk value warns only once per process...
+  EXPECT_EQ(exec::ResolveThreadCount(0), exec::HardwareThreads());
+  EXPECT_EQ(warnings.size(), 1u);
+
+  // ...but a different junk value gets its own warning.
+  setenv("PSC_THREADS", "-12", /*overwrite=*/1);
+  EXPECT_EQ(exec::ResolveThreadCount(0), exec::HardwareThreads());
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_NE(warnings[1].find("-12"), std::string::npos);
+
+  // A valid setting stays silent.
+  setenv("PSC_THREADS", "2", /*overwrite=*/1);
+  EXPECT_EQ(exec::ResolveThreadCount(0), 2u);
+  EXPECT_EQ(warnings.size(), 2u);
+
+  unsetenv("PSC_THREADS");
+  obs::SetWarningSink(nullptr);
 }
 
 TEST(ShardedMemoCacheTest, LookupAfterInsert) {

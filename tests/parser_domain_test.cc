@@ -1,0 +1,70 @@
+// Tests for ParseDomainList, the parser behind the CLI's --domain flag.
+// The regression of note: out-of-range integer tokens used to saturate to
+// INT64_MAX / INT64_MIN via strtoll instead of falling back to strings.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "psc/parser/parser.h"
+#include "psc/relational/value.h"
+
+namespace psc {
+namespace {
+
+TEST(ParseDomainListTest, MixedIntegersAndStrings) {
+  const std::vector<Value> domain = ParseDomainList("1,2,abc");
+  ASSERT_EQ(domain.size(), 3u);
+  EXPECT_EQ(domain[0], Value(int64_t{1}));
+  EXPECT_EQ(domain[1], Value(int64_t{2}));
+  EXPECT_EQ(domain[2], Value("abc"));
+}
+
+TEST(ParseDomainListTest, WhitespaceIsTrimmedAndEmptyTokensDropped) {
+  const std::vector<Value> domain = ParseDomainList(" 1 , , x ,,2 ");
+  ASSERT_EQ(domain.size(), 3u);
+  EXPECT_EQ(domain[0], Value(int64_t{1}));
+  EXPECT_EQ(domain[1], Value("x"));
+  EXPECT_EQ(domain[2], Value(int64_t{2}));
+}
+
+TEST(ParseDomainListTest, NegativeIntegers) {
+  const std::vector<Value> domain = ParseDomainList("-7,-0");
+  ASSERT_EQ(domain.size(), 2u);
+  EXPECT_EQ(domain[0], Value(int64_t{-7}));
+  EXPECT_EQ(domain[1], Value(int64_t{0}));
+}
+
+TEST(ParseDomainListTest, Int64BoundsStillParseAsIntegers) {
+  const std::vector<Value> domain =
+      ParseDomainList("9223372036854775807,-9223372036854775808");
+  ASSERT_EQ(domain.size(), 2u);
+  EXPECT_EQ(domain[0], Value(int64_t{INT64_MAX}));
+  EXPECT_EQ(domain[1], Value(int64_t{INT64_MIN}));
+}
+
+TEST(ParseDomainListTest, OutOfRangeIntegersBecomeStrings) {
+  // strtoll saturates these with errno = ERANGE; they must stay strings,
+  // not silently collapse to INT64_MAX / INT64_MIN.
+  const std::vector<Value> domain =
+      ParseDomainList("99999999999999999999,-99999999999999999999");
+  ASSERT_EQ(domain.size(), 2u);
+  EXPECT_EQ(domain[0], Value("99999999999999999999"));
+  EXPECT_EQ(domain[1], Value("-99999999999999999999"));
+}
+
+TEST(ParseDomainListTest, PartialNumbersAreStrings) {
+  const std::vector<Value> domain = ParseDomainList("12ab,0x10,1.5");
+  ASSERT_EQ(domain.size(), 3u);
+  EXPECT_EQ(domain[0], Value("12ab"));
+  EXPECT_EQ(domain[1], Value("0x10"));
+  EXPECT_EQ(domain[2], Value("1.5"));
+}
+
+TEST(ParseDomainListTest, EmptyInputYieldsEmptyDomain) {
+  EXPECT_TRUE(ParseDomainList("").empty());
+  EXPECT_TRUE(ParseDomainList(" , ,").empty());
+}
+
+}  // namespace
+}  // namespace psc

@@ -58,6 +58,39 @@ TEST(RationalTest, ParseRejectsGarbage) {
   EXPECT_FALSE(Rational::Parse("1.2.3").ok());
 }
 
+TEST(RationalTest, ParseRejectsOverflowingDecimals) {
+  // whole*scale + frac exceeds int64 even though both parts parse on
+  // their own; this used to wrap silently instead of erroring.
+  EXPECT_FALSE(Rational::Parse("9223372036854775807.5").ok());
+  EXPECT_FALSE(Rational::Parse("-9223372036854775807.5").ok());
+  EXPECT_FALSE(Rational::Parse("10000000000.999999999").ok());
+  // More than 18 fractional digits is still rejected outright.
+  EXPECT_FALSE(Rational::Parse("0.1234567890123456789").ok());
+}
+
+TEST(RationalTest, ParseLargeDecimalsWithinRange) {
+  auto big = Rational::Parse("922337203685477580.7");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*big, Rational(INT64_MAX, 10));
+  auto negative = Rational::Parse("-922337203685477580.7");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(*negative, Rational(INT64_MIN + 1, 10));
+  auto long_frac = Rational::Parse("0.000000000000000001");
+  ASSERT_TRUE(long_frac.ok());
+  EXPECT_EQ(*long_frac, Rational(1, 1000000000000000000));
+}
+
+TEST(RationalTest, NormalizationHandlesInt64MinMagnitudes) {
+  // Gcd on INT64_MIN used to negate it (signed overflow, UB); the
+  // unsigned-magnitude Gcd reduces these without wrapping.
+  const Rational r(INT64_MIN, 2);
+  EXPECT_EQ(r.numerator(), INT64_MIN / 2);
+  EXPECT_EQ(r.denominator(), 1);
+  const Rational odd(INT64_MIN, 3);
+  EXPECT_EQ(odd.numerator(), INT64_MIN);
+  EXPECT_EQ(odd.denominator(), 3);
+}
+
 TEST(RationalTest, Arithmetic) {
   const Rational half(1, 2);
   const Rational third(1, 3);

@@ -4,10 +4,14 @@
 #   PSC_OBS=ON  (default; instrumentation compiled in)
 #   PSC_OBS=OFF (PSC_OBS_* macros compile to nothing)
 #   PSC_SANITIZE=thread (ThreadSanitizer over the concurrency-heavy tests)
+#   PSC_SANITIZE=address,undefined (ASan+UBSan over the overflow-prone
+#     parsing/arithmetic tests and the limits machinery)
 # All configurations must build warning-free (-Werror) and pass their
 # tests. The matrix finishes with a --threads 1 vs --threads 4 CLI
 # output-equivalence smoke check (the parallel runtime's determinism
-# contract made executable).
+# contract made executable) and a --deadline-ms smoke (a search that
+# would run for minutes must exit cleanly within seconds, reporting
+# limits.deadline_hits in its metrics).
 #
 # Usage: tools/ci_matrix.sh [build-root]   (default: build-matrix)
 
@@ -36,6 +40,17 @@ cmake -B "${tsan_dir}" -S . -DPSC_SANITIZE=thread >/dev/null
 cmake --build "${tsan_dir}" -j "${jobs}"
 (cd "${tsan_dir}" && ctest --output-on-failure -j "${jobs}" \
   -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache|EvalDifferential')
+
+# ASan+UBSan pass over the subsystems where integer overflow and
+# lifetime bugs have actually bitten: rational/bigint arithmetic, the
+# parsers (domain lists, decimal bounds), the budget/limits machinery
+# and the world enumerators that honour it.
+asan_dir="${build_root}/asan-ubsan"
+echo "=== PSC_SANITIZE=address,undefined -> ${asan_dir} ==="
+cmake -B "${asan_dir}" -S . -DPSC_SANITIZE=address,undefined >/dev/null
+cmake --build "${asan_dir}" -j "${jobs}"
+(cd "${asan_dir}" && ctest --output-on-failure -j "${jobs}" \
+  -R 'Rational|BigInt|ParseDomainList|Parser|Lexer|Budget|CancelToken|Deadline|NodeBudget|WorldEnumerator')
 
 # Determinism smoke: the CLI must print byte-identical reports at
 # --threads 1 and --threads 4. --quiet suppresses the wall-clock stats
@@ -114,4 +129,31 @@ python3 tools/check_metrics_schema.py \
   --require-counter eval.plans_compiled \
   "${bench_metrics}"
 
-echo "ci matrix passed: PSC_OBS on/off, TSan, --threads and eval-engine equivalence green"
+# Deadline smoke: a canonical-freeze search over ~2^33 allowable
+# combinations would run for minutes unbounded; with --deadline-ms 100
+# the CLI must exit cleanly (verdict unknown, exit 0) within the outer
+# 2 s timeout and its metrics must record the deadline trip.
+echo "=== --deadline-ms graceful-degradation smoke ==="
+deadline_input="$(mktemp)"
+deadline_metrics="$(mktemp)"
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${deadline_input}" "${deadline_metrics}"' EXIT
+{
+  printf 'source Blocker {\n  view: V0(x) <- R(x), M(x)\n'
+  printf '  completeness: 1\n  soundness: 0\n}\n'
+  for s in 1 2 3; do
+    printf 'source Wide%s {\n  view: V%s(x) <- R(x), M(x)\n' "$s" "$s"
+    printf '  completeness: 0\n  soundness: 1/2\n  facts: '
+    for i in $(seq 1 12); do
+      [[ $i -gt 1 ]] && printf ', '
+      printf '(%s)' "$(( (s - 1) * 12 + i ))"
+    done
+    printf '\n}\n'
+  done
+} > "${deadline_input}"
+timeout 2 "${smoke_build}/tools/psc" check "${deadline_input}" \
+  --deadline-ms 100 --quiet --metrics-out "${deadline_metrics}"
+python3 tools/check_metrics_schema.py \
+  --require-counter limits.deadline_hits \
+  "${deadline_metrics}"
+
+echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence and deadline degradation green"

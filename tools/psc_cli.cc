@@ -21,6 +21,12 @@
 //   --quiet              suppress the one-line solver stats summary
 //   --threads N          solver worker threads; 0 = auto (PSC_THREADS env
 //                        or hardware concurrency), 1 = sequential
+//   --deadline-ms N      wall-clock budget per solver call; on expiry
+//                        consistency degrades to UNKNOWN, Monte-Carlo
+//                        returns a truncated estimate, exact counting
+//                        fails with "Deadline exceeded" (0 = unlimited)
+//   --node-budget N      explored-node budget per solver call, same
+//                        degradation contract (0 = unlimited)
 //   --no-compiled-eval   evaluate conjunctive queries with the legacy
 //                        nested-loop interpreter instead of compiled
 //                        slot-based join plans (differential testing;
@@ -29,7 +35,9 @@
 // Source files use the text format documented in psc/parser/parser.h; see
 // examples in the repository README.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -41,6 +49,7 @@
 #include "psc/core/query_system.h"
 #include "psc/counting/consensus.h"
 #include "psc/algebra/plan_compiler.h"
+#include "psc/limits/budget.h"
 #include "psc/obs/report.h"
 #include "psc/obs/trace.h"
 #include "psc/parser/parser.h"
@@ -65,7 +74,7 @@ int Usage() {
                "<file> [\"query\"] [--domain v1,v2,...] "
                "[--method exact|compositional|mc] [--samples N] [--seed N] "
                "[--metrics-out PATH] [--trace] [--quiet] [--threads N] "
-               "[--no-compiled-eval]\n");
+               "[--deadline-ms N] [--node-budget N] [--no-compiled-eval]\n");
   return 2;
 }
 
@@ -77,23 +86,6 @@ Result<std::string> ReadFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << input.rdbuf();
   return buffer.str();
-}
-
-/// "1,2,abc" → {1, 2, "abc"}; integers parse as ints, the rest as strings.
-std::vector<Value> ParseDomainFlag(const std::string& text) {
-  std::vector<Value> domain;
-  for (const std::string& raw : Split(text, ',')) {
-    const std::string token = Trim(raw);
-    if (token.empty()) continue;
-    char* end = nullptr;
-    const long long as_int = std::strtoll(token.c_str(), &end, 10);
-    if (end != nullptr && *end == '\0' && end != token.c_str()) {
-      domain.push_back(Value(static_cast<int64_t>(as_int)));
-    } else {
-      domain.push_back(Value(token));
-    }
-  }
-  return domain;
 }
 
 struct CliOptions {
@@ -110,6 +102,10 @@ struct CliOptions {
   bool quiet = false;
   /// 0 = auto (PSC_THREADS env, then hardware concurrency).
   size_t threads = 0;
+  /// Wall-clock deadline per solver call in ms; 0 = unlimited.
+  int64_t deadline_ms = 0;
+  /// Explored-node budget per solver call; 0 = unlimited.
+  uint64_t node_budget = 0;
   /// false = legacy interpreter for conjunctive-query evaluation.
   bool use_compiled_eval = true;
 };
@@ -135,7 +131,7 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     };
     if (arg == "--domain") {
       PSC_ASSIGN_OR_RETURN(const std::string value, next());
-      options.domain = ParseDomainFlag(value);
+      options.domain = ParseDomainList(value);
       options.domain_given = true;
     } else if (arg == "--method") {
       PSC_ASSIGN_OR_RETURN(options.method, next());
@@ -167,6 +163,31 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
                    "], got '", value, "'"));
       }
       options.threads = static_cast<size_t>(parsed);
+    } else if (arg == "--deadline-ms") {
+      PSC_ASSIGN_OR_RETURN(const std::string value, next());
+      char* end = nullptr;
+      errno = 0;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || parsed < 0) {
+        return Status::InvalidArgument(StrCat(
+            "--deadline-ms expects a non-negative integer, got '", value,
+            "'"));
+      }
+      options.deadline_ms = static_cast<int64_t>(parsed);
+    } else if (arg == "--node-budget") {
+      PSC_ASSIGN_OR_RETURN(const std::string value, next());
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || value[0] == '-') {
+        return Status::InvalidArgument(StrCat(
+            "--node-budget expects a non-negative integer, got '", value,
+            "'"));
+      }
+      options.node_budget = static_cast<uint64_t>(parsed);
     } else if (arg == "--no-compiled-eval") {
       options.use_compiled_eval = false;
     } else if (arg == "--trace") {
@@ -205,7 +226,20 @@ QuerySystem::Options SystemOptions(const CliOptions& options) {
   QuerySystem::Options system_options;
   system_options.threads = options.threads;
   system_options.use_compiled_eval = options.use_compiled_eval;
+  system_options.deadline_ms = options.deadline_ms;
+  system_options.node_budget = options.node_budget;
   return system_options;
+}
+
+/// Budget for the commands that bypass QuerySystem (certain, audit).
+limits::Budget CliBudget(const CliOptions& options) {
+  if (options.deadline_ms <= 0 && options.node_budget == 0) {
+    return limits::Budget();
+  }
+  limits::BudgetOptions budget_options;
+  budget_options.deadline_ms = options.deadline_ms;
+  budget_options.node_budget = options.node_budget;
+  return limits::Budget(budget_options);
 }
 
 int RunCheck(const SourceCollection& collection, const CliOptions& options) {
@@ -261,6 +295,9 @@ int RunAnswer(const SourceCollection& collection, const CliOptions& options) {
   if (!answer.ok()) return Fail(answer.status());
   std::printf("method: %s  (worlds used: %llu)\n", answer->method.c_str(),
               static_cast<unsigned long long>(answer->worlds_used));
+  if (answer->truncated) {
+    std::printf("TRUNCATED: %s\n", answer->truncation_reason.c_str());
+  }
   std::printf("certain answer (%zu tuples):\n", answer->certain.size());
   for (const Tuple& tuple : answer->certain) {
     std::printf("  %s\n", TupleToString(tuple).c_str());
@@ -279,7 +316,8 @@ int RunCertain(const SourceCollection& collection,
   if (!query.ok()) return Fail(query.status());
   auto plan = CompileQuery(*query);
   if (!plan.ok()) return Fail(plan.status());
-  auto bound = CertainAnswerLowerBound(collection, *plan);
+  auto bound = CertainAnswerLowerBound(collection, *plan,
+                                       uint64_t{1} << 16, CliBudget(options));
   if (!bound.ok()) return Fail(bound.status());
   std::printf("template-based certain lower bound (%llu combinations%s):\n",
               static_cast<unsigned long long>(bound->combinations),
@@ -320,6 +358,7 @@ int RunConsensus(const SourceCollection& collection) {
 int RunAudit(const SourceCollection& collection, const CliOptions& options) {
   GeneralConsistencyChecker::Options checker_options;
   checker_options.threads = options.threads;
+  checker_options.budget = CliBudget(options);
   GeneralConsistencyChecker checker(checker_options);
   auto report = checker.Check(collection);
   if (!report.ok()) return Fail(report.status());
