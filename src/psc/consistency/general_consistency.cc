@@ -12,6 +12,7 @@
 #include "psc/consistency/possible_worlds.h"
 #include "psc/exec/thread_pool.h"
 #include "psc/obs/metrics.h"
+#include "psc/obs/scope.h"
 #include "psc/obs/trace.h"
 #include "psc/tableau/template_builder.h"
 #include "psc/util/string_util.h"
@@ -184,6 +185,9 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
   using Block = std::vector<std::pair<uint64_t, Combination>>;
   Block block;
   block.reserve(kBlockSize);
+  // Captured once: every shipped block reinstalls the producer's scope
+  // and parents its spans under the enclosing consistency.check span.
+  const obs::TraceContext trace_context = obs::CaptureTraceContext();
   auto flush = [&] {
     if (block.empty()) return;
     {
@@ -196,9 +200,13 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
     auto shipped = std::make_shared<Block>(std::move(block));
     block.clear();
     block.reserve(kBlockSize);
-    pool->Submit([&state, &evaluate, shipped] {
-      for (const auto& [index, combination] : *shipped) {
-        evaluate(index, combination);
+    pool->Submit([&state, &evaluate, &trace_context, shipped] {
+      const obs::TraceContextGuard trace_guard(trace_context);
+      {
+        PSC_OBS_SPAN("consistency.freeze_block");
+        for (const auto& [index, combination] : *shipped) {
+          evaluate(index, combination);
+        }
       }
       {
         std::lock_guard<std::mutex> lock(state.blocks_mu);

@@ -129,6 +129,8 @@ Result<QuerySystem> QuerySystem::Create(SourceCollection collection,
 }
 
 Result<ConsistencyReport> QuerySystem::CheckConsistency() const {
+  const obs::ScopeGuard scope_guard(options_.scope);
+  PSC_OBS_SPAN("query.check_consistency");
   GeneralConsistencyChecker::Options options;
   options.max_shapes = options_.max_shapes;
   options.max_exhaustive_bits = options_.max_universe_bits;
@@ -140,6 +142,8 @@ Result<ConsistencyReport> QuerySystem::CheckConsistency() const {
 
 Result<ConfidenceTable> QuerySystem::BaseConfidences(
     const std::vector<Value>& domain) const {
+  const obs::ScopeGuard scope_guard(options_.scope);
+  PSC_OBS_SPAN("query.base_confidences");
   PSC_ASSIGN_OR_RETURN(const IdentityInstance instance,
                        IdentityInstance::Create(collection_, domain));
   const limits::Budget budget = MakeBudget(options_);
@@ -156,6 +160,7 @@ Result<ConfidenceTable> QuerySystem::BaseConfidences(
 Result<QueryAnswer> QuerySystem::AnswerExact(
     const AlgebraExprPtr& query, const std::vector<Value>& domain) const {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
+  const obs::ScopeGuard scope_guard(options_.scope);
   PSC_OBS_SPAN("query.answer_exact");
   AnswerAccumulator accumulator(&query);
   Status world_error;
@@ -196,6 +201,7 @@ Result<QueryAnswer> QuerySystem::AnswerExact(
 Result<QueryAnswer> QuerySystem::AnswerCompositional(
     const AlgebraExprPtr& query, const std::vector<Value>& domain) const {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
+  const obs::ScopeGuard scope_guard(options_.scope);
   PSC_OBS_SPAN("query.answer_compositional");
   if (!collection_.AllIdentityViews()) {
     return Status::Unimplemented(
@@ -239,6 +245,7 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
     uint64_t samples, uint64_t seed) const {
   if (query == nullptr) return Status::InvalidArgument("null query plan");
   if (samples == 0) return Status::InvalidArgument("samples must be >= 1");
+  const obs::ScopeGuard scope_guard(options_.scope);
   PSC_OBS_SPAN("query.answer_monte_carlo");
   if (!collection_.AllIdentityViews()) {
     return Status::Unimplemented(
@@ -332,14 +339,20 @@ Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
   return answer;
 }
 
+// The CQ overloads install the scope around compilation too, so the
+// eval.plans_compiled counter (and friends) lands on the query; the
+// algebra overloads re-install the same scope, which nests harmlessly.
+
 Result<QueryAnswer> QuerySystem::AnswerExact(
     const ConjunctiveQuery& query, const std::vector<Value>& domain) const {
+  const obs::ScopeGuard scope_guard(options_.scope);
   PSC_ASSIGN_OR_RETURN(const AlgebraExprPtr plan, CompileQuery(query));
   return AnswerExact(plan, domain);
 }
 
 Result<QueryAnswer> QuerySystem::AnswerCompositional(
     const ConjunctiveQuery& query, const std::vector<Value>& domain) const {
+  const obs::ScopeGuard scope_guard(options_.scope);
   PSC_ASSIGN_OR_RETURN(const AlgebraExprPtr plan, CompileQuery(query));
   return AnswerCompositional(plan, domain);
 }
@@ -347,6 +360,7 @@ Result<QueryAnswer> QuerySystem::AnswerCompositional(
 Result<QueryAnswer> QuerySystem::AnswerMonteCarlo(
     const ConjunctiveQuery& query, const std::vector<Value>& domain,
     uint64_t samples, uint64_t seed) const {
+  const obs::ScopeGuard scope_guard(options_.scope);
   PSC_ASSIGN_OR_RETURN(const AlgebraExprPtr plan, CompileQuery(query));
   return AnswerMonteCarlo(plan, domain, samples, seed);
 }

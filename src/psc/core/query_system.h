@@ -10,6 +10,7 @@
 #include "psc/consistency/general_consistency.h"
 #include "psc/counting/confidence.h"
 #include "psc/limits/budget.h"
+#include "psc/obs/scope.h"
 #include "psc/source/source_collection.h"
 #include "psc/util/result.h"
 
@@ -83,6 +84,12 @@ class QuerySystem {
     /// units: count-vector tree nodes, DP states, allowable combinations,
     /// brute-force subsets, Monte-Carlo samples.
     uint64_t node_budget = 0;
+    /// Per-query telemetry scope (see obs/scope.h). Every entry point
+    /// installs it for the duration of the call — workers included, via
+    /// exec's trace propagation — so metric deltas, trace spans and any
+    /// limits trip attribute to this query. The default null scope keeps
+    /// the historical global-only accounting at zero extra cost.
+    obs::Scope scope;
   };
 
   /// Builds a system over `collection`.

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "psc/obs/metrics.h"
+#include "psc/obs/scope.h"
+#include "psc/obs/trace.h"
 
 namespace psc {
 namespace exec {
@@ -53,11 +55,17 @@ void ParallelFor(ThreadPool* pool, size_t n,
   const limits::CancelToken token =
       cancel != nullptr ? *cancel : limits::CancelToken();
   const bool cancellable = cancel != nullptr;
+  // The submitting thread's telemetry context (active obs::Scope +
+  // innermost open span) travels with every shard, so the query's metric
+  // attribution and span tree survive work-stealing onto other threads.
+  const obs::TraceContext trace_context = obs::CaptureTraceContext();
   for (size_t i = 0; i < n; ++i) {
-    pool->Submit([&body, latch, token, cancellable, i] {
+    pool->Submit([&body, latch, token, cancellable, trace_context, i] {
+      const obs::TraceContextGuard trace_guard(trace_context);
       if (cancellable && token.cancelled()) {
         PSC_OBS_COUNTER_INC("exec.shards_cancelled");
       } else {
+        PSC_OBS_SPAN("exec.shard");
         body(i);
       }
       latch->CountDown();

@@ -1,6 +1,7 @@
 #include "psc/limits/budget.h"
 
 #include "psc/obs/metrics.h"
+#include "psc/obs/scope.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -46,16 +47,25 @@ struct Budget::State {
   /// Steady micros at the moment of the trip, for observer latency.
   std::atomic<uint64_t> trip_micros{0};
   CancelToken token;
+  /// The obs::Scope installed when the budget was built: trips attribute
+  /// to the query that configured the limit, no matter which worker
+  /// thread observes the trip first (its own installed scope may be the
+  /// same one, another query's, or none).
+  obs::Scope scope;
 
   /// Records the first trip (later trips keep the original reason) and
   /// cancels the token so workers blocked on coarser checks see it.
   /// Returns false always, for tail-calling from the check functions.
   bool Trip(StopReason why) {
+    const obs::ScopeGuard scope_guard(scope);
     int expected = static_cast<int>(StopReason::kNone);
     if (reason.compare_exchange_strong(expected, static_cast<int>(why),
                                        std::memory_order_acq_rel)) {
       trip_micros.store(NowMicros(), std::memory_order_release);
       token.Cancel();
+      if (why != StopReason::kNone) {
+        scope.SetTripReason(StopReasonToString(why));
+      }
       switch (why) {
         case StopReason::kDeadline:
           PSC_OBS_COUNTER_INC("limits.deadline_hits");
@@ -90,6 +100,9 @@ struct Budget::State {
 Budget::Budget(const BudgetOptions& options)
     : state_(std::make_shared<State>()) {
   state_->options = options;
+  // Budgets are built on the query's entry path, before fan-out, so the
+  // scope installed here is the query the limits belong to.
+  state_->scope = obs::CurrentScope();
   if (options.deadline_ms > 0) {
     state_->deadline =
         Clock::now() + std::chrono::milliseconds(options.deadline_ms);

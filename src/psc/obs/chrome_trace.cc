@@ -1,0 +1,91 @@
+#include "psc/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "psc/obs/json.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace obs {
+
+namespace {
+
+constexpr int kPid = 1;
+
+}  // namespace
+
+std::string ToChromeTraceJson(const RunReport& report) {
+  // Scope id -> query name, for the event category and process labels.
+  std::map<uint64_t, std::string> scope_names;
+  for (const ScopeSnapshot& query : report.queries) {
+    scope_names.emplace(query.id, query.name);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    out += StrCat(first ? "" : ",", event);
+    first = false;
+  };
+
+  emit(StrCat("{\"ph\":\"M\",\"pid\":", kPid,
+              ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+              "\"psc\"}}"));
+
+  // One metadata event per lane so Perfetto labels the tracks. Lane ids
+  // are small and dense (trace.h CurrentThreadLaneId).
+  std::set<uint64_t> lanes;
+  uint64_t end_us = 0;
+  for (const SpanRecord& span : report.spans) {
+    lanes.insert(span.tid);
+    end_us = std::max(end_us, span.start_us + span.duration_us);
+  }
+  for (const uint64_t lane : lanes) {
+    emit(StrCat("{\"ph\":\"M\",\"pid\":", kPid, ",\"tid\":", lane,
+                ",\"name\":\"thread_name\",\"args\":{\"name\":\"lane ",
+                lane, "\"}}"));
+  }
+
+  for (const SpanRecord& span : report.spans) {
+    const auto scope_it = scope_names.find(span.scope_id);
+    const std::string category =
+        scope_it == scope_names.end() ? "psc" : scope_it->second;
+    emit(StrCat("{\"ph\":\"X\",\"pid\":", kPid, ",\"tid\":", span.tid,
+                ",\"ts\":", span.start_us, ",\"dur\":", span.duration_us,
+                ",\"name\":\"", JsonEscape(span.name), "\",\"cat\":\"",
+                JsonEscape(category), "\",\"args\":{\"id\":", span.id,
+                ",\"parent\":", span.parent_id, ",\"scope\":", span.scope_id,
+                "}}"));
+  }
+
+  // Counter totals as single points at the trace end: Perfetto renders
+  // them as value tracks under the flame graph.
+  for (const RunReport::CounterEntry& counter : report.counters) {
+    emit(StrCat("{\"ph\":\"C\",\"pid\":", kPid, ",\"tid\":0,\"ts\":", end_us,
+                ",\"name\":\"", JsonEscape(counter.name),
+                "\",\"args\":{\"value\":", counter.value, "}}"));
+  }
+
+  out += StrCat("],\"otherData\":{\"schema_version\":",
+                kRunReportSchemaVersion,
+                ",\"spans_dropped\":", report.spans_dropped, "}}");
+  return out;
+}
+
+Status WriteChromeTraceFile(const RunReport& report,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::NotFound(StrCat("cannot open '", path, "' for writing"));
+  }
+  out << ToChromeTraceJson(report) << "\n";
+  out.flush();
+  if (!out) return Status::Internal(StrCat("short write to '", path, "'"));
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace psc

@@ -1,0 +1,37 @@
+#ifndef PSC_OBS_CHROME_TRACE_H_
+#define PSC_OBS_CHROME_TRACE_H_
+
+/// \file
+/// Chrome trace-event export: serializes a `RunReport`'s span buffer in
+/// the Trace Event Format consumed by Perfetto (ui.perfetto.dev) and
+/// chrome://tracing. Buffered spans become complete (`"ph":"X"`) events
+/// laid out on per-thread tracks (`SpanRecord::tid`), with the span id,
+/// parent id and owning query scope attached as event args; thread-name
+/// metadata events label the tracks, and the report's counter totals are
+/// appended as counter (`"ph":"C"`) events so key metrics plot alongside
+/// the flame graph. Written by the CLI's `--trace-out`; validated by
+/// tools/check_trace_schema.py.
+
+#include <string>
+
+#include "psc/obs/report.h"
+#include "psc/util/status.h"
+
+namespace psc {
+namespace obs {
+
+/// JSON Object Format document: {"traceEvents":[...], "displayTimeUnit":
+/// "ms", "otherData":{"schema_version":…, "spans_dropped":…}}.
+/// Timestamps/durations are microseconds since the process trace epoch,
+/// which is what the Trace Event Format specifies.
+std::string ToChromeTraceJson(const RunReport& report);
+
+/// Serializes and writes atomically-truncating to `path`; NotFound when
+/// the file cannot be opened, Internal on a short write.
+Status WriteChromeTraceFile(const RunReport& report,
+                            const std::string& path);
+
+}  // namespace obs
+}  // namespace psc
+
+#endif  // PSC_OBS_CHROME_TRACE_H_

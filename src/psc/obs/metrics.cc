@@ -59,6 +59,38 @@ uint64_t HistogramSnapshot::Percentile(double q) const {
   return max;
 }
 
+double HistogramSnapshot::PercentileInterpolated(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return static_cast<double>(min);
+  if (q == 1.0) return static_cast<double>(max);
+  // Fractional rank of the quantile in (0, count]; find its bucket and
+  // interpolate linearly across the bucket's value range.
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (cumulative + in_bucket >= target) {
+      // Bucket 0 holds only the value 0; bucket b >= 1 covers
+      // [2^(b-1), 2^b) (BucketUpperBound saturates at b >= 64).
+      const double lower =
+          b == 0 ? 0.0
+                 : static_cast<double>(uint64_t{1} << (b - 1));
+      const double upper =
+          static_cast<double>(Histogram::BucketUpperBound(b));
+      const double position = (target - cumulative) / in_bucket;
+      const double value = lower + position * (upper - lower);
+      // Clamp into the observed range: interpolation cannot know that
+      // e.g. every sample in the top bucket equals max.
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
 size_t Histogram::BucketIndex(uint64_t value) {
   if (value == 0) return 0;
   // Bucket b >= 1 covers [2^(b-1), 2^b): 1 + floor(log2(value)) + ... i.e.

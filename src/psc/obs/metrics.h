@@ -17,6 +17,11 @@
 /// The macros cache the registry lookup in a function-local static, so the
 /// per-hit cost is one branch and one relaxed atomic increment; names
 /// passed to the macros must therefore be string literals.
+///
+/// When a per-query `obs::Scope` (scope.h) is installed on the executing
+/// thread, every hit is additionally mirrored into that scope's delta
+/// registry. With no scope installed — the historical configuration — the
+/// extra cost is one thread-local load and branch per hit.
 
 #include <atomic>
 #include <cstdint>
@@ -97,6 +102,11 @@ struct HistogramSnapshot {
   /// Upper bound of the bucket holding the q-quantile (q in [0,1]);
   /// exact for min/max, otherwise within a factor of 2 by construction.
   uint64_t Percentile(double q) const;
+  /// Linear interpolation of the q-quantile inside its log2 bucket
+  /// (assuming a uniform within-bucket distribution), clamped into
+  /// [min, max]. Exact for the empty histogram (0), a single sample, and
+  /// q in {0, 1}; used by the run report's p50/p95/p99 estimates.
+  double PercentileInterpolated(double q) const;
 };
 
 /// Log2-scale histogram over non-negative integers (microsecond latencies,
@@ -155,29 +165,57 @@ class MetricsRegistry {
 /// The process-wide registry used by the `PSC_OBS_*` macros.
 MetricsRegistry& GlobalMetrics();
 
+namespace internal {
+
+/// Per-query accumulator state (see scope.h for the full definition).
+struct ScopeState;
+
+/// The scope installed on the executing thread, or null. Written only by
+/// `obs::ScopeGuard`; the macros read it so that the no-scope fast path
+/// is a single thread-local load + branch.
+extern thread_local ScopeState* t_current_scope;
+
+/// Mirror an instrument hit into the installed scope's delta registry.
+/// Only called by the macros after a non-null t_current_scope check;
+/// defined in scope.cc (with a per-thread instrument cache).
+void ScopeCounterAdd(const char* name, uint64_t delta);
+void ScopeGaugeSet(const char* name, int64_t value);
+void ScopeGaugeMax(const char* name, int64_t value);
+void ScopeHistogramRecord(const char* name, uint64_t value);
+
+}  // namespace internal
+
 }  // namespace obs
 }  // namespace psc
 
 #if PSC_OBS_ENABLED
 
-#define PSC_OBS_COUNTER_ADD(name, delta)                              \
-  do {                                                                \
-    if (::psc::obs::Enabled()) {                                      \
-      static ::psc::obs::Counter& psc_obs_cached_counter =            \
-          ::psc::obs::GlobalMetrics().GetCounter(name);               \
-      psc_obs_cached_counter.Increment(static_cast<uint64_t>(delta)); \
-    }                                                                 \
+#define PSC_OBS_COUNTER_ADD(name, delta)                            \
+  do {                                                              \
+    if (::psc::obs::Enabled()) {                                    \
+      static ::psc::obs::Counter& psc_obs_cached_counter =          \
+          ::psc::obs::GlobalMetrics().GetCounter(name);             \
+      const uint64_t psc_obs_delta = static_cast<uint64_t>(delta);  \
+      psc_obs_cached_counter.Increment(psc_obs_delta);              \
+      if (::psc::obs::internal::t_current_scope != nullptr) {       \
+        ::psc::obs::internal::ScopeCounterAdd(name, psc_obs_delta); \
+      }                                                             \
+    }                                                               \
   } while (0)
 
 #define PSC_OBS_COUNTER_INC(name) PSC_OBS_COUNTER_ADD(name, 1)
 
-#define PSC_OBS_GAUGE_SET(name, value)                            \
-  do {                                                            \
-    if (::psc::obs::Enabled()) {                                  \
-      static ::psc::obs::Gauge& psc_obs_cached_gauge =            \
-          ::psc::obs::GlobalMetrics().GetGauge(name);             \
-      psc_obs_cached_gauge.Set(static_cast<int64_t>(value));      \
-    }                                                             \
+#define PSC_OBS_GAUGE_SET(name, value)                             \
+  do {                                                             \
+    if (::psc::obs::Enabled()) {                                   \
+      static ::psc::obs::Gauge& psc_obs_cached_gauge =             \
+          ::psc::obs::GlobalMetrics().GetGauge(name);              \
+      const int64_t psc_obs_value = static_cast<int64_t>(value);   \
+      psc_obs_cached_gauge.Set(psc_obs_value);                     \
+      if (::psc::obs::internal::t_current_scope != nullptr) {      \
+        ::psc::obs::internal::ScopeGaugeSet(name, psc_obs_value);  \
+      }                                                            \
+    }                                                              \
   } while (0)
 
 #define PSC_OBS_GAUGE_MAX(name, value)                             \
@@ -185,17 +223,25 @@ MetricsRegistry& GlobalMetrics();
     if (::psc::obs::Enabled()) {                                   \
       static ::psc::obs::Gauge& psc_obs_cached_gauge =             \
           ::psc::obs::GlobalMetrics().GetGauge(name);              \
-      psc_obs_cached_gauge.RecordMax(static_cast<int64_t>(value)); \
+      const int64_t psc_obs_value = static_cast<int64_t>(value);   \
+      psc_obs_cached_gauge.RecordMax(psc_obs_value);               \
+      if (::psc::obs::internal::t_current_scope != nullptr) {      \
+        ::psc::obs::internal::ScopeGaugeMax(name, psc_obs_value);  \
+      }                                                            \
     }                                                              \
   } while (0)
 
-#define PSC_OBS_HISTOGRAM_RECORD(name, value)                        \
-  do {                                                               \
-    if (::psc::obs::Enabled()) {                                     \
-      static ::psc::obs::Histogram& psc_obs_cached_histogram =       \
-          ::psc::obs::GlobalMetrics().GetHistogram(name);            \
-      psc_obs_cached_histogram.Record(static_cast<uint64_t>(value)); \
-    }                                                                \
+#define PSC_OBS_HISTOGRAM_RECORD(name, value)                            \
+  do {                                                                   \
+    if (::psc::obs::Enabled()) {                                         \
+      static ::psc::obs::Histogram& psc_obs_cached_histogram =           \
+          ::psc::obs::GlobalMetrics().GetHistogram(name);                \
+      const uint64_t psc_obs_value = static_cast<uint64_t>(value);       \
+      psc_obs_cached_histogram.Record(psc_obs_value);                    \
+      if (::psc::obs::internal::t_current_scope != nullptr) {            \
+        ::psc::obs::internal::ScopeHistogramRecord(name, psc_obs_value); \
+      }                                                                  \
+    }                                                                    \
   } while (0)
 
 #else  // PSC_OBS_ENABLED

@@ -13,6 +13,7 @@
 
 #include "psc/obs/json.h"
 #include "psc/obs/metrics.h"
+#include "psc/obs/scope.h"
 #include "psc/obs/trace.h"
 #include "psc/util/status.h"
 
@@ -20,7 +21,12 @@ namespace psc {
 namespace obs {
 
 /// Bumped whenever the JSON layout changes incompatibly.
-inline constexpr int kRunReportSchemaVersion = 1;
+///
+/// v2 (this version): interpolated p50/p90/p95/p99 on histograms, span
+/// records carry `tid` and `scope`, a synthetic `trace.dropped` counter,
+/// and a per-query `queries` section built from the alive obs::Scopes.
+/// Validators accept v1 documents too (archived bench baselines).
+inline constexpr int kRunReportSchemaVersion = 2;
 
 struct RunReport {
   struct CounterEntry {
@@ -41,15 +47,25 @@ struct RunReport {
   std::vector<HistogramEntry> histograms;
   std::vector<SpanRecord> spans;
   uint64_t spans_dropped = 0;
+  /// One entry per alive obs::Scope at capture time (creation order):
+  /// the query's metric delta, span count and any limits trip.
+  std::vector<ScopeSnapshot> queries;
 
-  /// Snapshots `GlobalMetrics()` and `GlobalTrace()`.
+  /// Snapshots `GlobalMetrics()`, `GlobalTrace()` and every alive
+  /// obs::Scope; surfaces the trace drop count as a synthetic
+  /// `trace.dropped` counter so threshold alerts need only one section.
   static RunReport Capture();
 
   /// Machine-readable serialization:
-  /// {"schema_version":1, "counters":{...}, "gauges":{...},
-  ///  "histograms":{name:{count,sum,min,max,mean,p50,p90,p99}},
-  ///  "spans":[{id,parent,name,depth,start_us,duration_us}],
-  ///  "spans_dropped":N}
+  /// {"schema_version":2, "counters":{...}, "gauges":{...},
+  ///  "histograms":{name:{count,sum,min,max,mean,p50,p90,p95,p99}},
+  ///  "spans":[{id,parent,name,depth,start_us,duration_us,tid,scope}],
+  ///  "spans_dropped":N,
+  ///  "queries":{name:{id,counters,gauges,histograms,spans,
+  ///                   spans_dropped,trip}}}
+  /// Percentiles are interpolated from the log2 buckets
+  /// (HistogramSnapshot::PercentileInterpolated) and serialized as
+  /// doubles. Duplicate query names are disambiguated as "name#id".
   std::string ToJson() const;
 
   /// Aligned text table for terminals, one section per instrument kind,
@@ -63,6 +79,8 @@ struct RunReport {
 /// top-level keys with the right JSON types, non-negative counters,
 /// histogram invariants (count==0 ⇒ sum==0, min ≤ max), span records with
 /// parent ids that either are -1 or reference a span in the report.
+/// Accepts schema v1 (no p95/tid/scope/queries — archived baselines) and
+/// v2; v2-only fields are required when schema_version is 2.
 Status ValidateRunReportJson(const JsonValue& document);
 
 /// Parses and validates in one step (convenience for tools/tests).

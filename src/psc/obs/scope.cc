@@ -1,0 +1,223 @@
+#include "psc/obs/scope.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace psc {
+namespace obs {
+
+namespace internal {
+
+/// Hot-path view of the installed scope, read by the instrumentation
+/// macros. The shared_ptr keep-alive lives in t_current_scope_ref below;
+/// the raw pointer exists so the macros' null check is one TLS load.
+thread_local ScopeState* t_current_scope = nullptr;
+
+namespace {
+
+/// Owning reference behind t_current_scope; managed only by ScopeGuard,
+/// which keeps the two in lockstep.
+thread_local std::shared_ptr<ScopeState> t_current_scope_ref;
+
+std::atomic<uint64_t> g_next_scope_id{1};
+
+/// Weak registry of every scope created, for RunReport::Capture. Expired
+/// entries are pruned on each capture.
+struct ScopeRegistry {
+  std::mutex mutex;
+  std::vector<std::weak_ptr<ScopeState>> scopes;
+};
+
+ScopeRegistry& Registry() {
+  static ScopeRegistry* registry = new ScopeRegistry();
+  return *registry;
+}
+
+/// Per-thread direct-mapped cache of scope-instrument lookups, so a hot
+/// counter attributed to the installed scope costs a few loads instead of
+/// a mutex-guarded map lookup per hit. Keyed by the macro's literal name
+/// pointer plus the scope's never-reused id (a freed ScopeState whose
+/// address is recycled can therefore never produce a stale hit).
+constexpr size_t kScopeCacheSlots = 64;
+
+struct ScopeCacheSlot {
+  uint64_t scope_id = 0;
+  const char* name = nullptr;
+  int kind = 0;
+  void* instrument = nullptr;
+};
+
+thread_local ScopeCacheSlot t_scope_cache[kScopeCacheSlots];
+
+enum InstrumentKind { kCounter = 1, kGauge = 2, kHistogram = 3 };
+
+size_t CacheSlotFor(const char* name, int kind) {
+  const uintptr_t p = reinterpret_cast<uintptr_t>(name);
+  // Low bits of a pointer are alignment zeros; fold some entropy in.
+  return ((p >> 3) ^ (p >> 11) ^ static_cast<uintptr_t>(kind)) %
+         kScopeCacheSlots;
+}
+
+template <typename Instrument>
+Instrument* CachedScopeInstrument(ScopeState* scope, const char* name,
+                                  int kind,
+                                  Instrument& (MetricsRegistry::*get)(
+                                      const std::string&)) {
+  ScopeCacheSlot& slot = t_scope_cache[CacheSlotFor(name, kind)];
+  if (slot.scope_id == scope->id && slot.name == name && slot.kind == kind) {
+    return static_cast<Instrument*>(slot.instrument);
+  }
+  Instrument& instrument = (scope->metrics.*get)(name);
+  slot.scope_id = scope->id;
+  slot.name = name;
+  slot.kind = kind;
+  slot.instrument = &instrument;
+  return &instrument;
+}
+
+}  // namespace
+
+void ScopeCounterAdd(const char* name, uint64_t delta) {
+  ScopeState* scope = t_current_scope;
+  if (scope == nullptr) return;
+  CachedScopeInstrument(scope, name, kCounter, &MetricsRegistry::GetCounter)
+      ->Increment(delta);
+}
+
+void ScopeGaugeSet(const char* name, int64_t value) {
+  ScopeState* scope = t_current_scope;
+  if (scope == nullptr) return;
+  CachedScopeInstrument(scope, name, kGauge, &MetricsRegistry::GetGauge)
+      ->Set(value);
+}
+
+void ScopeGaugeMax(const char* name, int64_t value) {
+  ScopeState* scope = t_current_scope;
+  if (scope == nullptr) return;
+  CachedScopeInstrument(scope, name, kGauge, &MetricsRegistry::GetGauge)
+      ->RecordMax(value);
+}
+
+void ScopeHistogramRecord(const char* name, uint64_t value) {
+  ScopeState* scope = t_current_scope;
+  if (scope == nullptr) return;
+  CachedScopeInstrument(scope, name, kHistogram,
+                        &MetricsRegistry::GetHistogram)
+      ->Record(value);
+}
+
+}  // namespace internal
+
+Scope Scope::Create(const std::string& name) {
+  auto state = std::make_shared<internal::ScopeState>();
+  state->name = name;
+  state->id =
+      internal::g_next_scope_id.fetch_add(1, std::memory_order_relaxed);
+  {
+    internal::ScopeRegistry& registry = internal::Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.scopes.emplace_back(state);
+  }
+  return Scope(std::move(state));
+}
+
+uint64_t Scope::id() const { return state_ == nullptr ? 0 : state_->id; }
+
+const std::string& Scope::name() const {
+  static const std::string* empty = new std::string();
+  return state_ == nullptr ? *empty : state_->name;
+}
+
+namespace {
+
+ScopeSnapshot SnapshotState(const std::shared_ptr<internal::ScopeState>&
+                                state) {
+  ScopeSnapshot snapshot;
+  snapshot.name = state->name;
+  snapshot.id = state->id;
+  snapshot.counters = state->metrics.CounterValues();
+  snapshot.gauges = state->metrics.GaugeValues();
+  snapshot.histograms = state->metrics.HistogramValues();
+  snapshot.spans = state->spans.Snapshot();
+  snapshot.spans_dropped = state->spans.dropped();
+  {
+    std::lock_guard<std::mutex> lock(state->trip_mutex);
+    snapshot.trip_reason = state->trip_reason;
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+ScopeSnapshot Scope::Snapshot() const {
+  if (state_ == nullptr) return ScopeSnapshot();
+  return SnapshotState(state_);
+}
+
+void Scope::SetTripReason(const std::string& reason) const {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->trip_mutex);
+  if (state_->trip_reason.empty()) state_->trip_reason = reason;
+}
+
+ScopeGuard::ScopeGuard(const Scope& scope) {
+  if (!scope.active()) return;  // null scope: keep the thread's scope
+  installed_ = true;
+  previous_ = std::move(internal::t_current_scope_ref);
+  internal::t_current_scope_ref = scope.state();
+  internal::t_current_scope = scope.state().get();
+}
+
+ScopeGuard::~ScopeGuard() {
+  if (!installed_) return;
+  internal::t_current_scope_ref = std::move(previous_);
+  internal::t_current_scope = internal::t_current_scope_ref.get();
+}
+
+Scope CurrentScope() { return Scope(internal::t_current_scope_ref); }
+
+std::vector<ScopeSnapshot> CaptureScopeSnapshots() {
+  std::vector<std::shared_ptr<internal::ScopeState>> alive;
+  {
+    internal::ScopeRegistry& registry = internal::Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    std::vector<std::weak_ptr<internal::ScopeState>> remaining;
+    remaining.reserve(registry.scopes.size());
+    for (const std::weak_ptr<internal::ScopeState>& weak : registry.scopes) {
+      if (std::shared_ptr<internal::ScopeState> state = weak.lock()) {
+        alive.push_back(std::move(state));
+        remaining.push_back(weak);
+      }
+    }
+    registry.scopes = std::move(remaining);
+  }
+  std::vector<ScopeSnapshot> snapshots;
+  snapshots.reserve(alive.size());
+  for (const std::shared_ptr<internal::ScopeState>& state : alive) {
+    snapshots.push_back(SnapshotState(state));
+  }
+  return snapshots;
+}
+
+TraceContext CaptureTraceContext() {
+  TraceContext context;
+  context.parent_span_id = internal::CurrentOpenSpanId();
+  context.scope = CurrentScope();
+  return context;
+}
+
+TraceContextGuard::TraceContextGuard(const TraceContext& context)
+    : scope_guard_(context.scope) {
+  if (context.parent_span_id >= 0) {
+    internal::PushVirtualParent(
+        static_cast<uint64_t>(context.parent_span_id));
+    pushed_parent_ = true;
+  }
+}
+
+TraceContextGuard::~TraceContextGuard() {
+  if (pushed_parent_) internal::PopVirtualParent();
+}
+
+}  // namespace obs
+}  // namespace psc

@@ -1,0 +1,181 @@
+#ifndef PSC_OBS_SCOPE_H_
+#define PSC_OBS_SCOPE_H_
+
+/// \file
+/// Query-scoped telemetry: per-query metric deltas and span buffers.
+///
+/// The registry in metrics.h is process-global, which is the right grain
+/// for a CLI run but useless once several queries are in flight at once
+/// (the planned pscd service): two concurrent requests are
+/// indistinguishable in the totals. An `obs::Scope` is a value-semantics
+/// handle — the same shape as `limits::Budget`: null state by default,
+/// copies share state — that accumulates a *delta* view of every
+/// instrument hit and every trace span recorded while the scope is
+/// installed on the executing thread.
+///
+/// Usage:
+///
+///   obs::Scope scope = obs::Scope::Create("q1:answer");
+///   {
+///     obs::ScopeGuard guard(scope);   // installs on this thread (RAII)
+///     ... run the query ...           // macros/spans mirror into `scope`
+///   }
+///   obs::ScopeSnapshot delta = scope.Snapshot();
+///
+/// Installation is per thread. `exec::ParallelFor`/`ParallelReduce`
+/// capture the submitting thread's scope (and innermost open span) in a
+/// `TraceContext` and reinstall both in the workers, so a query's
+/// attribution follows its work across the pool.
+///
+/// Cost contract: with no scope installed the macros pay one extra
+/// thread-local load + branch and nothing else — scope-free runs keep the
+/// historical global-only path. A null (default-constructed) `Scope` makes
+/// `ScopeGuard` a no-op: it leaves whatever scope the thread already has
+/// installed, so solver code can thread scopes unconditionally. With
+/// `PSC_OBS=OFF` the macros compile to nothing, so a scope never sees an
+/// instrument hit and snapshots are empty; the classes themselves stay
+/// available so call sites build identically in both configurations.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
+
+namespace psc {
+namespace obs {
+
+namespace internal {
+
+/// Shared state behind `Scope` copies. Lives in a header only so that
+/// trace.cc and scope.cc can reach the members; instrumented code never
+/// touches it directly.
+struct ScopeState {
+  std::string name;
+  /// Process-unique, monotonically assigned; never reused, so caches may
+  /// key on it without ABA hazards when a state's address is recycled.
+  uint64_t id = 0;
+  /// Per-scope delta instruments, same registry type as the global one.
+  MetricsRegistry metrics;
+  /// Per-scope span buffer; spans recorded while the scope is installed.
+  TraceBuffer spans;
+  std::mutex trip_mutex;
+  /// First `limits` trip attributed to this scope ("deadline", ...).
+  std::string trip_reason;
+};
+
+}  // namespace internal
+
+/// Point-in-time copy of a scope's accumulated delta, consumed by
+/// `RunReport::Capture` for the per-query report section.
+struct ScopeSnapshot {
+  std::string name;
+  uint64_t id = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<SpanRecord> spans;
+  uint64_t spans_dropped = 0;
+  /// Why a `limits::Budget` created under this scope tripped, or empty.
+  std::string trip_reason;
+};
+
+/// Value-semantics handle on a per-query telemetry accumulator. Copies
+/// share state; a default-constructed scope is null (`active() == false`)
+/// and behaves as "no scoping requested" everywhere it is passed.
+class Scope {
+ public:
+  Scope() = default;
+
+  /// A fresh scope registered for report capture. The registration is
+  /// weak: once the last handle is dropped the scope vanishes from
+  /// subsequent reports.
+  static Scope Create(const std::string& name);
+
+  bool active() const { return state_ != nullptr; }
+  /// Process-unique id, 0 for a null scope.
+  uint64_t id() const;
+  /// The name given to Create; empty for a null scope.
+  const std::string& name() const;
+
+  /// Copies out the accumulated delta. Empty snapshot for a null scope.
+  ScopeSnapshot Snapshot() const;
+
+  /// Records why a budget under this scope stopped ("deadline",
+  /// "node-budget", ...). First writer wins, matching Budget's
+  /// first-trip-wins contract. No-op on a null scope.
+  void SetTripReason(const std::string& reason) const;
+
+  /// Internal: shared state for the guard/trace plumbing.
+  const std::shared_ptr<internal::ScopeState>& state() const {
+    return state_;
+  }
+
+ private:
+  explicit Scope(std::shared_ptr<internal::ScopeState> state)
+      : state_(std::move(state)) {}
+
+  friend Scope CurrentScope();
+
+  std::shared_ptr<internal::ScopeState> state_;
+};
+
+/// RAII installation of a scope on the current thread. Nests: the
+/// previous scope is reinstalled on destruction. A null scope is a no-op
+/// guard — the thread keeps whatever scope it already had, so callers can
+/// install unconditionally.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(const Scope& scope);
+  ~ScopeGuard();
+
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  bool installed_ = false;
+  std::shared_ptr<internal::ScopeState> previous_;
+};
+
+/// The scope installed on the current thread (null when none).
+Scope CurrentScope();
+
+/// Snapshots of every scope still alive, in creation order.
+std::vector<ScopeSnapshot> CaptureScopeSnapshots();
+
+/// What must travel with a task submitted to another thread so the
+/// receiving thread keeps the submitter's attribution: the active scope
+/// and the innermost open span (the task's logical parent).
+struct TraceContext {
+  /// Id of the submitting thread's innermost open span, or -1 when no
+  /// span was open (or tracing is off).
+  int64_t parent_span_id = -1;
+  Scope scope;
+};
+
+/// Captures the calling thread's context at submission time.
+TraceContext CaptureTraceContext();
+
+/// RAII reinstallation of a captured context on a worker thread: installs
+/// the scope and pushes `parent_span_id` as a virtual parent frame so
+/// spans opened by the task nest under the submitting span — the query's
+/// call tree stays one connected tree at any thread count.
+class TraceContextGuard {
+ public:
+  explicit TraceContextGuard(const TraceContext& context);
+  ~TraceContextGuard();
+
+  TraceContextGuard(const TraceContextGuard&) = delete;
+  TraceContextGuard& operator=(const TraceContextGuard&) = delete;
+
+ private:
+  ScopeGuard scope_guard_;
+  bool pushed_parent_ = false;
+};
+
+}  // namespace obs
+}  // namespace psc
+
+#endif  // PSC_OBS_SCOPE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "psc/obs/scope.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -13,10 +14,16 @@ namespace {
 std::atomic<uint64_t> g_next_span_id{1};
 
 /// Per-thread stack of open spans; parent/child nesting is per thread.
+/// Virtual frames (see PushVirtualParent) re-anchor a worker thread's
+/// spans under the span that submitted the work from another thread.
 struct OpenSpan {
   uint64_t id;
+  bool virtual_frame;
 };
 thread_local std::vector<OpenSpan> t_span_stack;
+
+std::atomic<uint64_t> g_next_lane_id{1};
+thread_local uint64_t t_lane_id = 0;
 
 std::chrono::steady_clock::time_point TraceEpoch() {
   static const std::chrono::steady_clock::time_point epoch =
@@ -25,6 +32,33 @@ std::chrono::steady_clock::time_point TraceEpoch() {
 }
 
 }  // namespace
+
+uint64_t CurrentThreadLaneId() {
+  if (t_lane_id == 0) {
+    t_lane_id = g_next_lane_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_lane_id;
+}
+
+namespace internal {
+
+int64_t CurrentOpenSpanId() {
+  return t_span_stack.empty()
+             ? -1
+             : static_cast<int64_t>(t_span_stack.back().id);
+}
+
+void PushVirtualParent(uint64_t span_id) {
+  t_span_stack.push_back(OpenSpan{span_id, /*virtual_frame=*/true});
+}
+
+void PopVirtualParent() {
+  assert(!t_span_stack.empty() && t_span_stack.back().virtual_frame &&
+         "unbalanced PopVirtualParent");
+  if (!t_span_stack.empty()) t_span_stack.pop_back();
+}
+
+}  // namespace internal
 
 uint64_t TraceNowMicros() {
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -54,6 +88,12 @@ uint64_t TraceBuffer::dropped() const {
 void TraceBuffer::SetCapacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = capacity;
+  if (records_.size() > capacity_) {
+    // Shrinking applies retroactively: the newest records go, counted as
+    // dropped, exactly as if the buffer had been this small all along.
+    dropped_ += records_.size() - capacity_;
+    records_.resize(capacity_);
+  }
 }
 
 void TraceBuffer::Clear() {
@@ -80,8 +120,9 @@ TraceSpan::TraceSpan(const char* name) : name_(name) {
   parent_id_ = t_span_stack.empty()
                    ? -1
                    : static_cast<int64_t>(t_span_stack.back().id);
+  scope_ = internal::t_current_scope;
   start_us_ = TraceNowMicros();
-  t_span_stack.push_back(OpenSpan{id_});
+  t_span_stack.push_back(OpenSpan{id_, /*virtual_frame=*/false});
 }
 
 TraceSpan::~TraceSpan() {
@@ -107,6 +148,9 @@ TraceSpan::~TraceSpan() {
   record.depth = depth_;
   record.start_us = start_us_;
   record.duration_us = micros;
+  record.tid = CurrentThreadLaneId();
+  record.scope_id = scope_ == nullptr ? 0 : scope_->id;
+  if (scope_ != nullptr) scope_->spans.Append(record);
   GlobalTrace().Append(std::move(record));
 }
 

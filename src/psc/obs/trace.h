@@ -32,12 +32,19 @@ namespace obs {
 /// trace epoch (first use of the clock helper).
 struct SpanRecord {
   uint64_t id = 0;
-  /// Id of the enclosing span, or -1 for a root span.
+  /// Id of the enclosing span, or -1 for a root span. With cross-thread
+  /// propagation (scope.h TraceContextGuard) this may name a span that
+  /// was open on the *submitting* thread.
   int64_t parent_id = -1;
   std::string name;
   uint32_t depth = 0;
   uint64_t start_us = 0;
   uint64_t duration_us = 0;
+  /// Lane of the recording thread (small dense ids starting at 1, not OS
+  /// thread ids) — the flame-graph track in the Chrome-trace export.
+  uint64_t tid = 0;
+  /// Id of the obs::Scope installed when the span opened, 0 for none.
+  uint64_t scope_id = 0;
 };
 
 /// Append-only buffer of completed spans, guarded by a mutex. Appends past
@@ -47,6 +54,8 @@ class TraceBuffer {
   void Append(SpanRecord record);
   std::vector<SpanRecord> Snapshot() const;
   uint64_t dropped() const;
+  /// Applies to already-buffered records too: shrinking below the current
+  /// size truncates the newest records, counting them as dropped.
   void SetCapacity(size_t capacity);
   void Clear();
 
@@ -116,12 +125,35 @@ class TraceSpan {
   int64_t parent_id_ = -1;
   uint32_t depth_ = 0;
   uint64_t start_us_ = 0;
+  /// Scope installed at construction; spans mirror into its buffer. Raw:
+  /// the installing ScopeGuard strictly outlives any span opened under it
+  /// (both are stack-nested RAII), so the state cannot dangle here.
+  internal::ScopeState* scope_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 };
 
 /// Renders `spans` as an indented tree ("name  12.3ms"), one line per
 /// span, children below their parents.
 std::string FormatSpanTree(const std::vector<SpanRecord>& spans);
+
+/// Small dense id of the calling thread (1, 2, ... in first-use order);
+/// stamped into SpanRecord::tid for per-thread flame-graph lanes.
+uint64_t CurrentThreadLaneId();
+
+namespace internal {
+
+/// Id of the calling thread's innermost open (buffered) span, or -1.
+/// Captured at task-submission time by obs::CaptureTraceContext.
+int64_t CurrentOpenSpanId();
+
+/// Installs `span_id` as a *virtual* parent frame on the calling thread's
+/// span stack, so spans opened by a worker task nest under the span that
+/// submitted the task (which lives on another thread). Must be balanced
+/// with PopVirtualParent; managed by obs::TraceContextGuard.
+void PushVirtualParent(uint64_t span_id);
+void PopVirtualParent();
+
+}  // namespace internal
 
 }  // namespace obs
 }  // namespace psc

@@ -1,0 +1,142 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "psc/core/query_system.h"
+#include "psc/exec/parallel.h"
+#include "psc/exec/thread_pool.h"
+#include "psc/obs/scope.h"
+#include "psc/obs/trace.h"
+#include "test_util.h"
+
+namespace psc {
+namespace {
+
+using testing::IntDomain;
+using testing::MakeUnaryCollection;
+using testing::MakeUnarySource;
+
+// Returns how many spans have no parent inside `spans` — the number of
+// distinct trees the records form. Cross-thread propagation promises
+// exactly one per query, regardless of thread count.
+size_t CountRoots(const std::vector<obs::SpanRecord>& spans) {
+  std::set<uint64_t> ids;
+  for (const obs::SpanRecord& span : spans) ids.insert(span.id);
+  size_t roots = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.parent_id < 0 ||
+        ids.count(static_cast<uint64_t>(span.parent_id)) == 0) {
+      ++roots;
+    }
+  }
+  return roots;
+}
+
+class ExecTracePropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Options options;
+    options.trace_enabled = true;
+    obs::SetOptions(options);
+    obs::GlobalTrace().Clear();
+    obs::GlobalMetrics().Reset();
+  }
+  void TearDown() override {
+    obs::SetOptions(obs::Options{});
+    obs::GlobalTrace().Clear();
+    obs::GlobalMetrics().Reset();
+  }
+};
+
+TEST_F(ExecTracePropagationTest, ParallelForSpansNestUnderSubmittingSpan) {
+  const obs::Scope scope = obs::Scope::Create("prop_test.parallel_for");
+  {
+    const obs::ScopeGuard guard(scope);
+    obs::TraceSpan root("prop_test.root");
+    exec::ThreadPool pool(4);
+    exec::ParallelFor(&pool, 64, [](size_t) {
+      obs::TraceSpan body("prop_test.body");
+      (void)body;
+    });
+  }
+  const obs::ScopeSnapshot snapshot = scope.Snapshot();
+  EXPECT_EQ(snapshot.spans_dropped, 0u);
+
+  // Every task body span landed in the scope's buffer (workers inherit
+  // the submitter's scope) and the whole run is one connected tree
+  // rooted at prop_test.root.
+  const size_t bodies = static_cast<size_t>(
+      std::count_if(snapshot.spans.begin(), snapshot.spans.end(),
+                    [](const obs::SpanRecord& span) {
+                      return span.name == "prop_test.body";
+                    }));
+  EXPECT_EQ(bodies, 64u);
+  EXPECT_EQ(CountRoots(snapshot.spans), 1u);
+  for (const obs::SpanRecord& span : snapshot.spans) {
+    EXPECT_EQ(span.scope_id, scope.id()) << span.name;
+    EXPECT_GE(span.tid, 1u) << span.name;
+  }
+}
+
+TEST_F(ExecTracePropagationTest, InlinePathKeepsDirectNesting) {
+  // A null pool degrades to the sequential loop: spans nest directly
+  // under the caller with no exec.shard hop and on the caller's lane.
+  const obs::Scope scope = obs::Scope::Create("prop_test.inline");
+  {
+    const obs::ScopeGuard guard(scope);
+    obs::TraceSpan root("prop_test.inline_root");
+    exec::ParallelFor(nullptr, 4, [](size_t) {
+      obs::TraceSpan body("prop_test.inline_body");
+      (void)body;
+    });
+  }
+  const obs::ScopeSnapshot snapshot = scope.Snapshot();
+  EXPECT_EQ(CountRoots(snapshot.spans), 1u);
+  const uint64_t lane = obs::CurrentThreadLaneId();
+  for (const obs::SpanRecord& span : snapshot.spans) {
+    EXPECT_EQ(span.tid, lane) << span.name;
+  }
+}
+
+#if PSC_OBS_ENABLED
+
+TEST_F(ExecTracePropagationTest, MonteCarloAnswerFormsOneTreeAtFourThreads) {
+  QuerySystem::Options options;
+  options.threads = 4;
+  options.scope = obs::Scope::Create("prop_test.mc_query");
+  auto system = QuerySystem::Create(
+      MakeUnaryCollection({MakeUnarySource("S1", {0, 1}, "1/2", "1/2"),
+                           MakeUnarySource("S2", {1, 2}, "1/2", "1/2")}),
+      options);
+  ASSERT_TRUE(system.ok());
+
+  auto answer = system->AnswerMonteCarlo(AlgebraExpr::Base("R", 1),
+                                         IntDomain(4), /*samples=*/20000,
+                                         /*seed=*/7);
+  ASSERT_TRUE(answer.ok());
+
+  const obs::ScopeSnapshot snapshot = options.scope.Snapshot();
+  EXPECT_EQ(snapshot.spans_dropped, 0u);
+  ASSERT_GE(snapshot.spans.size(), 2u);  // the root plus pool shards
+  EXPECT_EQ(CountRoots(snapshot.spans), 1u);
+
+  // The root is the query entry-point span; shards ran on worker lanes.
+  const auto root = std::find_if(
+      snapshot.spans.begin(), snapshot.spans.end(),
+      [](const obs::SpanRecord& span) {
+        return span.name == "query.answer_monte_carlo";
+      });
+  ASSERT_NE(root, snapshot.spans.end());
+  // Lanes are bounded by the caller plus the four pool workers. (A lower
+  // bound would be flaky: a fast caller can drain every shard itself.)
+  std::set<uint64_t> lanes;
+  for (const obs::SpanRecord& span : snapshot.spans) lanes.insert(span.tid);
+  EXPECT_GE(lanes.size(), 1u);
+  EXPECT_LE(lanes.size(), 5u);
+}
+
+#endif  // PSC_OBS_ENABLED
+
+}  // namespace
+}  // namespace psc

@@ -78,6 +78,56 @@ TEST_F(ObsMetricsTest, HistogramSnapshotInvariants) {
   EXPECT_LE(snapshot.Percentile(0.5), 4u);
 }
 
+TEST_F(ObsMetricsTest, PercentileInterpolatedEmptyAndSingleSample) {
+  obs::Histogram histogram;
+  const obs::HistogramSnapshot empty = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(empty.PercentileInterpolated(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.PercentileInterpolated(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.PercentileInterpolated(1.0), 0.0);
+
+  // One sample: every quantile is that sample — interpolation inside the
+  // [4, 8) bucket must clamp to the observed range.
+  histogram.Record(4);
+  const obs::HistogramSnapshot single = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(single.PercentileInterpolated(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(single.PercentileInterpolated(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(single.PercentileInterpolated(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(single.PercentileInterpolated(1.0), 4.0);
+}
+
+TEST_F(ObsMetricsTest, PercentileInterpolatedAtBucketBoundaries) {
+  // One sample per bucket: {1, 2, 4, 8} land in buckets [1,2), [2,4),
+  // [4,8), [8,16). Quantiles at exact multiples of 1/count exhaust whole
+  // buckets, so interpolation lands exactly on bucket upper bounds.
+  obs::Histogram histogram;
+  for (const uint64_t v : {1u, 2u, 4u, 8u}) histogram.Record(v);
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(0.75), 8.0);
+  // Mid-bucket quantiles interpolate linearly: q=0.375 is halfway
+  // through the [2,4) bucket.
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(0.375), 3.0);
+  // The extremes are the observed min/max, and q clamps to [0, 1].
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(2.0), 8.0);
+}
+
+TEST_F(ObsMetricsTest, PercentileInterpolatedClampsToObservedRange) {
+  // {1, 2, 4, 100}: the p50 rank exhausts the [2,4) bucket, so the
+  // interpolated value is its upper bound — strictly tighter than the
+  // integer Percentile's factor-of-two bracket above.
+  obs::Histogram histogram;
+  for (const uint64_t v : {1u, 2u, 4u, 100u}) histogram.Record(v);
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.PercentileInterpolated(0.5), 4.0);
+  // p99 falls in the top bucket [64,128) but can never exceed max.
+  EXPECT_LE(snapshot.PercentileInterpolated(0.99), 100.0);
+  EXPECT_GE(snapshot.PercentileInterpolated(0.99), 64.0);
+}
+
 TEST_F(ObsMetricsTest, RegistryReturnsStableReferences) {
   obs::MetricsRegistry registry;
   obs::Counter& a = registry.GetCounter("x");

@@ -118,6 +118,63 @@ TEST_F(ObsSchemaTest, RejectsDanglingSpanParents) {
   EXPECT_TRUE(obs::ValidateRunReportJson(dangling_but_truncated).ok());
 }
 
+TEST_F(ObsSchemaTest, SchemaV2RequiresQueriesSection) {
+  // v1 documents never carry queries and must stay accepted (archived
+  // bench baselines); v2 documents must carry the section, even empty.
+  const std::string v2_minimal =
+      "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},\"spans\":[],\"spans_dropped\":0,\"queries\":{}}";
+  EXPECT_TRUE(obs::ValidateRunReportJson(v2_minimal).ok());
+  const std::string v2_missing_queries =
+      "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},\"spans\":[],\"spans_dropped\":0}";
+  EXPECT_FALSE(obs::ValidateRunReportJson(v2_missing_queries).ok());
+}
+
+TEST_F(ObsSchemaTest, SchemaV2ValidatesPerQueryEntries) {
+  const std::string with_query =
+      "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},\"spans\":[],\"spans_dropped\":0,"
+      "\"queries\":{\"q1:answer\":{\"id\":1,\"counters\":{\"c\":3},"
+      "\"gauges\":{},\"histograms\":{},\"spans\":2,\"spans_dropped\":0,"
+      "\"trip\":\"deadline\"}}}";
+  EXPECT_TRUE(obs::ValidateRunReportJson(with_query).ok());
+  // A query entry without its trip string is malformed.
+  const std::string missing_trip =
+      "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},\"spans\":[],\"spans_dropped\":0,"
+      "\"queries\":{\"q1:answer\":{\"id\":1,\"counters\":{},"
+      "\"gauges\":{},\"histograms\":{},\"spans\":0,\"spans_dropped\":0}}}";
+  EXPECT_FALSE(obs::ValidateRunReportJson(missing_trip).ok());
+}
+
+TEST_F(ObsSchemaTest, SchemaV2RequiresSpanThreadAndScopeFields) {
+  // v2 spans carry tid/scope; v1 spans (no such fields) stay accepted.
+  const std::string v2_span_without_tid =
+      "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},"
+      "\"spans\":[{\"id\":1,\"parent\":-1,\"name\":\"s\",\"depth\":0,"
+      "\"start_us\":0,\"duration_us\":1}],"
+      "\"spans_dropped\":0,\"queries\":{}}";
+  EXPECT_FALSE(obs::ValidateRunReportJson(v2_span_without_tid).ok());
+  const std::string v2_span_complete =
+      "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{},"
+      "\"spans\":[{\"id\":1,\"parent\":-1,\"name\":\"s\",\"depth\":0,"
+      "\"start_us\":0,\"duration_us\":1,\"tid\":1,\"scope\":0}],"
+      "\"spans_dropped\":0,\"queries\":{}}";
+  EXPECT_TRUE(obs::ValidateRunReportJson(v2_span_complete).ok());
+}
+
+TEST_F(ObsSchemaTest, SchemaV2RequiresP95) {
+  const std::string v2_histogram_without_p95 =
+      "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+      "\"histograms\":{\"h\":{\"count\":1,\"sum\":4,\"min\":4,\"max\":4,"
+      "\"mean\":4,\"p50\":4,\"p90\":4,\"p99\":4}},"
+      "\"spans\":[],\"spans_dropped\":0,\"queries\":{}}";
+  EXPECT_FALSE(obs::ValidateRunReportJson(v2_histogram_without_p95).ok());
+}
+
 TEST_F(ObsSchemaTest, TableRendersEveryInstrumentName) {
   obs::GlobalMetrics().GetCounter("obs_test.table_counter").Increment();
   obs::GlobalMetrics().GetGauge("obs_test.table_gauge").Set(5);

@@ -113,6 +113,37 @@ TEST_F(ObsTraceTest, BufferCountsDroppedSpansPastCapacity) {
   EXPECT_EQ(buffer.dropped(), 0u);
 }
 
+TEST_F(ObsTraceTest, SetCapacityTruncatesRetroactively) {
+  obs::TraceBuffer buffer;
+  for (uint64_t i = 0; i < 5; ++i) {
+    obs::SpanRecord record;
+    record.id = i;
+    record.name = "retro";
+    buffer.Append(record);
+  }
+  ASSERT_EQ(buffer.Snapshot().size(), 5u);
+  // Shrinking below the current size drops the excess and counts it.
+  buffer.SetCapacity(3);
+  EXPECT_EQ(buffer.Snapshot().size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  // Growing never resurrects dropped records.
+  buffer.SetCapacity(10);
+  EXPECT_EQ(buffer.Snapshot().size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+}
+
+TEST_F(ObsTraceTest, RecordedSpansCarryThreadLane) {
+  { obs::TraceSpan span("obs_test.lane"); (void)span; }
+  const std::vector<obs::SpanRecord> spans = obs::GlobalTrace().Snapshot();
+  const obs::SpanRecord* record = FindSpan(spans, "obs_test.lane");
+  ASSERT_NE(record, nullptr);
+  // Lane ids are dense and start at 1; this thread has one.
+  EXPECT_GE(record->tid, 1u);
+  EXPECT_EQ(record->tid, obs::CurrentThreadLaneId());
+  // No scope installed: the span belongs to the global scope (id 0).
+  EXPECT_EQ(record->scope_id, 0u);
+}
+
 TEST_F(ObsTraceTest, FormatSpanTreeIndentsChildrenBelowParents) {
   {
     obs::TraceSpan root("obs_test.tree_root");

@@ -3,30 +3,41 @@
 
 Accepts either format the toolchain emits:
   * a single run report object, as written by `psc ... --metrics-out=FILE`
-    (schema_version 1; see src/psc/obs/report.h), or
+    (schema_version 1 or 2; see src/psc/obs/report.h), or
   * JSON-lines of bench metrics records, one
     `{"bench": <name>, "metrics": <run report>}` object per line, as
     appended by the benchmarks when PSC_BENCH_METRICS_OUT is set.
 
+Schema v2 extends v1 with interpolated percentiles (p95 joins the
+histogram fields), per-span `tid`/`scope` fields, and a per-query
+`queries` object carrying each obs::Scope's deltas and limits trip.
+Both versions validate; v1 artifacts (e.g. checked-in bench baselines)
+stay accepted forever.
+
 Usage:
   check_metrics_schema.py FILE...
   check_metrics_schema.py --require-counter consistency.checks FILE
+  check_metrics_schema.py --require-trip deadline FILE
   psc check data/example51.psc --metrics-out=/dev/stdout --quiet \
       | check_metrics_schema.py -
 
 Exits 0 when every report validates (and every required counter is
-present with a positive value in at least one report), 1 otherwise.
-This mirrors obs::ValidateRunReportJson so CI can check artifacts
-without rebuilding the C++ toolchain.
+present with a positive value, and every required trip reason appears
+on some query, in at least one report), 1 otherwise. This mirrors
+obs::ValidateRunReportJson so CI can check artifacts without
+rebuilding the C++ toolchain.
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
+MIN_SCHEMA_VERSION = 1
+MAX_SCHEMA_VERSION = 2
 HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+HISTOGRAM_FIELDS_V2 = HISTOGRAM_FIELDS + ("p95",)
 SPAN_NUMERIC_FIELDS = ("parent", "depth", "start_us", "duration_us")
+SPAN_NUMERIC_FIELDS_V2 = SPAN_NUMERIC_FIELDS + ("tid", "scope")
 
 
 class SchemaError(Exception):
@@ -42,46 +53,57 @@ def _is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _validate_instruments(container, version, where):
+    """Validates the counters/gauges/histograms trio inside `container`."""
+    counters = container.get("counters")
+    _expect(isinstance(counters, dict), "%smissing counters object" % where)
+    for name, value in counters.items():
+        _expect(_is_number(value) and value >= 0,
+                "%scounter %r not a non-negative number" % (where, name))
+
+    gauges = container.get("gauges")
+    _expect(isinstance(gauges, dict), "%smissing gauges object" % where)
+    for name, value in gauges.items():
+        _expect(_is_number(value), "%sgauge %r not numeric" % (where, name))
+
+    histogram_fields = (HISTOGRAM_FIELDS_V2 if version >= 2
+                        else HISTOGRAM_FIELDS)
+    histograms = container.get("histograms")
+    _expect(isinstance(histograms, dict),
+            "%smissing histograms object" % where)
+    for name, snapshot in histograms.items():
+        _expect(isinstance(snapshot, dict),
+                "%shistogram %r not an object" % (where, name))
+        for field in histogram_fields:
+            _expect(_is_number(snapshot.get(field)) and snapshot[field] >= 0,
+                    "%shistogram %r field %r invalid" % (where, name, field))
+        _expect(snapshot["count"] > 0 or snapshot["sum"] == 0,
+                "%shistogram %r has sum without samples" % (where, name))
+        _expect(snapshot["min"] <= snapshot["max"],
+                "%shistogram %r has min > max" % (where, name))
+
+
 def validate_report(report):
     """Raises SchemaError when `report` is not a valid run report."""
     _expect(isinstance(report, dict), "document not an object")
     version = report.get("schema_version")
     _expect(_is_number(version), "missing numeric schema_version")
-    _expect(int(version) == SCHEMA_VERSION,
+    version = int(version)
+    _expect(MIN_SCHEMA_VERSION <= version <= MAX_SCHEMA_VERSION,
             "unsupported schema_version %r" % (version,))
 
-    counters = report.get("counters")
-    _expect(isinstance(counters, dict), "missing counters object")
-    for name, value in counters.items():
-        _expect(_is_number(value) and value >= 0,
-                "counter %r not a non-negative number" % name)
-
-    gauges = report.get("gauges")
-    _expect(isinstance(gauges, dict), "missing gauges object")
-    for name, value in gauges.items():
-        _expect(_is_number(value), "gauge %r not numeric" % name)
-
-    histograms = report.get("histograms")
-    _expect(isinstance(histograms, dict), "missing histograms object")
-    for name, snapshot in histograms.items():
-        _expect(isinstance(snapshot, dict),
-                "histogram %r not an object" % name)
-        for field in HISTOGRAM_FIELDS:
-            _expect(_is_number(snapshot.get(field)) and snapshot[field] >= 0,
-                    "histogram %r field %r invalid" % (name, field))
-        _expect(snapshot["count"] > 0 or snapshot["sum"] == 0,
-                "histogram %r has sum without samples" % name)
-        _expect(snapshot["min"] <= snapshot["max"],
-                "histogram %r has min > max" % name)
+    _validate_instruments(report, version, "")
 
     spans = report.get("spans")
     _expect(isinstance(spans, list), "missing spans array")
+    span_fields = (SPAN_NUMERIC_FIELDS_V2 if version >= 2
+                   else SPAN_NUMERIC_FIELDS)
     span_ids = set()
     for span in spans:
         _expect(isinstance(span, dict), "span not an object")
         _expect(_is_number(span.get("id")), "span missing numeric id")
         _expect(isinstance(span.get("name"), str), "span missing name")
-        for field in SPAN_NUMERIC_FIELDS:
+        for field in span_fields:
             _expect(_is_number(span.get(field)),
                     "span missing field %r" % field)
         span_ids.add(int(span["id"]))
@@ -95,6 +117,22 @@ def validate_report(report):
             parent = int(span["parent"])
             _expect(parent == -1 or parent in span_ids,
                     "span parent %d not present in the report" % parent)
+
+    if version >= 2:
+        queries = report.get("queries")
+        _expect(isinstance(queries, dict), "missing queries object")
+        for name, query in queries.items():
+            _expect(isinstance(query, dict),
+                    "query %r not an object" % name)
+            where = "query %r: " % name
+            _expect(_is_number(query.get("id")) and query["id"] > 0,
+                    where + "missing positive numeric id")
+            _validate_instruments(query, version, where)
+            for field in ("spans", "spans_dropped"):
+                _expect(_is_number(query.get(field)) and query[field] >= 0,
+                        where + "field %r not a non-negative number" % field)
+            _expect(isinstance(query.get("trip"), str),
+                    where + "missing trip string")
 
 
 def extract_reports(text, origin):
@@ -137,11 +175,16 @@ def main(argv):
                         metavar="NAME",
                         help="fail unless some report has NAME > 0 "
                              "(repeatable)")
+    parser.add_argument("--require-trip", action="append", default=[],
+                        metavar="REASON",
+                        help="fail unless some query in some v2 report "
+                             "tripped with REASON (repeatable)")
     args = parser.parse_args(argv)
 
     failures = 0
     reports = 0
     seen_counters = {}
+    seen_trips = set()
     for path in args.files:
         try:
             text = (sys.stdin.read() if path == "-"
@@ -157,9 +200,13 @@ def main(argv):
                 for name, value in report["counters"].items():
                     seen_counters[name] = max(seen_counters.get(name, 0),
                                               value)
-                print("ok   %s (%d counters, %d spans)"
+                for query in report.get("queries", {}).values():
+                    if query["trip"]:
+                        seen_trips.add(query["trip"])
+                print("ok   %s (%d counters, %d spans, %d queries)"
                       % (label, len(report["counters"]),
-                         len(report["spans"])))
+                         len(report["spans"]),
+                         len(report.get("queries", {}))))
         except SchemaError as error:
             print("FAIL %s" % error, file=sys.stderr)
             failures += 1
@@ -167,6 +214,12 @@ def main(argv):
     for name in args.require_counter:
         if seen_counters.get(name, 0) <= 0:
             print("FAIL required counter %r missing or zero" % name,
+                  file=sys.stderr)
+            failures += 1
+
+    for reason in args.require_trip:
+        if reason not in seen_trips:
+            print("FAIL no query tripped with reason %r" % reason,
                   file=sys.stderr)
             failures += 1
 

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate psc Chrome-trace JSON as written by `psc ... --trace-out=FILE`.
+
+The exporter (src/psc/obs/chrome_trace.cc) emits the Trace Event Format
+understood by chrome://tracing and Perfetto: one object with
+`traceEvents` (X duration events for spans, M metadata events naming the
+process and per-lane tracks, C counter events) and `otherData` carrying
+the psc run-report schema version and the span-drop count.
+
+Usage:
+  check_trace_schema.py trace.json
+  check_trace_schema.py --require-spans 1 --expect-single-root trace.json
+
+Checks, in order of strictness:
+  * structural: traceEvents is a list; every X event has numeric
+    ts/dur >= 0, a name, pid/tid, and args with id/parent/scope;
+  * referential (only when otherData.spans_dropped == 0): every X
+    event's parent is -1 or the id of another X event;
+  * --require-spans N: at least N X events are present;
+  * --expect-single-root: for every query scope (args.scope > 0; scope 0
+    is scope-free global work), exactly one X event's parent falls
+    outside that scope's id set — i.e. the spans of one query form one
+    connected tree regardless of how many threads ran it.
+
+Exits 0 when every file passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _expect(condition, message):
+    if not condition:
+        raise SchemaError(message)
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_events(document):
+    """Returns (x_events, spans_dropped) after structural validation."""
+    _expect(isinstance(document, dict), "document not an object")
+    events = document.get("traceEvents")
+    _expect(isinstance(events, list), "missing traceEvents array")
+
+    other = document.get("otherData")
+    _expect(isinstance(other, dict), "missing otherData object")
+    dropped = other.get("spans_dropped")
+    _expect(_is_number(dropped) and dropped >= 0,
+            "otherData missing numeric spans_dropped")
+
+    x_events = []
+    for index, event in enumerate(events):
+        _expect(isinstance(event, dict), "event %d not an object" % index)
+        phase = event.get("ph")
+        _expect(isinstance(phase, str) and phase,
+                "event %d missing phase" % index)
+        if phase != "X":
+            continue
+        where = "X event %d: " % index
+        _expect(isinstance(event.get("name"), str) and event["name"],
+                where + "missing name")
+        for field in ("pid", "tid"):
+            _expect(_is_number(event.get(field)),
+                    where + "missing numeric %r" % field)
+        for field in ("ts", "dur"):
+            _expect(_is_number(event.get(field)) and event[field] >= 0,
+                    where + "field %r not a non-negative number" % field)
+        args = event.get("args")
+        _expect(isinstance(args, dict), where + "missing args object")
+        for field in ("id", "parent", "scope"):
+            _expect(_is_number(args.get(field)),
+                    where + "args missing numeric %r" % field)
+        x_events.append(event)
+    return x_events, int(dropped)
+
+
+def validate_trace(document, require_spans, expect_single_root):
+    x_events, dropped = load_events(document)
+
+    _expect(len(x_events) >= require_spans,
+            "expected at least %d span event(s), found %d"
+            % (require_spans, len(x_events)))
+
+    # Parent links are only guaranteed complete when nothing was dropped.
+    if dropped == 0:
+        ids = {int(e["args"]["id"]) for e in x_events}
+        for event in x_events:
+            parent = int(event["args"]["parent"])
+            _expect(parent == -1 or parent in ids,
+                    "span %r parent %d not present in the trace"
+                    % (event["name"], parent))
+
+    if expect_single_root:
+        _expect(dropped == 0,
+                "--expect-single-root needs a complete trace "
+                "(spans_dropped=%d)" % dropped)
+        by_scope = {}
+        for event in x_events:
+            scope = int(event["args"]["scope"])
+            if scope == 0:  # scope-free global work, unconstrained
+                continue
+            by_scope.setdefault(scope, []).append(event)
+        _expect(by_scope, "--expect-single-root found no query-scoped spans")
+        for scope, group in sorted(by_scope.items()):
+            ids = {int(e["args"]["id"]) for e in group}
+            roots = [e for e in group
+                     if int(e["args"]["parent"]) not in ids]
+            _expect(len(roots) == 1,
+                    "scope %d has %d roots (%s), expected 1 — the query's "
+                    "spans do not form one connected tree"
+                    % (scope, len(roots),
+                       ", ".join(sorted(r["name"] for r in roots)) or "none"))
+    return len(x_events)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="Chrome trace JSON ('-' = stdin)")
+    parser.add_argument("--require-spans", type=int, default=0, metavar="N",
+                        help="fail unless at least N span events are present")
+    parser.add_argument("--expect-single-root", action="store_true",
+                        help="fail unless every query scope's spans form "
+                             "exactly one connected tree")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for path in args.files:
+        try:
+            text = (sys.stdin.read() if path == "-"
+                    else open(path, "r", encoding="utf-8").read())
+            document = json.loads(text)
+        except (OSError, ValueError) as error:
+            print("FAIL %s: %s" % (path, error), file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            spans = validate_trace(document, args.require_spans,
+                                   args.expect_single_root)
+            print("ok   %s (%d span events)" % (path, spans))
+        except SchemaError as error:
+            print("FAIL %s: %s" % (path, error), file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,9 +9,11 @@
 # All configurations must build warning-free (-Werror) and pass their
 # tests. The matrix finishes with a --threads 1 vs --threads 4 CLI
 # output-equivalence smoke check (the parallel runtime's determinism
-# contract made executable) and a --deadline-ms smoke (a search that
+# contract made executable), a --deadline-ms smoke (a search that
 # would run for minutes must exit cleanly within seconds, reporting
-# limits.deadline_hits in its metrics).
+# limits.deadline_hits and a per-query "deadline" trip in its metrics)
+# and a query-scoped telemetry smoke (--trace-out at --threads 4 must
+# produce a Chrome trace with one connected span tree per query).
 #
 # Usage: tools/ci_matrix.sh [build-root]   (default: build-matrix)
 
@@ -154,6 +156,25 @@ timeout 2 "${smoke_build}/tools/psc" check "${deadline_input}" \
   --deadline-ms 100 --quiet --metrics-out "${deadline_metrics}"
 python3 tools/check_metrics_schema.py \
   --require-counter limits.deadline_hits \
+  --require-trip deadline \
   "${deadline_metrics}"
 
-echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence and deadline degradation green"
+# Telemetry smoke: a 4-thread Monte-Carlo answer with --trace-out must
+# emit a Chrome trace whose spans form one connected tree per query
+# (cross-thread propagation made executable), and its run report must
+# carry the schema-v2 per-query section.
+echo "=== query-scoped telemetry smoke ==="
+telemetry_trace="$(mktemp)"
+telemetry_metrics="$(mktemp)"
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${deadline_input}" "${deadline_metrics}" "${telemetry_trace}" "${telemetry_metrics}"' EXIT
+"${smoke_build}/tools/psc" answer data/example51.psc "Ans(x) <- R(x)" \
+  --method mc --samples 20000 --threads 4 --quiet \
+  --trace-out "${telemetry_trace}" --metrics-out "${telemetry_metrics}"
+python3 tools/check_trace_schema.py \
+  --require-spans 2 --expect-single-root "${telemetry_trace}"
+python3 tools/check_metrics_schema.py \
+  --require-counter counting.sampler_draws \
+  "${telemetry_metrics}"
+python3 tools/psc_trace_summary.py --k 5 "${telemetry_trace}"
+
+echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence, deadline degradation and query-scoped telemetry green"

@@ -18,6 +18,12 @@
 //   --seed N             Monte-Carlo seed
 //   --metrics-out PATH   write the observability run report as JSON
 //   --trace              buffer trace spans and print the span tree
+//   --trace-out PATH     write the spans as Chrome trace-event JSON
+//                        (open in ui.perfetto.dev or chrome://tracing);
+//                        implies span buffering like --trace
+//   --trace-buffer N     trace-span buffer capacity (default 65536);
+//                        spans past the capacity are counted in the
+//                        trace.dropped counter instead of buffered
 //   --quiet              suppress the one-line solver stats summary
 //   --threads N          solver worker threads; 0 = auto (PSC_THREADS env
 //                        or hardware concurrency), 1 = sequential
@@ -50,7 +56,10 @@
 #include "psc/counting/consensus.h"
 #include "psc/algebra/plan_compiler.h"
 #include "psc/limits/budget.h"
+#include "psc/obs/chrome_trace.h"
+#include "psc/obs/log.h"
 #include "psc/obs/report.h"
+#include "psc/obs/scope.h"
 #include "psc/obs/trace.h"
 #include "psc/parser/parser.h"
 #include "psc/relational/query_plan.h"
@@ -73,7 +82,8 @@ int Usage() {
                "<check|print|confidences|answer|certain|consensus|audit> "
                "<file> [\"query\"] [--domain v1,v2,...] "
                "[--method exact|compositional|mc] [--samples N] [--seed N] "
-               "[--metrics-out PATH] [--trace] [--quiet] [--threads N] "
+               "[--metrics-out PATH] [--trace] [--trace-out PATH] "
+               "[--trace-buffer N] [--quiet] [--threads N] "
                "[--deadline-ms N] [--node-budget N] [--no-compiled-eval]\n");
   return 2;
 }
@@ -98,8 +108,15 @@ struct CliOptions {
   uint64_t samples = 10000;
   uint64_t seed = 1;
   std::string metrics_out;
+  /// Chrome trace-event JSON output path; implies span buffering.
+  std::string trace_out;
+  /// Trace-span buffer capacity; 0 keeps the default (65536).
+  size_t trace_buffer = 0;
   bool trace = false;
   bool quiet = false;
+  /// Per-command telemetry scope, installed by Main around the solving
+  /// commands (null for `print`).
+  obs::Scope scope;
   /// 0 = auto (PSC_THREADS env, then hardware concurrency).
   size_t threads = 0;
   /// Wall-clock deadline per solver call in ms; 0 = unlimited.
@@ -148,6 +165,26 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       if (options.metrics_out.empty()) {
         return Status::InvalidArgument("empty path for --metrics-out");
       }
+    } else if (arg == "--trace-out") {
+      PSC_ASSIGN_OR_RETURN(options.trace_out, next());
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(std::strlen("--trace-out="));
+      if (options.trace_out.empty()) {
+        return Status::InvalidArgument("empty path for --trace-out");
+      }
+    } else if (arg == "--trace-buffer") {
+      PSC_ASSIGN_OR_RETURN(const std::string value, next());
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || value[0] == '-' || parsed == 0) {
+        return Status::InvalidArgument(StrCat(
+            "--trace-buffer expects a positive integer, got '", value,
+            "'"));
+      }
+      options.trace_buffer = static_cast<size_t>(parsed);
     } else if (arg == "--threads") {
       PSC_ASSIGN_OR_RETURN(const std::string value, next());
       // Validate strictly: "-1" would wrap to SIZE_MAX and ask the pool
@@ -228,6 +265,7 @@ QuerySystem::Options SystemOptions(const CliOptions& options) {
   system_options.use_compiled_eval = options.use_compiled_eval;
   system_options.deadline_ms = options.deadline_ms;
   system_options.node_budget = options.node_budget;
+  system_options.scope = options.scope;
   return system_options;
 }
 
@@ -419,10 +457,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
     return Usage();
   }
-  if (options->trace) {
+  if (options->trace || !options->trace_out.empty()) {
     obs::Options obs_options = obs::GetOptions();
     obs_options.trace_enabled = true;
     obs::SetOptions(obs_options);
+  }
+  if (options->trace_buffer > 0) {
+    obs::GlobalTrace().SetCapacity(options->trace_buffer);
   }
   // Applies to every command, including the ones (certain, audit,
   // consensus) that never construct a QuerySystem.
@@ -439,20 +480,29 @@ int Main(int argc, char** argv) {
   }
 
   const std::string& command = options->command;
+  // One telemetry scope per solving command: its metric delta, span tree
+  // and any limits trip form the per-query section of the run report
+  // ("q1" anticipates pscd assigning one ordinal per in-flight request).
+  if (command != "print") {
+    options->scope = obs::Scope::Create(StrCat("q1:", command));
+  }
   const uint64_t start_us = obs::TraceNowMicros();
   int exit_code = -1;
-  if (command == "check") exit_code = RunCheck(*collection, *options);
-  if (command == "print") {
-    std::printf("%s\n", collection->ToString().c_str());
-    exit_code = 0;
+  {
+    const obs::ScopeGuard scope_guard(options->scope);
+    if (command == "check") exit_code = RunCheck(*collection, *options);
+    if (command == "print") {
+      std::printf("%s\n", collection->ToString().c_str());
+      exit_code = 0;
+    }
+    if (command == "confidences") {
+      exit_code = RunConfidences(*collection, *options);
+    }
+    if (command == "answer") exit_code = RunAnswer(*collection, *options);
+    if (command == "certain") exit_code = RunCertain(*collection, *options);
+    if (command == "consensus") exit_code = RunConsensus(*collection);
+    if (command == "audit") exit_code = RunAudit(*collection, *options);
   }
-  if (command == "confidences") {
-    exit_code = RunConfidences(*collection, *options);
-  }
-  if (command == "answer") exit_code = RunAnswer(*collection, *options);
-  if (command == "certain") exit_code = RunCertain(*collection, *options);
-  if (command == "consensus") exit_code = RunConsensus(*collection);
-  if (command == "audit") exit_code = RunAudit(*collection, *options);
   if (exit_code < 0) return Usage();
 
   if (!options->quiet && command != "print") PrintStatsLine(start_us);
@@ -465,14 +515,33 @@ int Main(int argc, char** argv) {
                   obs::FormatSpanTree(spans).c_str());
     }
   }
-  if (!options->metrics_out.empty()) {
-    const Status written =
-        obs::RunReport::Capture().WriteJsonFile(options->metrics_out);
-    if (!written.ok()) return Fail(written);
-    if (!options->quiet) {
-      std::printf("metrics written to %s\n", options->metrics_out.c_str());
+  // Artifact writers run after the command so a failure can no longer
+  // mask its verdict (check/audit exit 3 by design): an unwritable path
+  // warns and forces a nonzero exit only when the command itself passed.
+  int artifact_failures = 0;
+  if (!options->metrics_out.empty() || !options->trace_out.empty()) {
+    const obs::RunReport report = obs::RunReport::Capture();
+    if (!options->metrics_out.empty()) {
+      const Status written = report.WriteJsonFile(options->metrics_out);
+      if (!written.ok()) {
+        obs::LogWarning(StrCat("--metrics-out: ", written.ToString()));
+        ++artifact_failures;
+      } else if (!options->quiet) {
+        std::printf("metrics written to %s\n", options->metrics_out.c_str());
+      }
+    }
+    if (!options->trace_out.empty()) {
+      const Status written =
+          obs::WriteChromeTraceFile(report, options->trace_out);
+      if (!written.ok()) {
+        obs::LogWarning(StrCat("--trace-out: ", written.ToString()));
+        ++artifact_failures;
+      } else if (!options->quiet) {
+        std::printf("trace written to %s\n", options->trace_out.c_str());
+      }
     }
   }
+  if (artifact_failures > 0 && exit_code == 0) exit_code = 1;
   return exit_code;
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Summarise a psc Chrome trace: top-k span names by total self-time.
+
+Self-time of a span is its duration minus the summed durations of its
+direct children (resolved through args.parent), so inclusive parents
+like query.answer_monte_carlo don't drown out the shards doing the
+actual work. Aggregation is by span name across all threads and scopes.
+
+Usage:
+  psc_trace_summary.py trace.json
+  psc_trace_summary.py --k 20 trace.json
+  psc ... --trace-out=/dev/stdout --quiet | psc_trace_summary.py -
+"""
+
+import argparse
+import json
+import sys
+
+
+def summarise(document):
+    """Returns rows of (name, count, total_us, self_us) sorted by self_us."""
+    events = [e for e in document.get("traceEvents", [])
+              if e.get("ph") == "X"]
+    children_dur = {}
+    for event in events:
+        parent = int(event["args"]["parent"])
+        if parent >= 0:
+            children_dur[parent] = children_dur.get(parent, 0.0) \
+                + float(event["dur"])
+    by_name = {}
+    for event in events:
+        span_id = int(event["args"]["id"])
+        dur = float(event["dur"])
+        # Clamp: child micros are rounded independently of the parent's,
+        # so the sum can exceed the parent's duration by a few ticks.
+        self_us = max(0.0, dur - children_dur.get(span_id, 0.0))
+        count, total, self_total = by_name.get(event["name"], (0, 0.0, 0.0))
+        by_name[event["name"]] = (count + 1, total + dur,
+                                  self_total + self_us)
+    rows = [(name, count, total, self_total)
+            for name, (count, total, self_total) in by_name.items()]
+    rows.sort(key=lambda row: (-row[3], row[0]))
+    return rows
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", metavar="FILE",
+                        help="Chrome trace JSON ('-' = stdin)")
+    parser.add_argument("--k", type=int, default=10, metavar="N",
+                        help="number of span names to print (default 10)")
+    args = parser.parse_args(argv)
+
+    try:
+        text = (sys.stdin.read() if args.file == "-"
+                else open(args.file, "r", encoding="utf-8").read())
+        document = json.loads(text)
+    except (OSError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+    rows = summarise(document)
+    if not rows:
+        print("no span events")
+        return 0
+    total_self = sum(row[3] for row in rows) or 1.0
+    print("%-40s %8s %12s %12s %6s"
+          % ("span", "count", "total_us", "self_us", "self%"))
+    for name, count, total, self_total in rows[:args.k]:
+        print("%-40s %8d %12.1f %12.1f %5.1f%%"
+              % (name, count, total, self_total,
+                 100.0 * self_total / total_self))
+    if len(rows) > args.k:
+        print("... %d more span name(s)" % (len(rows) - args.k))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

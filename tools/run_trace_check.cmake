@@ -1,0 +1,30 @@
+# Test driver for the trace-schema ctest: answers a query at 4 threads
+# with --trace-out and validates the emitted Chrome trace JSON with
+# check_trace_schema.py. Invoked as
+#   cmake -DPSC_CLI=... -DPYTHON=... -DCHECKER=... -DINPUT=...
+#         -DOUTPUT=... [-DSTRICT=ON] -P run_trace_check.cmake
+#
+# STRICT adds --require-spans/--expect-single-root; leave it off for
+# PSC_OBS=OFF builds, where spans compile out and the trace is empty
+# but must still be structurally valid JSON.
+
+execute_process(
+  COMMAND "${PSC_CLI}" answer "${INPUT}" "Ans(x) <- R(x)"
+          --method mc --samples 4000 --threads 4
+          "--trace-out=${OUTPUT}" --quiet
+  RESULT_VARIABLE cli_result)
+if(NOT cli_result EQUAL 0)
+  message(FATAL_ERROR "psc answer failed with status ${cli_result}")
+endif()
+
+set(checker_args "${OUTPUT}")
+if(STRICT)
+  list(PREPEND checker_args --require-spans 1 --expect-single-root)
+endif()
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" ${checker_args}
+  RESULT_VARIABLE checker_result)
+if(NOT checker_result EQUAL 0)
+  message(FATAL_ERROR
+      "check_trace_schema.py rejected ${OUTPUT} (status ${checker_result})")
+endif()
