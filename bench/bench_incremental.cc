@@ -1,0 +1,484 @@
+// Streaming-update workloads for the incremental delta engine
+// (psc/delta/): how much cheaper is maintaining warm state through
+// Database::ApplyDelta / delta::IncrementalSystem than the pre-delta
+// full-recompute path?
+//
+// Two layers are measured, each against its own from-scratch baseline and
+// each cross-checked for bit-identical answers:
+//
+//  * index maintenance — a mirror of 10^5..10^6 edge tuples drifts under
+//    trickle (a handful of tuples) and bursty (thousands of tuples)
+//    batches while selective two-hop probes run between batches. The
+//    incremental path patches the cached hash indexes in place
+//    (eval_index.h); the baseline applies the same mutations but then
+//    wholesale-invalidates the index cache (Database::InvalidateIndexCache,
+//    exactly the pre-delta behaviour), forcing an O(N) rebuild on the next
+//    probe. Trickle target: >= 10x.
+//
+//  * consistency maintenance — a source collection drifts (mirrors
+//    catching up with the witness world / evicting junk) while
+//    consistency is re-checked after every batch. The incremental path
+//    revalidates the cached witness against the dirty sources only
+//    (delta::IncrementalSystem); the baseline rebuilds the system and runs
+//    the full strategy pipeline every time.
+//
+// `--smoke` runs a seconds-scale subset for CI (tools/ci_matrix.sh) that
+// still exercises every delta.* counter (patches, threshold rebuilds,
+// skipped combinations). The final line is the standard structured
+// metrics record (bench_util.h) scraped by tools/check_metrics_schema.py.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/benchmark.h"
+#include "psc/delta/incremental.h"
+#include "psc/obs/metrics.h"
+#include "psc/parser/parser.h"
+#include "psc/relational/conjunctive_query.h"
+#include "psc/relational/database.h"
+#include "psc/source/source_collection.h"
+#include "psc/util/random.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "!! MISMATCH: %s\n", what);
+    ++g_failures;
+  }
+}
+
+ConjunctiveQuery MustParseQuery(const std::string& text) {
+  auto query = ParseQuery(text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bad bench query %s: %s\n", text.c_str(),
+                 query.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(query);
+}
+
+// ---------------------------------------------------------------------------
+// Index-maintenance workload
+// ---------------------------------------------------------------------------
+
+/// A random edge relation E with `edges` tuples over `domain` nodes,
+/// mirrored into `mirror` so the delta generator can retract real edges.
+Database MakeGraphDb(uint64_t seed, int64_t edges, int64_t domain,
+                     std::vector<Tuple>* mirror) {
+  Rng rng(seed);
+  Database db;
+  while (db.size() < static_cast<size_t>(edges)) {
+    Tuple edge{Value(rng.UniformInt(0, domain - 1)),
+               Value(rng.UniformInt(0, domain - 1))};
+    if (db.AddFact("E", edge)) mirror->push_back(std::move(edge));
+  }
+  return db;
+}
+
+/// Pre-generates `steps` deltas against the evolving mirror: per step,
+/// `inserts` fresh edges and `retracts` existing ones. Both timed runs
+/// replay exactly this stream.
+std::vector<DatabaseDelta> MakeDeltaStream(uint64_t seed, int64_t domain,
+                                           int steps, int inserts,
+                                           int retracts,
+                                           std::vector<Tuple>* mirror) {
+  Rng rng(seed);
+  std::vector<DatabaseDelta> stream;
+  stream.reserve(steps);
+  for (int s = 0; s < steps; ++s) {
+    DatabaseDelta delta;
+    for (int i = 0; i < inserts; ++i) {
+      Tuple edge{Value(rng.UniformInt(0, domain - 1)),
+                 Value(rng.UniformInt(0, domain - 1))};
+      mirror->push_back(edge);
+      delta.Insert("E", std::move(edge));
+    }
+    for (int r = 0; r < retracts && !mirror->empty(); ++r) {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mirror->size()) - 1));
+      delta.Retract("E", (*mirror)[pick]);
+      (*mirror)[pick] = mirror->back();
+      mirror->pop_back();
+    }
+    stream.push_back(std::move(delta));
+  }
+  return stream;
+}
+
+/// Replays the delta stream against `db`, running the two-hop point probes
+/// after every batch. `wholesale` reproduces the pre-delta invalidation
+/// (drop every cached index; next probe rebuilds O(N)). Returns elapsed ms
+/// and appends a per-probe result signature for the cross-check.
+double RunStream(Database db, const ConjunctiveQuery& probe,
+                 const std::vector<DatabaseDelta>& stream,
+                 const std::vector<int64_t>& probe_nodes, bool wholesale,
+                 std::vector<uint64_t>* signature) {
+  // Warm the plan cache and indexes outside the timed region: both paths
+  // start from the same steady state a long-lived service would be in.
+  Valuation initial;
+  uint64_t sink = 0;
+  for (const int64_t node : probe_nodes) {
+    initial["x"] = Value(node);
+    (void)probe.ForEachValuation(db, initial, [&](const Valuation&) {
+      ++sink;
+      return true;
+    });
+  }
+  bench_util::Stopwatch stopwatch;
+  for (const DatabaseDelta& delta : stream) {
+    db.ApplyDelta(delta);
+    if (wholesale) db.InvalidateIndexCache();
+    for (const int64_t node : probe_nodes) {
+      initial["x"] = Value(node);
+      uint64_t hash = 1469598103934665603ULL;
+      auto each = probe.ForEachValuation(db, initial, [&](const Valuation& v) {
+        // Order-independent signature: sum of per-tuple hashes (the
+        // enumeration order is engine- and path-dependent by contract).
+        const auto z = v.find("z");
+        hash += static_cast<uint64_t>(z->second.AsInt()) * 1099511628211ULL + 1;
+        return true;
+      });
+      if (!each.ok()) {
+        std::fprintf(stderr, "probe failed: %s\n",
+                     each.status().ToString().c_str());
+        std::abort();
+      }
+      signature->push_back(hash);
+    }
+  }
+  const double elapsed = stopwatch.ElapsedMillis();
+  benchmark::DoNotOptimize(sink);
+  return elapsed;
+}
+
+struct StreamConfig {
+  const char* label;
+  int64_t edges;
+  int64_t domain;
+  int steps;
+  int inserts;
+  int retracts;
+  int probes;
+};
+
+double RunIndexSweep(bool smoke) {
+  const std::vector<StreamConfig> configs =
+      smoke ? std::vector<StreamConfig>{
+                  {"trickle", 20000, 4000, 5, 8, 4, 8},
+                  // Burst big enough to cross the churn threshold, so the
+                  // rebuild fallback (delta.index.rebuilds) is exercised.
+                  {"bursty-rebuild", 2000, 400, 3, 600, 400, 8},
+              }
+            : std::vector<StreamConfig>{
+                  {"trickle", 100000, 20000, 40, 8, 4, 16},
+                  {"bursty", 100000, 20000, 10, 4096, 2048, 16},
+                  {"bursty-rebuild", 100000, 20000, 6, 16384, 16384, 16},
+                  {"trickle", 1000000, 200000, 12, 8, 4, 16},
+                  {"bursty", 1000000, 200000, 5, 16384, 8192, 16},
+              };
+  const ConjunctiveQuery probe = MustParseQuery("V(z) <- E(x, y), E(y, z)");
+
+  std::printf("%16s %9s %7s %6s %7s %7s | %12s %12s %9s | %s\n", "workload",
+              "edges", "domain", "steps", "batch+", "batch-", "full ms",
+              "incr ms", "speedup", "check");
+  double trickle_speedup = 0;
+  for (const StreamConfig& config : configs) {
+    std::vector<Tuple> mirror;
+    const Database db =
+        MakeGraphDb(/*seed=*/17, config.edges, config.domain, &mirror);
+    std::vector<Tuple> mirror_copy = mirror;
+    const std::vector<DatabaseDelta> stream =
+        MakeDeltaStream(/*seed=*/23, config.domain, config.steps,
+                        config.inserts, config.retracts, &mirror_copy);
+    Rng probe_rng(41);
+    std::vector<int64_t> probe_nodes;
+    probe_nodes.reserve(config.probes);
+    for (int i = 0; i < config.probes; ++i) {
+      probe_nodes.push_back(probe_rng.UniformInt(0, config.domain - 1));
+    }
+
+    std::vector<uint64_t> full_sig, incr_sig;
+    const double full_ms = RunStream(db, probe, stream, probe_nodes,
+                                     /*wholesale=*/true, &full_sig);
+    const double incr_ms = RunStream(db, probe, stream, probe_nodes,
+                                     /*wholesale=*/false, &incr_sig);
+    Check(full_sig == incr_sig, "incremental probes differ from recompute");
+    const double speedup = full_ms / std::max(incr_ms, 1e-6);
+    if (std::strcmp(config.label, "trickle") == 0 &&
+        config.edges >= 100000 && trickle_speedup == 0) {
+      trickle_speedup = speedup;  // headline: first >=1e5 trickle config
+    }
+    std::printf(
+        "%16s %9lld %7lld %6d %7d %7d | %12.2f %12.2f %8.1fx | %s\n",
+        config.label, static_cast<long long>(config.edges),
+        static_cast<long long>(config.domain), config.steps, config.inserts,
+        config.retracts, full_ms, incr_ms, speedup,
+        full_sig == incr_sig ? "ok" : "!! MISMATCH");
+  }
+  return trickle_speedup;
+}
+
+// ---------------------------------------------------------------------------
+// Consistency-maintenance workload
+// ---------------------------------------------------------------------------
+
+/// An identity-view mirror federation: `sources` mirrors of one relation R
+/// with overlapping random extensions, sound/complete enough to be
+/// consistent but with junk tuples to spare.
+Result<SourceCollection> MakeMirrorCollection(uint64_t seed, int sources,
+                                              int extension) {
+  Rng rng(seed);
+  std::vector<SourceDescriptor> descriptors;
+  for (int i = 0; i < sources; ++i) {
+    Relation facts;
+    while (facts.size() < static_cast<size_t>(extension)) {
+      facts.insert({Value(rng.UniformInt(0, 4 * extension))});
+    }
+    PSC_ASSIGN_OR_RETURN(
+        SourceDescriptor descriptor,
+        SourceDescriptor::Create(
+            StrCat("M", i), MustParseQuery(StrCat("V", i, "(x) <- R(x)")),
+            std::move(facts), Rational(1, 8), Rational(1, 2)));
+    descriptors.push_back(std::move(descriptor));
+  }
+  return SourceCollection::Create(std::move(descriptors));
+}
+
+/// A general-view (non-identity) collection whose full check must descend
+/// the canonical-freeze combination search. P0 projects R with extension
+/// {1..2k} and soundness 1/2; P1 shares relation R with extension {1..k}
+/// and completeness 1, which forces π_x(R) ⊆ {1..k} in every possible
+/// world. The enumerator's largest-first combinations (u₀ touching k+1..2k)
+/// all fail, so each full check tries many combinations before landing on
+/// u₀ = {1..k} — and P0's upper half is provably junk for eviction deltas.
+Result<SourceCollection> MakeProjectionCollection(int k) {
+  Relation wide, narrow;
+  for (int i = 1; i <= 2 * k; ++i) wide.insert({Value(int64_t{i})});
+  for (int i = 1; i <= k; ++i) narrow.insert({Value(int64_t{i})});
+  std::vector<SourceDescriptor> descriptors;
+  PSC_ASSIGN_OR_RETURN(
+      SourceDescriptor wide_source,
+      SourceDescriptor::Create("P0", MustParseQuery("W0(x) <- R(x, y)"),
+                               std::move(wide), Rational(0), Rational(1, 2)));
+  PSC_ASSIGN_OR_RETURN(
+      SourceDescriptor narrow_source,
+      SourceDescriptor::Create("P1", MustParseQuery("W1(x) <- R(x, y)"),
+                               std::move(narrow), Rational(1), Rational(0)));
+  descriptors.push_back(std::move(wide_source));
+  descriptors.push_back(std::move(narrow_source));
+  return SourceCollection::Create(std::move(descriptors));
+}
+
+/// Times `stream` through a single IncrementalSystem (revalidate path)
+/// vs a fresh full check per batch, cross-checking the verdicts.
+void RunConsistencyStream(const char* label,
+                          const SourceCollection& collection,
+                          const std::vector<CollectionDelta>& stream) {
+  QuerySystem::Options options;
+  options.threads = 1;
+
+  auto incremental = delta::IncrementalSystem::Create(collection, options);
+  if (!incremental.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 incremental.status().ToString().c_str());
+    std::abort();
+  }
+  // Prime the witness cache; the baseline pays this per step, the
+  // incremental path once.
+  auto primed = incremental->CheckConsistency();
+  if (!primed.ok()) std::abort();
+
+  // Baseline: mutate a scratch collection and re-check from scratch.
+  SourceCollection scratch = collection;
+  std::vector<ConsistencyVerdict> full_verdicts;
+  bench_util::Stopwatch full_watch;
+  for (const CollectionDelta& delta : stream) {
+    if (!scratch.ApplyDelta(delta).ok()) std::abort();
+    auto system = QuerySystem::Create(scratch, options);
+    if (!system.ok()) std::abort();
+    auto report = system->CheckConsistency();
+    if (!report.ok()) std::abort();
+    full_verdicts.push_back(report->verdict);
+  }
+  const double full_ms = full_watch.ElapsedMillis();
+
+  std::vector<ConsistencyVerdict> incr_verdicts;
+  uint64_t revalidations = 0;
+  bench_util::Stopwatch incr_watch;
+  for (const CollectionDelta& delta : stream) {
+    if (!incremental->ApplyDelta(delta).ok()) std::abort();
+    auto report = incremental->CheckConsistency();
+    if (!report.ok()) std::abort();
+    incr_verdicts.push_back(report->verdict);
+    if (report->method != "none" && report->method.rfind("delta-", 0) == 0) {
+      ++revalidations;
+    }
+  }
+  const double incr_ms = incr_watch.ElapsedMillis();
+
+  Check(full_verdicts == incr_verdicts,
+        "incremental verdicts differ from full re-check");
+  std::printf(
+      "%16s %9zu %7s %6zu %7s %7s | %12.2f %12.2f %8.1fx | %s (%" PRIu64
+      "/%zu warm)\n",
+      label, collection.TotalExtensionSize(), "-", stream.size(), "-", "-",
+      full_ms, incr_ms, full_ms / std::max(incr_ms, 1e-6),
+      full_verdicts == incr_verdicts ? "ok" : "!! MISMATCH", revalidations,
+      stream.size());
+}
+
+void RunConsistencySweep(bool smoke) {
+  // Mirror drift toward the witness: sources catch up with facts the
+  // cached witness world already contains, so revalidation stays cheap
+  // and every batch dirties one source.
+  {
+    auto collection =
+        MakeMirrorCollection(/*seed=*/7, /*sources=*/3,
+                             /*extension=*/smoke ? 200 : 2000);
+    if (!collection.ok()) std::abort();
+    auto probe = QuerySystem::Create(*collection, {});
+    if (!probe.ok()) std::abort();
+    auto report = probe->CheckConsistency();
+    if (!report.ok() || !report->witness.has_value()) std::abort();
+    const Relation& truth = report->witness->GetRelation("R");
+    std::vector<CollectionDelta> stream;
+    const int steps = smoke ? 4 : 24;
+    auto tuple_it = truth.begin();
+    for (int s = 0; s < steps && tuple_it != truth.end(); ++s) {
+      const std::string source = StrCat("M", s % collection->size());
+      CollectionDelta delta;
+      for (int i = 0; i < 2 && tuple_it != truth.end(); ++tuple_it) {
+        const size_t index = *collection->IndexOf(source);
+        if (collection->source(index).extension().count(*tuple_it) > 0) {
+          continue;  // already mirrored; pick another fact
+        }
+        delta.Insert(source, *tuple_it);
+        ++i;
+      }
+      if (!delta.empty()) stream.push_back(std::move(delta));
+    }
+    RunConsistencyStream("mirror-drift", *collection, stream);
+  }
+
+  // Junk eviction on a general-view collection: retracting unsound tuples
+  // keeps the witness valid while the baseline re-runs the canonical
+  // freeze search (combinations and templates) every batch.
+  {
+    auto collection = MakeProjectionCollection(smoke ? 3 : 4);
+    if (!collection.ok()) std::abort();
+    auto probe = QuerySystem::Create(*collection, {});
+    if (!probe.ok()) std::abort();
+    auto report = probe->CheckConsistency();
+    if (!report.ok() || !report->witness.has_value()) std::abort();
+    std::vector<CollectionDelta> stream;
+    // Evict one non-witnessed (junk) tuple per source per batch, staying
+    // above the soundness threshold.
+    std::vector<std::vector<Tuple>> junk(collection->size());
+    for (size_t i = 0; i < collection->size(); ++i) {
+      const SourceDescriptor& source = collection->source(i);
+      auto intended = source.view().Evaluate(*report->witness);
+      if (!intended.ok()) std::abort();
+      size_t can_drop =
+          source.extension_size() -
+          static_cast<size_t>(source.MinSoundFacts());
+      for (const Tuple& tuple : source.extension()) {
+        if (can_drop == 0) break;
+        if (intended->count(tuple) == 0) {
+          junk[i].push_back(tuple);
+          --can_drop;
+        }
+      }
+    }
+    for (size_t step = 0;; ++step) {
+      CollectionDelta delta;
+      for (size_t i = 0; i < collection->size(); ++i) {
+        if (step < junk[i].size()) {
+          delta.Retract(collection->source(i).name(), junk[i][step]);
+        }
+      }
+      if (delta.empty()) break;
+      stream.push_back(std::move(delta));
+    }
+    RunConsistencyStream("junk-eviction", *collection, stream);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark section (full runs only)
+// ---------------------------------------------------------------------------
+
+void BM_DeltaApply(benchmark::State& state) {
+  const bool wholesale = state.range(0) != 0;
+  std::vector<Tuple> mirror;
+  Database db = MakeGraphDb(/*seed=*/17, /*edges=*/100000, /*domain=*/20000,
+                            &mirror);
+  const ConjunctiveQuery probe = MustParseQuery("V(z) <- E(x, y), E(y, z)");
+  std::vector<Tuple> mirror_copy = mirror;
+  const std::vector<DatabaseDelta> stream = MakeDeltaStream(
+      /*seed=*/23, /*domain=*/20000, /*steps=*/512, /*inserts=*/8,
+      /*retracts=*/4, &mirror_copy);
+  size_t next = 0;
+  Valuation initial;
+  initial["x"] = Value(int64_t{7});
+  uint64_t sink = 0;
+  (void)probe.ForEachValuation(db, initial, [&](const Valuation&) {
+    ++sink;
+    return true;
+  });
+  for (auto _ : state) {
+    db.ApplyDelta(stream[next]);
+    next = (next + 1) % stream.size();
+    if (wholesale) db.InvalidateIndexCache();
+    (void)probe.ForEachValuation(db, initial, [&](const Valuation&) {
+      ++sink;
+      return true;
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_DeltaApply)->ArgNames({"wholesale"})->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace psc
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf("=== incremental delta engine: streaming-update sweep%s ===\n",
+              smoke ? " (smoke)" : "");
+  const double trickle_speedup = psc::RunIndexSweep(smoke);
+  psc::RunConsistencySweep(smoke);
+  if (!smoke) {
+    if (trickle_speedup < 10.0) {
+      std::fprintf(stderr,
+                   "!! BELOW TARGET: trickle speedup %.1fx < 10x at >=1e5 "
+                   "tuples\n",
+                   trickle_speedup);
+      ++psc::g_failures;
+    }
+    PSC_OBS_GAUGE_SET(
+        "delta.bench.trickle_speedup_x100",
+        static_cast<int64_t>(trickle_speedup * 100.0));
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  psc::bench_util::EmitMetricsRecord("bench_incremental");
+  if (psc::g_failures > 0) {
+    std::fprintf(stderr, "%d cross-check failures\n", psc::g_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "psc/obs/metrics.h"
 #include "psc/obs/scope.h"
 #include "psc/obs/trace.h"
+#include "psc/source/measures.h"
 #include "psc/tableau/template_builder.h"
 #include "psc/util/string_util.h"
 
@@ -29,6 +30,22 @@ const char* ConsistencyVerdictToString(ConsistencyVerdict verdict) {
       return "UNKNOWN";
   }
   return "?";
+}
+
+Result<bool> WitnessSatisfiesSources(
+    const SourceCollection& collection, const Database& witness,
+    const std::vector<size_t>& source_indices) {
+  for (const size_t index : source_indices) {
+    if (index >= collection.size()) {
+      return Status::InvalidArgument(
+          StrCat("source index ", index, " out of range (collection has ",
+                 collection.size(), " sources)"));
+    }
+    PSC_ASSIGN_OR_RETURN(const bool satisfied,
+                         SatisfiesBounds(collection.source(index), witness));
+    if (!satisfied) return false;
+  }
+  return true;
 }
 
 namespace {

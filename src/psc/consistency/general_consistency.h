@@ -37,7 +37,24 @@ struct ConsistencyReport {
   uint64_t combinations_tried = 0;
   /// Candidate databases tested against poss(S).
   uint64_t candidates_checked = 0;
+  /// Allowable combinations the delta engine avoided re-exploring because a
+  /// prior witness survived a dirty-source-scoped revalidation (0 for a
+  /// from-scratch check). See psc/delta/incremental.h.
+  uint64_t combinations_skipped = 0;
 };
+
+/// \brief Checks an existing witness against the bounds of *selected*
+/// sources only — the dirty-scoped core of incremental re-checking.
+///
+/// Rationale: a source whose extension did not change keeps its measured
+/// c_D/s_D against an unchanged witness D, so its bounds need no re-check;
+/// after a delta only the mutated (dirty) sources can newly fail. A true
+/// return therefore proves D ∈ poss(S') for the mutated collection S'
+/// whenever D ∈ poss(S) held before and `source_indices` covers every
+/// dirty source. Out-of-range indices are an error.
+Result<bool> WitnessSatisfiesSources(const SourceCollection& collection,
+                                     const Database& witness,
+                                     const std::vector<size_t>& source_indices);
 
 /// \brief Exact / best-effort consistency checking for arbitrary
 /// conjunctive views, the Theorem 3.2 NP procedure made concrete.

@@ -36,6 +36,10 @@ struct QueryAnswer {
   bool truncated = false;
   /// Why the answer was truncated, when it was.
   std::string truncation_reason;
+  /// True when the answer was served from a delta-aware cache without
+  /// recomputation (see psc/delta/incremental.h); always false for answers
+  /// computed directly by QuerySystem.
+  bool from_cache = false;
 };
 
 /// \brief The user-facing facade: a source collection plus query answering,

@@ -1,0 +1,63 @@
+#include "psc/delta/delta_script.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "psc/parser/parser.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace delta {
+
+Result<std::vector<CollectionDelta>> ParseDeltaScript(const std::string& text) {
+  std::vector<CollectionDelta> batches;
+  CollectionDelta current;
+  size_t line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string line = raw;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == "--") {
+      if (!current.empty()) batches.push_back(std::move(current));
+      current = CollectionDelta();
+      continue;
+    }
+    const char op = line[0];
+    if (op != '+' && op != '-') {
+      return Status::InvalidArgument(
+          StrCat("delta script line ", line_number, ": expected '+', '-' or "
+                 "'--', got '", line, "'"));
+    }
+    const std::string fact_text = Trim(line.substr(1));
+    auto fact = ParseFact(fact_text);
+    if (!fact.ok()) {
+      return Status::InvalidArgument(
+          StrCat("delta script line ", line_number, ": ",
+                 fact.status().message()));
+    }
+    if (op == '+') {
+      current.Insert(fact->relation(), fact->tuple());
+    } else {
+      current.Retract(fact->relation(), fact->tuple());
+    }
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+Result<std::vector<CollectionDelta>> ParseDeltaScriptFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open delta script '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDeltaScript(buffer.str());
+}
+
+}  // namespace delta
+}  // namespace psc

@@ -1,0 +1,41 @@
+#ifndef PSC_DELTA_DELTA_SCRIPT_H_
+#define PSC_DELTA_DELTA_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "psc/source/source_collection.h"
+#include "psc/util/result.h"
+
+namespace psc {
+namespace delta {
+
+/// \brief Parses a *delta script*: the text format behind the CLI's
+/// `--apply-delta <file>` streaming mode.
+///
+/// One mutation per line:
+///
+///     # mirror drift, day 1
+///     + Cache(1, 2)          insert tuple (1, 2) into source Cache's extension
+///     - Cache(3, "x")        retract tuple (3, "x")
+///     --                     batch separator: apply-and-requery point
+///     + Mirror(7, 8)
+///
+/// `#` starts a comment (whole line); blank lines are ignored; `--` closes
+/// the current batch (an empty batch, e.g. a trailing separator, is
+/// dropped). The identifier names a *source*, not a global relation — the
+/// tuple mutates that source's view extension v.
+///
+/// Returns the batches in script order. Arity and source-name validation
+/// happens at apply time (`SourceCollection::ApplyDelta`), not here, since
+/// the script parses independently of any collection.
+Result<std::vector<CollectionDelta>> ParseDeltaScript(const std::string& text);
+
+/// \brief Reads `path` and parses it as a delta script.
+Result<std::vector<CollectionDelta>> ParseDeltaScriptFile(
+    const std::string& path);
+
+}  // namespace delta
+}  // namespace psc
+
+#endif  // PSC_DELTA_DELTA_SCRIPT_H_

@@ -1,17 +1,42 @@
 #include "psc/relational/database.h"
 
+#include "psc/obs/metrics.h"
 #include "psc/relational/eval_index.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
 
+size_t DatabaseDelta::size() const {
+  size_t total = 0;
+  for (const auto& [name, tuples] : inserts) total += tuples.size();
+  for (const auto& [name, tuples] : retracts) total += tuples.size();
+  return total;
+}
+
+std::vector<std::string> DeltaSummary::DirtyRelations() const {
+  std::vector<std::string> dirty;
+  for (const auto& [name, change] : relations) {
+    if (change.inserted + change.retracted > 0) dirty.push_back(name);
+  }
+  return dirty;  // map iteration: already sorted
+}
+
+std::string DeltaSummary::ToString() const {
+  return StrCat("+", inserted, " -", retracted, " noop=", noops, " over ",
+                DirtyRelations().size(), " relation(s)");
+}
+
 Database::~Database() { delete index_cache_.load(std::memory_order_acquire); }
 
 Database::Database(const Database& o)
-    : relations_(o.relations_), generation_(o.generation_) {}
+    : relations_(o.relations_),
+      generation_(o.generation_),
+      relation_generations_(o.relation_generations_) {}
 
 Database::Database(Database&& o) noexcept
-    : relations_(std::move(o.relations_)), generation_(o.generation_) {
+    : relations_(std::move(o.relations_)),
+      generation_(o.generation_),
+      relation_generations_(std::move(o.relation_generations_)) {
   // std::set nodes survive a map move, so the cache's tuple pointers stay
   // valid and the cache can move along with the data.
   index_cache_.store(o.index_cache_.exchange(nullptr, std::memory_order_acq_rel),
@@ -22,6 +47,7 @@ Database& Database::operator=(const Database& o) {
   if (this == &o) return *this;
   relations_ = o.relations_;
   generation_ = o.generation_;
+  relation_generations_ = o.relation_generations_;
   delete index_cache_.exchange(nullptr, std::memory_order_acq_rel);
   return *this;
 }
@@ -30,6 +56,7 @@ Database& Database::operator=(Database&& o) noexcept {
   if (this == &o) return *this;
   relations_ = std::move(o.relations_);
   generation_ = o.generation_;
+  relation_generations_ = std::move(o.relation_generations_);
   delete index_cache_.exchange(
       o.index_cache_.exchange(nullptr, std::memory_order_acq_rel),
       std::memory_order_acq_rel);
@@ -50,25 +77,136 @@ eval::IndexCache& Database::index_cache() const {
   return *cache;
 }
 
+void Database::InvalidateIndexCache() const {
+  if (auto* cache = index_cache_.load(std::memory_order_acquire)) {
+    cache->Clear();
+  }
+}
+
+uint64_t Database::relation_generation(const std::string& relation) const {
+  const auto it = relation_generations_.find(relation);
+  return it == relation_generations_.end() ? 0 : it->second;
+}
+
+std::pair<uint64_t, uint64_t> Database::BumpRelation(
+    const std::string& relation) {
+  uint64_t& slot = relation_generations_[relation];
+  const uint64_t old_generation = slot;
+  slot = ++generation_;
+  return {old_generation, slot};
+}
+
 bool Database::AddFact(const Fact& fact) {
-  const bool inserted = relations_[fact.relation()].insert(fact.tuple()).second;
-  if (inserted) ++generation_;
-  return inserted;
+  return AddFact(fact.relation(), fact.tuple());
 }
 
 bool Database::AddFact(const std::string& relation, Tuple tuple) {
-  const bool inserted = relations_[relation].insert(std::move(tuple)).second;
-  if (inserted) ++generation_;
-  return inserted;
+  Relation& extension = relations_[relation];
+  const auto [node, inserted] = extension.insert(std::move(tuple));
+  if (!inserted) return false;
+  const auto [old_generation, new_generation] = BumpRelation(relation);
+  if (auto* cache = index_cache_.load(std::memory_order_acquire)) {
+    cache->ApplyRelationDelta(relation, {&*node}, {}, extension.size(),
+                              old_generation, new_generation);
+  }
+  return true;
 }
 
 bool Database::RemoveFact(const Fact& fact) {
-  auto it = relations_.find(fact.relation());
+  const auto it = relations_.find(fact.relation());
   if (it == relations_.end()) return false;
-  const bool removed = it->second.erase(fact.tuple()) > 0;
+  const auto node = it->second.find(fact.tuple());
+  if (node == it->second.end()) return false;
+  const auto [old_generation, new_generation] = BumpRelation(fact.relation());
+  if (auto* cache = index_cache_.load(std::memory_order_acquire)) {
+    // The node is unlinked from cached buckets while still alive.
+    cache->ApplyRelationDelta(fact.relation(), {}, {&*node},
+                              it->second.size() - 1, old_generation,
+                              new_generation);
+  }
+  it->second.erase(node);
   if (it->second.empty()) relations_.erase(it);
-  if (removed) ++generation_;
-  return removed;
+  return true;
+}
+
+DeltaSummary Database::ApplyDelta(const DatabaseDelta& delta) {
+  DeltaSummary summary;
+  std::set<std::string> touched;
+  for (const auto& [name, tuples] : delta.inserts) touched.insert(name);
+  for (const auto& [name, tuples] : delta.retracts) touched.insert(name);
+  auto* cache = index_cache_.load(std::memory_order_acquire);
+
+  for (const std::string& name : touched) {
+    RelationChange change;
+    const auto ins_it = delta.inserts.find(name);
+    const Relation* ins = ins_it == delta.inserts.end() ? nullptr : &ins_it->second;
+    const auto ret_it = delta.retracts.find(name);
+    const Relation* ret = ret_it == delta.retracts.end() ? nullptr : &ret_it->second;
+    auto rel_it = relations_.find(name);
+
+    // Resolve effective retracts (present, and not re-asserted by an
+    // insert of the same tuple — insert wins) while their nodes are alive.
+    std::vector<Relation::iterator> to_erase;
+    if (ret != nullptr) {
+      for (const Tuple& tuple : *ret) {
+        if (ins != nullptr && ins->count(tuple) > 0) {
+          ++change.noops;
+          continue;
+        }
+        if (rel_it == relations_.end()) {
+          ++change.noops;
+          continue;
+        }
+        const auto node = rel_it->second.find(tuple);
+        if (node == rel_it->second.end()) {
+          ++change.noops;
+        } else {
+          to_erase.push_back(node);
+        }
+      }
+    }
+
+    // Land the inserts, collecting node addresses for index maintenance.
+    std::vector<const Tuple*> inserted_nodes;
+    if (ins != nullptr && !ins->empty()) {
+      if (rel_it == relations_.end()) {
+        rel_it = relations_.emplace(name, Relation{}).first;
+      }
+      for (const Tuple& tuple : *ins) {
+        const auto [node, inserted] = rel_it->second.insert(tuple);
+        if (inserted) {
+          inserted_nodes.push_back(&*node);
+        } else {
+          ++change.noops;
+        }
+      }
+    }
+
+    change.inserted = inserted_nodes.size();
+    change.retracted = to_erase.size();
+    if (change.inserted + change.retracted > 0) {
+      const auto [old_generation, new_generation] = BumpRelation(name);
+      if (cache != nullptr) {
+        std::vector<const Tuple*> retracted_nodes;
+        retracted_nodes.reserve(to_erase.size());
+        for (const auto& node : to_erase) retracted_nodes.push_back(&*node);
+        cache->ApplyRelationDelta(name, inserted_nodes, retracted_nodes,
+                                  rel_it->second.size() - to_erase.size(),
+                                  old_generation, new_generation);
+      }
+      for (const auto& node : to_erase) rel_it->second.erase(node);
+      if (rel_it->second.empty()) relations_.erase(rel_it);
+    }
+
+    summary.inserted += change.inserted;
+    summary.retracted += change.retracted;
+    summary.noops += change.noops;
+    summary.relations.emplace(name, change);
+  }
+
+  PSC_OBS_COUNTER_ADD("delta.ops_applied", summary.inserted + summary.retracted);
+  PSC_OBS_COUNTER_ADD("delta.noops", summary.noops);
+  return summary;
 }
 
 bool Database::Contains(const Fact& fact) const {
@@ -112,11 +250,23 @@ std::vector<std::string> Database::RelationNames() const {
 }
 
 void Database::UnionWith(const Database& other) {
+  auto* cache = index_cache_.load(std::memory_order_acquire);
   for (const auto& [name, tuples] : other.relations_) {
-    relations_[name].insert(tuples.begin(), tuples.end());
+    Relation& mine = relations_[name];
+    std::vector<const Tuple*> added;
+    for (const Tuple& tuple : tuples) {
+      const auto [node, inserted] = mine.insert(tuple);
+      if (inserted) added.push_back(&*node);
+    }
+    // A subset union leaves the generation alone so cached indexes (and
+    // anything else keyed on generations) stay warm.
+    if (added.empty()) continue;
+    const auto [old_generation, new_generation] = BumpRelation(name);
+    if (cache != nullptr) {
+      cache->ApplyRelationDelta(name, added, {}, mine.size(), old_generation,
+                                new_generation);
+    }
   }
-  // Conservative: bump even when the union added nothing new.
-  ++generation_;
 }
 
 bool Database::IsSubsetOf(const Database& other) const {

@@ -1,5 +1,6 @@
 #include "psc/relational/eval_index.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "psc/obs/metrics.h"
@@ -34,7 +35,7 @@ Tuple RelationIndex::KeyFor(const Tuple& tuple,
   return key;
 }
 
-std::shared_ptr<const RelationIndex> RelationIndex::Build(
+std::shared_ptr<RelationIndex> RelationIndex::Build(
     const std::set<Tuple>& extension, size_t arity,
     std::vector<uint32_t> positions) {
   auto index = std::make_shared<RelationIndex>();
@@ -51,24 +52,83 @@ std::shared_ptr<const RelationIndex> RelationIndex::Build(
   return index;
 }
 
+void RelationIndex::Link(const Tuple* node) {
+  if (node->size() != arity) return;
+  std::vector<const Tuple*>& bucket = buckets[KeyFor(*node, positions)];
+  // Splice at the canonical position so the bucket stays sorted exactly
+  // as a fresh Build would lay it out.
+  const auto at = std::lower_bound(
+      bucket.begin(), bucket.end(), node,
+      [](const Tuple* a, const Tuple* b) { return *a < *b; });
+  bucket.insert(at, node);
+}
+
+void RelationIndex::Unlink(const Tuple* node) {
+  if (node->size() != arity) return;
+  const auto it = buckets.find(KeyFor(*node, positions));
+  if (it == buckets.end()) return;
+  std::vector<const Tuple*>& bucket = it->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), node), bucket.end());
+  if (bucket.empty()) buckets.erase(it);
+}
+
 std::shared_ptr<const RelationIndex> IndexCache::GetOrBuild(
-    const std::set<Tuple>& extension, uint64_t generation,
+    const std::set<Tuple>& extension, uint64_t relation_generation,
     const std::string& relation, size_t arity,
     const std::vector<uint32_t>& positions) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (generation_ != generation) {
-    entries_.clear();
-    generation_ = generation;
-  }
   Key key{relation, arity, positions};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    PSC_OBS_COUNTER_INC("eval.index.hits");
-    return it->second;
+    if (it->second.generation == relation_generation) {
+      PSC_OBS_COUNTER_INC("eval.index.hits");
+      return it->second.index;
+    }
+    entries_.erase(it);  // stale: this relation mutated past the entry
   }
   auto index = RelationIndex::Build(extension, arity, positions);
-  entries_.emplace(std::move(key), index);
+  entries_.emplace(std::move(key), Entry{relation_generation, index});
   return index;
+}
+
+void IndexCache::ApplyRelationDelta(const std::string& relation,
+                                    const std::vector<const Tuple*>& inserted,
+                                    const std::vector<const Tuple*>& retracted,
+                                    size_t size_after, uint64_t old_generation,
+                                    uint64_t new_generation) {
+  const size_t churn = inserted.size() + retracted.size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.lower_bound(Key{relation, 0, {}});
+  while (it != entries_.end() && it->first.relation == relation) {
+    Entry& entry = it->second;
+    if (entry.generation != old_generation) {
+      // Already stale before this batch; it would rebuild on next probe
+      // anyway, so patching it forward would resurrect missed mutations.
+      it = entries_.erase(it);
+      continue;
+    }
+    if (churn * kIndexChurnRebuildDivisor > size_after) {
+      PSC_OBS_COUNTER_INC("delta.index.rebuilds");
+      it = entries_.erase(it);
+      continue;
+    }
+    std::shared_ptr<RelationIndex> index = entry.index;
+    if (index.use_count() > 2) {  // cache + local: someone else holds it
+      index = std::make_shared<RelationIndex>(*index);
+      PSC_OBS_COUNTER_INC("delta.index.cow_copies");
+    }
+    for (const Tuple* node : retracted) index->Unlink(node);
+    for (const Tuple* node : inserted) index->Link(node);
+    entry.index = std::move(index);
+    entry.generation = new_generation;
+    PSC_OBS_COUNTER_INC("delta.index.incremental_updates");
+    ++it;
+  }
+}
+
+void IndexCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
 }
 
 size_t IndexCache::size() const {

@@ -277,7 +277,8 @@ Result<bool> QueryPlan::RunStep(size_t step, const Database& db,
     PSC_OBS_COUNTER_INC("eval.probes");
     std::shared_ptr<const RelationIndex>& index = state.step_index[step];
     if (index == nullptr) {
-      index = db.index_cache().GetOrBuild(relation, db.generation(),
+      index = db.index_cache().GetOrBuild(relation,
+                                          db.relation_generation(s.predicate),
                                           s.predicate, s.arity,
                                           s.probe_positions);
     }

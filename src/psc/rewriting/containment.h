@@ -29,7 +29,11 @@ namespace psc {
 /// so alpha-equivalent pairs — the common case during bucket rewriting,
 /// where the same view expansion is tested against many candidates — hit
 /// the cache. The cache is thread-safe and bounded only by the queries a
-/// process actually poses; `ClearContainmentCache` resets it.
+/// process actually poses; `ClearContainmentCache` resets it. Because a
+/// verdict depends only on the two query bodies — never on any database
+/// or view extension — the memo needs *no* invalidation when sources
+/// drift: `delta::IncrementalSystem` leaves it untouched across every
+/// `ApplyDelta` (see psc/delta/incremental.h).
 Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2);
 

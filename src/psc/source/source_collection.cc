@@ -1,12 +1,43 @@
 #include "psc/source/source_collection.h"
 
 #include <algorithm>
+#include <functional>
+#include <numeric>
 #include <set>
 
+#include "psc/obs/metrics.h"
 #include "psc/source/measures.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
+
+bool CollectionDelta::empty() const {
+  for (const auto& [name, delta] : sources) {
+    if (!delta.empty()) return false;
+  }
+  return true;
+}
+
+size_t CollectionDelta::size() const {
+  size_t total = 0;
+  for (const auto& [name, delta] : sources) {
+    total += delta.inserts.size() + delta.retracts.size();
+  }
+  return total;
+}
+
+std::vector<std::string> CollectionDeltaSummary::DirtySources() const {
+  std::vector<std::string> dirty;
+  for (const auto& [name, change] : sources) {
+    if (change.inserted + change.retracted > 0) dirty.push_back(name);
+  }
+  return dirty;  // map iteration: already sorted
+}
+
+std::string CollectionDeltaSummary::ToString() const {
+  return StrCat("+", inserted, " -", retracted, " noop=", noops, " over ",
+                DirtySources().size(), " source(s)");
+}
 
 Result<SourceCollection> SourceCollection::Create(
     std::vector<SourceDescriptor> sources) {
@@ -88,6 +119,76 @@ std::vector<Value> SourceCollection::MentionedConstants() const {
     }
   }
   return std::vector<Value>(constants.begin(), constants.end());
+}
+
+Result<CollectionDeltaSummary> SourceCollection::ApplyDelta(
+    const CollectionDelta& delta) {
+  // Validate everything before mutating anything, so a failed call leaves
+  // the collection exactly as it was.
+  std::vector<std::pair<size_t, const CollectionDelta::SourceDelta*>> resolved;
+  resolved.reserve(delta.sources.size());
+  for (const auto& [name, source_delta] : delta.sources) {
+    PSC_ASSIGN_OR_RETURN(const size_t index, IndexOf(name));
+    const size_t head_arity = sources_[index].view().head().arity();
+    for (const Tuple& tuple : source_delta.inserts) {
+      if (tuple.size() != head_arity) {
+        return Status::InvalidArgument(
+            StrCat("source '", name, "': delta tuple ", TupleToString(tuple),
+                   " has arity ", tuple.size(), ", head expects ", head_arity));
+      }
+    }
+    resolved.emplace_back(index, &source_delta);
+  }
+
+  CollectionDeltaSummary summary;
+  for (const auto& [index, source_delta] : resolved) {
+    PSC_ASSIGN_OR_RETURN(
+        const RelationChange change,
+        sources_[index].ApplyExtensionDelta(source_delta->inserts,
+                                            source_delta->retracts));
+    if (change.inserted + change.retracted > 0) {
+      if (source_generations_.size() < sources_.size()) {
+        source_generations_.resize(sources_.size(), 0);
+      }
+      source_generations_[index] = ++generation_;
+    }
+    summary.inserted += change.inserted;
+    summary.retracted += change.retracted;
+    summary.noops += change.noops;
+    summary.sources.emplace(sources_[index].name(), change);
+  }
+  PSC_OBS_COUNTER_ADD("delta.ops_applied", summary.inserted + summary.retracted);
+  PSC_OBS_COUNTER_ADD("delta.noops", summary.noops);
+  return summary;
+}
+
+std::vector<std::vector<size_t>> SourceCollection::RelationGroups() const {
+  // Union-find over source indices, merging on shared body relations.
+  std::vector<size_t> parent(sources_.size());
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::map<std::string, size_t> relation_owner;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    for (const Atom& atom : sources_[i].view().relational_body()) {
+      const auto [it, fresh] = relation_owner.emplace(atom.predicate(), i);
+      if (!fresh) parent[find(i)] = find(it->second);
+    }
+  }
+  std::map<size_t, std::vector<size_t>> by_root;
+  for (size_t i = 0; i < sources_.size(); ++i) by_root[find(i)].push_back(i);
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(by_root.size());
+  for (auto& [root, members] : by_root) groups.push_back(std::move(members));
+  // by_root keys are roots (arbitrary); order groups by smallest member.
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return groups;
 }
 
 std::string SourceCollection::ToString() const {

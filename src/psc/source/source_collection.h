@@ -1,6 +1,8 @@
 #ifndef PSC_SOURCE_SOURCE_COLLECTION_H_
 #define PSC_SOURCE_SOURCE_COLLECTION_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,44 @@
 #include "psc/util/result.h"
 
 namespace psc {
+
+/// \brief A batched mutation of a `SourceCollection`: per source name, the
+/// extension tuples to insert and retract. Mirrors `DatabaseDelta` one
+/// level up — sources drift (the paper's §6 caches/mirrors), their view
+/// definitions and bounds do not.
+struct CollectionDelta {
+  struct SourceDelta {
+    Relation inserts;
+    Relation retracts;
+    bool empty() const { return inserts.empty() && retracts.empty(); }
+  };
+
+  std::map<std::string, SourceDelta> sources;
+
+  void Insert(const std::string& source, Tuple tuple) {
+    sources[source].inserts.insert(std::move(tuple));
+  }
+  void Retract(const std::string& source, Tuple tuple) {
+    sources[source].retracts.insert(std::move(tuple));
+  }
+  bool empty() const;
+  /// Total number of tuple operations listed (inserts + retracts).
+  size_t size() const;
+};
+
+/// \brief Change summary returned by `SourceCollection::ApplyDelta`,
+/// reusing the per-target `RelationChange` counters from database.h.
+struct CollectionDeltaSummary {
+  std::map<std::string, RelationChange> sources;
+  uint64_t inserted = 0;
+  uint64_t retracted = 0;
+  uint64_t noops = 0;
+
+  bool changed() const { return inserted + retracted > 0; }
+  /// Names of sources with at least one effective change, sorted.
+  std::vector<std::string> DirtySources() const;
+  std::string ToString() const;
+};
 
 /// \brief A source collection S = {S₁,…,Sₙ}, the central object of the
 /// paper: it induces the set of possible worlds
@@ -53,6 +93,34 @@ class SourceCollection {
   /// Multi-line rendering of every descriptor.
   std::string ToString() const;
 
+  /// \brief Applies a batched extension delta across any number of sources.
+  ///
+  /// Validation is all-or-nothing: unknown source names and arity-mismatched
+  /// insert tuples fail the whole call before any source is touched. Each
+  /// source with an effective change advances its generation; no-op deltas
+  /// leave all generations untouched.
+  Result<CollectionDeltaSummary> ApplyDelta(const CollectionDelta& delta);
+
+  /// \brief Collection-wide mutation counter: advanced once per source with
+  /// an effective change, never by no-ops.
+  uint64_t generation() const { return generation_; }
+
+  /// \brief Mutation counter of source `i`: the value of `generation()`
+  /// when its extension last changed (0 if never). Delta-aware caches key
+  /// their entries on snapshots of these, so mutating one source leaves
+  /// results that never read it valid.
+  uint64_t source_generation(size_t i) const {
+    return i < source_generations_.size() ? source_generations_[i] : 0;
+  }
+
+  /// \brief Partitions source indices into *relation groups*: the connected
+  /// components of the "shares a body relation" graph. Sources in different
+  /// groups constrain disjoint parts of the global database, so poss(S)
+  /// factorizes as a product across groups — a delta confined to one group
+  /// cannot change marginal confidences computed over another while the
+  /// collection stays consistent. Groups are sorted by smallest member.
+  std::vector<std::vector<size_t>> RelationGroups() const;
+
  private:
   explicit SourceCollection(std::vector<SourceDescriptor> sources,
                             Schema schema)
@@ -60,6 +128,9 @@ class SourceCollection {
 
   std::vector<SourceDescriptor> sources_;
   Schema schema_;
+  uint64_t generation_ = 0;
+  /// Lazily sized to sources_.size() on first effective delta.
+  std::vector<uint64_t> source_generations_;
 };
 
 }  // namespace psc

@@ -34,6 +34,36 @@ Result<SourceDescriptor> SourceDescriptor::Create(std::string name,
                           std::move(extension), completeness, soundness);
 }
 
+Result<RelationChange> SourceDescriptor::ApplyExtensionDelta(
+    const Relation& inserts, const Relation& retracts) {
+  const size_t head_arity = view_.head().arity();
+  for (const Tuple& tuple : inserts) {
+    if (tuple.size() != head_arity) {
+      return Status::InvalidArgument(
+          StrCat("source '", name_, "': delta tuple ", TupleToString(tuple),
+                 " has arity ", tuple.size(), ", head expects ", head_arity));
+    }
+  }
+  RelationChange change;
+  for (const Tuple& tuple : retracts) {
+    if (inserts.count(tuple) > 0) {
+      ++change.noops;  // insert wins
+    } else if (extension_.erase(tuple) > 0) {
+      ++change.retracted;
+    } else {
+      ++change.noops;
+    }
+  }
+  for (const Tuple& tuple : inserts) {
+    if (extension_.insert(tuple).second) {
+      ++change.inserted;
+    } else {
+      ++change.noops;
+    }
+  }
+  return change;
+}
+
 int64_t SourceDescriptor::MinSoundFacts() const {
   return soundness_.MulCeil(static_cast<int64_t>(extension_.size()));
 }

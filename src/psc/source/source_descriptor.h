@@ -49,6 +49,17 @@ class SourceDescriptor {
   /// world must certify (inequality (3) in the paper).
   int64_t MinSoundFacts() const;
 
+  /// \brief Mutates the view extension in place: retracts `retracts`,
+  /// inserts `inserts` (a tuple in both sets is an insert, matching
+  /// `Database::ApplyDelta`). Fails without mutating when an inserted
+  /// tuple's arity differs from the view head's.
+  ///
+  /// Changing v moves both measured ratios and the tᵢ threshold, so any
+  /// cached consistency/confidence state keyed on this source is stale
+  /// after an effective change (see psc/delta/incremental.h).
+  Result<RelationChange> ApplyExtensionDelta(const Relation& inserts,
+                                             const Relation& retracts);
+
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 

@@ -51,6 +51,19 @@ Result<bool> CheckGroundBuiltins(const ConjunctiveQuery& view,
 
 }  // namespace
 
+bool TemplateBuilder::IsAllowable(const Combination& combination) const {
+  if (combination.size() != collection_->size()) return false;
+  for (size_t i = 0; i < collection_->size(); ++i) {
+    const SourceDescriptor& source = collection_->source(i);
+    const Relation& u_i = combination[i];
+    if (static_cast<int64_t>(u_i.size()) < source.MinSoundFacts()) return false;
+    for (const Tuple& tuple : u_i) {
+      if (source.extension().count(tuple) == 0) return false;
+    }
+  }
+  return true;
+}
+
 Result<std::optional<Tableau>> TemplateBuilder::BuildTableau(
     const Combination& combination) const {
   if (combination.size() != collection_->size()) {

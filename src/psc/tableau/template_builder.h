@@ -78,6 +78,13 @@ class TemplateBuilder {
   /// |𝒰| = ∏ᵢ Σ_{j ≥ tᵢ} C(kᵢ, j).
   BigInt CountAllowableCombinations() const;
 
+  /// \brief U ∈ 𝒰? — right shape, uᵢ ⊆ vᵢ, and |uᵢ| ≥ ⌈sᵢ|vᵢ|⌉ for all i.
+  /// Cheap (no tableau built). Unlike Build, violations return false
+  /// rather than an error: the delta engine uses this to test whether a
+  /// combination recorded before a mutation is still allowable after the
+  /// extensions (and thus the tᵢ thresholds) moved.
+  bool IsAllowable(const Combination& combination) const;
+
   /// \brief Membership in ⋃_U rep(𝒯^U(S)) — the right-hand side of
   /// Theorem 4.1, decided by enumeration over 𝒰.
   Result<bool> FamilyContains(const Database& db) const;

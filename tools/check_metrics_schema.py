@@ -34,6 +34,29 @@ import sys
 
 MIN_SCHEMA_VERSION = 1
 MAX_SCHEMA_VERSION = 2
+
+# Every instrument name must live under a known subsystem prefix, so a
+# typo'd or undocumented metric fails CI instead of silently shipping.
+# Keep in sync with the PSC_OBS_* call sites; `delta.` covers the
+# incremental engine (batch application, index maintenance, dirty-scoped
+# consistency and the group-scoped answer cache).
+KNOWN_PREFIXES = (
+    "algebra.",
+    "brute_force.",
+    "consistency.",
+    "counting.",
+    "delta.",
+    "eval.",
+    "exec.",
+    "hitting_set.",
+    "limits.",
+    "obs.",
+    "query.",
+    "rewriting.",
+    "tableau.",
+    "trace.",
+)
+
 HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
 HISTOGRAM_FIELDS_V2 = HISTOGRAM_FIELDS + ("p95",)
 SPAN_NUMERIC_FIELDS = ("parent", "depth", "start_us", "duration_us")
@@ -53,17 +76,26 @@ def _is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _check_prefix(name, kind, where):
+    _expect(any(name.startswith(prefix) for prefix in KNOWN_PREFIXES),
+            "%s%s %r outside the known subsystem prefixes %s"
+            % (where, kind, name, "/".join(p.rstrip(".")
+                                           for p in KNOWN_PREFIXES)))
+
+
 def _validate_instruments(container, version, where):
     """Validates the counters/gauges/histograms trio inside `container`."""
     counters = container.get("counters")
     _expect(isinstance(counters, dict), "%smissing counters object" % where)
     for name, value in counters.items():
+        _check_prefix(name, "counter", where)
         _expect(_is_number(value) and value >= 0,
                 "%scounter %r not a non-negative number" % (where, name))
 
     gauges = container.get("gauges")
     _expect(isinstance(gauges, dict), "%smissing gauges object" % where)
     for name, value in gauges.items():
+        _check_prefix(name, "gauge", where)
         _expect(_is_number(value), "%sgauge %r not numeric" % (where, name))
 
     histogram_fields = (HISTOGRAM_FIELDS_V2 if version >= 2
@@ -72,6 +104,7 @@ def _validate_instruments(container, version, where):
     _expect(isinstance(histograms, dict),
             "%smissing histograms object" % where)
     for name, snapshot in histograms.items():
+        _check_prefix(name, "histogram", where)
         _expect(isinstance(snapshot, dict),
                 "%shistogram %r not an object" % (where, name))
         for field in histogram_fields:

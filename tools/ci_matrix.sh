@@ -33,15 +33,17 @@ done
 
 # ThreadSanitizer pass over the subsystems that exercise the parallel
 # runtime: the exec pool/facade tests, the parallel consistency search,
-# the sharded counters and the Monte-Carlo block sampler. A full-suite
-# TSan run is prohibitively slow; these tests are where threads actually
-# run concurrently.
+# the sharded counters, the Monte-Carlo block sampler, and the
+# incremental delta engine's readers-writer path (queries streaming
+# against concurrent ApplyDelta calls). A full-suite TSan run is
+# prohibitively slow; these tests are where threads actually run
+# concurrently.
 tsan_dir="${build_root}/tsan"
 echo "=== PSC_SANITIZE=thread -> ${tsan_dir} ==="
 cmake -B "${tsan_dir}" -S . -DPSC_SANITIZE=thread >/dev/null
 cmake --build "${tsan_dir}" -j "${jobs}"
 (cd "${tsan_dir}" && ctest --output-on-failure -j "${jobs}" \
-  -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache|EvalDifferential')
+  -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache|EvalDifferential|DeltaConcurrency')
 
 # ASan+UBSan pass over the subsystems where integer overflow and
 # lifetime bugs have actually bitten: rational/bigint arithmetic, the
@@ -131,6 +133,41 @@ python3 tools/check_metrics_schema.py \
   --require-counter eval.plans_compiled \
   "${bench_metrics}"
 
+# Incremental-engine bench smoke: the streaming-update sweep cross-checks
+# every patched-index probe and every cached/revalidated verdict against
+# the full-recompute baseline (non-zero exit on mismatch), and its
+# metrics must show the whole delta machinery firing: batch application,
+# in-place index patches, the churn-threshold rebuild fallback and
+# dirty-scoped consistency skips.
+echo "=== bench_incremental smoke ==="
+delta_metrics="$(mktemp)"
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}"' EXIT
+PSC_BENCH_METRICS_OUT="${delta_metrics}" \
+  "${smoke_build}/bench/bench_incremental" --smoke
+python3 tools/check_metrics_schema.py \
+  --require-counter delta.ops_applied \
+  --require-counter delta.index.incremental_updates \
+  --require-counter delta.index.rebuilds \
+  --require-counter delta.consistency.combinations_skipped \
+  --require-counter delta.consistency.revalidations \
+  "${delta_metrics}"
+
+# Delta streaming smoke: `psc check --apply-delta` replays a script of
+# extension mutations, re-deciding consistency after every batch through
+# the incremental engine; like every other CLI path it must be
+# thread-count independent.
+echo "=== --apply-delta streaming smoke ==="
+delta_script="$(mktemp)"
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}" "${delta_script}"' EXIT
+cat > "${delta_script}" <<'EOF'
++ S1("c")
+--
+- S2("b")
+EOF
+run_smoke "psc check --apply-delta (example 5.1)" \
+  "${smoke_build}/tools/psc" check data/example51.psc \
+  --apply-delta "${delta_script}"
+
 # Deadline smoke: a canonical-freeze search over ~2^33 allowable
 # combinations would run for minutes unbounded; with --deadline-ms 100
 # the CLI must exit cleanly (verdict unknown, exit 0) within the outer
@@ -177,4 +214,4 @@ python3 tools/check_metrics_schema.py \
   "${telemetry_metrics}"
 python3 tools/psc_trace_summary.py --k 5 "${telemetry_trace}"
 
-echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence, deadline degradation and query-scoped telemetry green"
+echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence, deadline degradation, query-scoped telemetry and incremental-delta smokes green"

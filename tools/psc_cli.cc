@@ -37,6 +37,13 @@
 //                        nested-loop interpreter instead of compiled
 //                        slot-based join plans (differential testing;
 //                        results are identical, only speed differs)
+//   --apply-delta PATH   streaming mode for check/answer: run once on the
+//                        initial collection, then apply each batch of the
+//                        delta script at PATH (lines "+ Src(t)" /
+//                        "- Src(t)", batches separated by "--", see
+//                        psc/delta/delta_script.h) and re-run, keeping
+//                        consistency witnesses, indexes and answers warm
+//                        through the incremental delta engine
 //
 // Source files use the text format documented in psc/parser/parser.h; see
 // examples in the repository README.
@@ -53,6 +60,8 @@
 #include "psc/consistency/diagnostics.h"
 #include "psc/core/certain_answer.h"
 #include "psc/core/query_system.h"
+#include "psc/delta/delta_script.h"
+#include "psc/delta/incremental.h"
 #include "psc/counting/consensus.h"
 #include "psc/algebra/plan_compiler.h"
 #include "psc/limits/budget.h"
@@ -84,7 +93,8 @@ int Usage() {
                "[--method exact|compositional|mc] [--samples N] [--seed N] "
                "[--metrics-out PATH] [--trace] [--trace-out PATH] "
                "[--trace-buffer N] [--quiet] [--threads N] "
-               "[--deadline-ms N] [--node-budget N] [--no-compiled-eval]\n");
+               "[--deadline-ms N] [--node-budget N] [--no-compiled-eval] "
+               "[--apply-delta PATH]\n");
   return 2;
 }
 
@@ -125,6 +135,8 @@ struct CliOptions {
   uint64_t node_budget = 0;
   /// false = legacy interpreter for conjunctive-query evaluation.
   bool use_compiled_eval = true;
+  /// Delta script path enabling the streaming mode (empty = off).
+  std::string apply_delta;
 };
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -225,6 +237,13 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
             "'"));
       }
       options.node_budget = static_cast<uint64_t>(parsed);
+    } else if (arg == "--apply-delta") {
+      PSC_ASSIGN_OR_RETURN(options.apply_delta, next());
+    } else if (arg.rfind("--apply-delta=", 0) == 0) {
+      options.apply_delta = arg.substr(std::strlen("--apply-delta="));
+      if (options.apply_delta.empty()) {
+        return Status::InvalidArgument("empty path for --apply-delta");
+      }
     } else if (arg == "--no-compiled-eval") {
       options.use_compiled_eval = false;
     } else if (arg == "--trace") {
@@ -313,6 +332,24 @@ int RunConfidences(const SourceCollection& collection,
   return 0;
 }
 
+void PrintAnswer(const QueryAnswer& answer) {
+  std::printf("method: %s%s  (worlds used: %llu)\n", answer.method.c_str(),
+              answer.from_cache ? " [cached]" : "",
+              static_cast<unsigned long long>(answer.worlds_used));
+  if (answer.truncated) {
+    std::printf("TRUNCATED: %s\n", answer.truncation_reason.c_str());
+  }
+  std::printf("certain answer (%zu tuples):\n", answer.certain.size());
+  for (const Tuple& tuple : answer.certain) {
+    std::printf("  %s\n", TupleToString(tuple).c_str());
+  }
+  std::printf("possible answer with confidences (%zu tuples):\n",
+              answer.confidences.size());
+  for (const auto& [tuple, confidence] : answer.confidences.entries()) {
+    std::printf("  %-28s %.6f\n", TupleToString(tuple).c_str(), confidence);
+  }
+}
+
 int RunAnswer(const SourceCollection& collection, const CliOptions& options) {
   auto query = ParseQuery(options.query);
   if (!query.ok()) return Fail(query.status());
@@ -331,22 +368,111 @@ int RunAnswer(const SourceCollection& collection, const CliOptions& options) {
         StrCat("unknown method '", options.method, "'")));
   }
   if (!answer.ok()) return Fail(answer.status());
-  std::printf("method: %s  (worlds used: %llu)\n", answer->method.c_str(),
-              static_cast<unsigned long long>(answer->worlds_used));
-  if (answer->truncated) {
-    std::printf("TRUNCATED: %s\n", answer->truncation_reason.c_str());
-  }
-  std::printf("certain answer (%zu tuples):\n", answer->certain.size());
-  for (const Tuple& tuple : answer->certain) {
-    std::printf("  %s\n", TupleToString(tuple).c_str());
-  }
-  std::printf("possible answer with confidences (%zu tuples):\n",
-              answer->confidences.size());
-  for (const auto& [tuple, confidence] : answer->confidences.entries()) {
-    std::printf("  %-28s %.6f\n", TupleToString(tuple).c_str(), confidence);
-  }
+  PrintAnswer(*answer);
   return 0;
 }
+
+/// \name Streaming mode (--apply-delta)
+///
+/// Runs the command once on the initial collection, then once after every
+/// batch of the delta script, through the incremental delta engine so
+/// witnesses, indexes and cached answers stay warm across batches.
+/// @{
+
+int RunCheckStreaming(const SourceCollection& collection,
+                      const CliOptions& options) {
+  auto batches = delta::ParseDeltaScriptFile(options.apply_delta);
+  if (!batches.ok()) return Fail(batches.status());
+  auto system =
+      delta::IncrementalSystem::Create(collection, SystemOptions(options));
+  if (!system.ok()) return Fail(system.status());
+  int exit_code = 0;
+  const auto check = [&]() -> int {
+    auto report = system->CheckConsistency();
+    if (!report.ok()) return Fail(report.status());
+    std::printf("verdict: %s  (method %s",
+                ConsistencyVerdictToString(report->verdict),
+                report->method.c_str());
+    if (report->combinations_skipped > 0) {
+      std::printf(", %llu combination(s) skipped",
+                  static_cast<unsigned long long>(
+                      report->combinations_skipped));
+    }
+    std::printf(")\n");
+    if (!report->unknown_reason.empty()) {
+      std::printf("reason:  %s\n", report->unknown_reason.c_str());
+    }
+    if (report->witness.has_value()) {
+      std::printf("witness possible world: %zu facts\n",
+                  report->witness->size());
+    }
+    return report->verdict == ConsistencyVerdict::kInconsistent ? 3 : 0;
+  };
+  std::printf("--- initial collection ---\n");
+  int code = check();
+  if (code == 1) return 1;  // hard error: stop streaming
+  exit_code = std::max(exit_code, code);
+  for (size_t i = 0; i < batches->size(); ++i) {
+    auto summary = system->ApplyDelta((*batches)[i]);
+    if (!summary.ok()) return Fail(summary.status());
+    std::printf("--- batch %zu: %s ---\n", i + 1,
+                summary->ToString().c_str());
+    code = check();
+    if (code == 1) return 1;
+    exit_code = std::max(exit_code, code);
+  }
+  return exit_code;
+}
+
+int RunAnswerStreaming(const SourceCollection& collection,
+                       const CliOptions& options) {
+  if (options.method != "exact") {
+    return Fail(Status::InvalidArgument(
+        "--apply-delta answering supports --method exact only"));
+  }
+  auto query = ParseQuery(options.query);
+  if (!query.ok()) return Fail(query.status());
+  auto batches = delta::ParseDeltaScriptFile(options.apply_delta);
+  if (!batches.ok()) return Fail(batches.status());
+  auto system =
+      delta::IncrementalSystem::Create(collection, SystemOptions(options));
+  if (!system.ok()) return Fail(system.status());
+  const auto answer_once = [&]() -> int {
+    // Refresh consistency first: cached answers are only reusable while
+    // the collection is known consistent at the current generation.
+    auto report = system->CheckConsistency();
+    if (!report.ok()) return Fail(report.status());
+    if (report->verdict != ConsistencyVerdict::kConsistent) {
+      std::printf("collection is %s; no worlds to answer over\n",
+                  ConsistencyVerdictToString(report->verdict));
+      return 3;
+    }
+    // Without --domain, track the drifting collection: deltas can mention
+    // constants the initial collection did not.
+    const std::vector<Value> domain =
+        options.domain_given ? options.domain
+                             : system->CollectionSnapshot().MentionedConstants();
+    auto answer = system->AnswerExact(*query, domain);
+    if (!answer.ok()) return Fail(answer.status());
+    PrintAnswer(*answer);
+    return 0;
+  };
+  std::printf("--- initial collection ---\n");
+  int exit_code = answer_once();
+  if (exit_code == 1) return 1;  // hard error: stop streaming
+  for (size_t i = 0; i < batches->size(); ++i) {
+    auto summary = system->ApplyDelta((*batches)[i]);
+    if (!summary.ok()) return Fail(summary.status());
+    std::printf("--- batch %zu: %s ---\n", i + 1,
+                summary->ToString().c_str());
+    const int code = answer_once();
+    if (code == 1) return 1;
+    exit_code = std::max(exit_code, code);
+  }
+  return exit_code;
+}
+
+/// @}
 
 int RunCertain(const SourceCollection& collection,
                const CliOptions& options) {
@@ -490,7 +616,15 @@ int Main(int argc, char** argv) {
   int exit_code = -1;
   {
     const obs::ScopeGuard scope_guard(options->scope);
-    if (command == "check") exit_code = RunCheck(*collection, *options);
+    const bool streaming = !options->apply_delta.empty();
+    if (streaming && command != "check" && command != "answer") {
+      return Fail(Status::InvalidArgument(
+          "--apply-delta supports the check and answer commands only"));
+    }
+    if (command == "check") {
+      exit_code = streaming ? RunCheckStreaming(*collection, *options)
+                            : RunCheck(*collection, *options);
+    }
     if (command == "print") {
       std::printf("%s\n", collection->ToString().c_str());
       exit_code = 0;
@@ -498,7 +632,10 @@ int Main(int argc, char** argv) {
     if (command == "confidences") {
       exit_code = RunConfidences(*collection, *options);
     }
-    if (command == "answer") exit_code = RunAnswer(*collection, *options);
+    if (command == "answer") {
+      exit_code = streaming ? RunAnswerStreaming(*collection, *options)
+                            : RunAnswer(*collection, *options);
+    }
     if (command == "certain") exit_code = RunCertain(*collection, *options);
     if (command == "consensus") exit_code = RunConsensus(*collection);
     if (command == "audit") exit_code = RunAudit(*collection, *options);

@@ -1,0 +1,28 @@
+# Test driver for bench smoke ctests: runs a benchmark binary with
+# --smoke and PSC_BENCH_METRICS_OUT, then validates the emitted metrics
+# record with check_metrics_schema.py. The benchmark itself exits
+# non-zero on a cross-check mismatch, so this doubles as a correctness
+# test. Invoked as
+#   cmake -DBENCH=... -DPYTHON=... -DCHECKER=...
+#         -DOUTPUT=... [-DREQUIRED_COUNTERS=a;b;c] -P run_bench_smoke_check.cmake
+
+file(REMOVE "${OUTPUT}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "PSC_BENCH_METRICS_OUT=${OUTPUT}"
+          "${BENCH}" --smoke
+  RESULT_VARIABLE bench_result)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench smoke failed with status ${bench_result}")
+endif()
+
+set(checker_args "${OUTPUT}")
+foreach(counter IN LISTS REQUIRED_COUNTERS)
+  list(PREPEND checker_args --require-counter "${counter}")
+endforeach()
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" ${checker_args}
+  RESULT_VARIABLE checker_result)
+if(NOT checker_result EQUAL 0)
+  message(FATAL_ERROR
+      "check_metrics_schema.py rejected ${OUTPUT} (status ${checker_result})")
+endif()
