@@ -4,18 +4,72 @@
 /// \file
 /// Shared helpers for the bench_* drivers: a monotonic stopwatch (the
 /// benches used to hand-roll high_resolution_clock arithmetic, which is
-/// not guaranteed monotonic) and an end-of-run structured metrics record.
+/// not guaranteed monotonic), percentile math for latency distributions,
+/// and an end-of-run structured metrics record.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "psc/obs/report.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
 namespace bench_util {
+
+/// \name Percentiles
+///
+/// One shared definition so every bench reports the same statistic:
+/// linear interpolation between closest ranks (the "exclusive" R-7 /
+/// numpy default). Deterministic for a given sample set — the input is
+/// copied and sorted internally, so callers may pass samples in
+/// completion order.
+/// @{
+
+/// Interpolated `q`-th percentile (q in [0, 100]) of `sorted` samples,
+/// which MUST already be ascending. 0 on empty input.
+inline double PercentileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// p50/p95/p99 plus min/max/mean of a latency sample set, in the input's
+/// unit.
+struct LatencySummary {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+inline LatencySummary Summarize(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.count = samples.size();
+  summary.min = samples.front();
+  summary.max = samples.back();
+  double total = 0;
+  for (const double sample : samples) total += sample;
+  summary.mean = total / static_cast<double>(samples.size());
+  summary.p50 = PercentileOfSorted(samples, 50.0);
+  summary.p95 = PercentileOfSorted(samples, 95.0);
+  summary.p99 = PercentileOfSorted(samples, 99.0);
+  return summary;
+}
+
+/// @}
 
 /// Monotonic wall-clock stopwatch.
 class Stopwatch {

@@ -107,12 +107,15 @@ class AnswerAccumulator {
 /// Per-call budget from the system options; inactive (null state, zero
 /// overhead, bit-identical results) when no limit is configured.
 limits::Budget MakeBudget(const QuerySystem::Options& options) {
-  if (options.deadline_ms <= 0 && options.node_budget == 0) {
+  if (options.deadline_ms <= 0 && options.node_budget == 0 &&
+      !options.cancel.has_value() &&
+      limits::AmbientCallLimits() == nullptr) {
     return limits::Budget();
   }
   limits::BudgetOptions budget_options;
   budget_options.deadline_ms = options.deadline_ms;
   budget_options.node_budget = options.node_budget;
+  budget_options.cancel = options.cancel;
   return limits::Budget(budget_options);
 }
 

@@ -2,6 +2,7 @@
 #define PSC_CORE_QUERY_SYSTEM_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,13 @@ class QuerySystem {
     /// units: count-vector tree nodes, DP states, allowable combinations,
     /// brute-force subsets, Monte-Carlo samples.
     uint64_t node_budget = 0;
+    /// External cancellation for every call made through this system: the
+    /// per-call budgets adopt this token, so one `Cancel()` (a server
+    /// draining for shutdown, the CLI's signal handler) revokes all
+    /// in-flight and future work with the usual graceful degradation
+    /// (kUnknown verdicts / truncated answers / DeadlineExceeded).
+    /// Unset (the default): calls are revocable only via their own limits.
+    std::optional<limits::CancelToken> cancel;
     /// Per-query telemetry scope (see obs/scope.h). Every entry point
     /// installs it for the duration of the call — workers included, via
     /// exec's trace propagation — so metric deltas, trace spans and any

@@ -2,16 +2,28 @@
 #define PSC_EXEC_MEMO_CACHE_H_
 
 /// \file
-/// Sharded-lock memoization cache.
+/// Sharded-lock memoization cache with an optional size cap.
 ///
 /// A string-keyed concurrent map split over independently locked shards so
 /// hot read-mostly workloads (repeated containment tests during rewriting
-/// and query minimization) scale across pool workers. Entries are
-/// immutable once inserted: the first writer wins and later inserts of the
-/// same key are no-ops, which keeps lookups of deterministic computations
-/// (same key ⟹ same value) race-free by construction.
+/// and query minimization, compiled query plans) scale across pool
+/// workers. Entries are immutable once inserted: the first writer wins and
+/// later inserts of the same key are no-ops, which keeps lookups of
+/// deterministic computations (same key ⟹ same value) race-free by
+/// construction.
+///
+/// Long-lived processes (the pscd service) must not let these caches grow
+/// without bound, so a cache can be capped with `SetCapacity`: each shard
+/// keeps its entries in insertion order and evicts the oldest ones once it
+/// exceeds its share of the cap. FIFO rather than LRU keeps the hot lookup
+/// path lock-held time at a single hash probe — no recency bookkeeping —
+/// and is a fine fit for memoized *computations*, where any evicted entry
+/// is recomputable at a bounded, known cost. `Insert` reports how many
+/// entries it evicted so call sites can feed their own eviction counters.
 
+#include <atomic>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -27,13 +39,15 @@ template <typename Value>
 class ShardedMemoCache {
  public:
   /// `num_shards` is rounded up to at least 1; 16 suits the solver stack
-  /// (lock hold times are a hash map probe).
-  explicit ShardedMemoCache(size_t num_shards = 16) {
+  /// (lock hold times are a hash map probe). `capacity` caps the total
+  /// entry count across shards; 0 means unbounded.
+  explicit ShardedMemoCache(size_t num_shards = 16, size_t capacity = 0) {
     const size_t n = num_shards == 0 ? 1 : num_shards;
     shards_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       shards_.push_back(std::make_unique<Shard>());
     }
+    SetCapacity(capacity);
   }
 
   ShardedMemoCache(const ShardedMemoCache&) = delete;
@@ -48,17 +62,48 @@ class ShardedMemoCache {
   }
 
   /// First writer wins; concurrent inserts of one key are benign because
-  /// cached computations are deterministic functions of the key.
-  void Insert(const std::string& key, Value value) {
+  /// cached computations are deterministic functions of the key. Returns
+  /// the number of entries evicted to stay within the capacity (0 when
+  /// uncapped or the insert was a duplicate no-op).
+  size_t Insert(const std::string& key, Value value) {
     Shard& shard = ShardOf(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map.emplace(key, std::move(value));
+    const auto [it, inserted] = shard.map.emplace(key, std::move(value));
+    if (!inserted) return 0;
+    shard.order.push_back(it->first);
+    return TrimLocked(shard);
+  }
+
+  /// Caps the total entry count (0 = unbounded) and evicts immediately if
+  /// shards already exceed their share. Returns the entries evicted by the
+  /// resize itself. Thread-safe; concurrent inserts see the new cap on
+  /// their next trim.
+  size_t SetCapacity(size_t capacity) {
+    // Ceil-divide so `capacity` total entries always fit; a tiny nonzero
+    // cap keeps at least one entry per shard.
+    const size_t per_shard =
+        capacity == 0 ? 0 : (capacity + shards_.size() - 1) / shards_.size();
+    per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
+    size_t evicted = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      evicted += TrimLocked(*shard);
+    }
+    return evicted;
+  }
+
+  /// The configured total cap (0 = unbounded), as rounded up to a whole
+  /// number of per-shard entries.
+  size_t capacity() const {
+    return per_shard_capacity_.load(std::memory_order_relaxed) *
+           shards_.size();
   }
 
   void Clear() {
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mutex);
       shard->map.clear();
+      shard->order.clear();
     }
   }
 
@@ -75,13 +120,34 @@ class ShardedMemoCache {
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::string, Value> map;
+    /// Keys in insertion order; front() is the next eviction victim.
+    /// Stores copies: unordered_map references stay valid under erase of
+    /// *other* keys, but the deque must outlive its map entry anyway when
+    /// that entry is the one being evicted.
+    std::deque<std::string> order;
   };
+
+  /// Evicts oldest entries until the shard respects the per-shard cap.
+  /// Caller holds the shard lock.
+  size_t TrimLocked(Shard& shard) {
+    const size_t cap = per_shard_capacity_.load(std::memory_order_relaxed);
+    if (cap == 0) return 0;
+    size_t evicted = 0;
+    while (shard.map.size() > cap && !shard.order.empty()) {
+      shard.map.erase(shard.order.front());
+      shard.order.pop_front();
+      ++evicted;
+    }
+    return evicted;
+  }
 
   Shard& ShardOf(const std::string& key) const {
     return *shards_[std::hash<std::string>{}(key) % shards_.size()];
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-shard entry cap derived from the total capacity; 0 = unbounded.
+  std::atomic<size_t> per_shard_capacity_{0};
 };
 
 }  // namespace exec

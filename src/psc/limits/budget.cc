@@ -18,6 +18,16 @@ uint64_t NowMicros() {
           .count());
 }
 
+thread_local const CallLimits* t_ambient_limits = nullptr;
+
+/// min of two "0 = unlimited" limits: the tighter nonzero value wins.
+template <typename T>
+T TightenLimit(T a, T b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return a < b ? a : b;
+}
+
 }  // namespace
 
 const char* StopReasonToString(StopReason reason) {
@@ -100,12 +110,19 @@ struct Budget::State {
 Budget::Budget(const BudgetOptions& options)
     : state_(std::make_shared<State>()) {
   state_->options = options;
+  if (const CallLimits* ambient = AmbientCallLimits(); ambient != nullptr) {
+    state_->options.deadline_ms =
+        TightenLimit(state_->options.deadline_ms, ambient->deadline_ms);
+    state_->options.node_budget =
+        TightenLimit(state_->options.node_budget, ambient->node_budget);
+  }
   // Budgets are built on the query's entry path, before fan-out, so the
   // scope installed here is the query the limits belong to.
   state_->scope = obs::CurrentScope();
-  if (options.deadline_ms > 0) {
+  if (options.cancel.has_value()) state_->token = *options.cancel;
+  if (state_->options.deadline_ms > 0) {
     state_->deadline =
-        Clock::now() + std::chrono::milliseconds(options.deadline_ms);
+        Clock::now() + std::chrono::milliseconds(state_->options.deadline_ms);
   }
 }
 
@@ -224,6 +241,28 @@ Status Budget::ToStatus() const {
   }
   return Status::Internal("unreachable budget state");
 }
+
+ScopedCallLimits::ScopedCallLimits(const CallLimits& limits)
+    : limits_(limits) {
+  if (!limits_.any()) return;  // empty overlay: keep the null fast path
+  installed_ = true;
+  previous_ = t_ambient_limits;
+  if (previous_ != nullptr) {
+    // Nested overlays tighten: the inner guard already sees the outer
+    // limits merged in, so one thread-local read suffices in the ctor.
+    limits_.deadline_ms =
+        TightenLimit(limits_.deadline_ms, previous_->deadline_ms);
+    limits_.node_budget =
+        TightenLimit(limits_.node_budget, previous_->node_budget);
+  }
+  t_ambient_limits = &limits_;
+}
+
+ScopedCallLimits::~ScopedCallLimits() {
+  if (installed_) t_ambient_limits = previous_;
+}
+
+const CallLimits* AmbientCallLimits() { return t_ambient_limits; }
 
 }  // namespace limits
 }  // namespace psc

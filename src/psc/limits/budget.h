@@ -41,6 +41,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "psc/util/status.h"
 
@@ -82,6 +83,12 @@ struct BudgetOptions {
   uint64_t node_budget = 0;
   /// Advisory memory ceiling for solvers that report via `ChargeMemory`.
   uint64_t memory_budget_bytes = 0;
+  /// External cancellation source adopted as *the* budget token: a
+  /// `Cancel()` on any copy of it trips the budget at its next check,
+  /// exactly like `Budget::Cancel`. Lets one long-lived token (a server's
+  /// shutdown drain, the CLI's ^C handler) revoke many per-call budgets
+  /// built after it. Unset: the budget creates a private token.
+  std::optional<CancelToken> cancel;
 };
 
 /// \brief Shared deadline / work-budget context. Cheap to copy (one
@@ -147,6 +154,64 @@ class Budget {
   struct State;
   std::shared_ptr<State> state_;
 };
+
+/// \name Ambient per-call limits
+///
+/// A thread-local overlay merged into every `Budget` constructed while it
+/// is installed — the same design as `obs::Scope`: solver facades
+/// (`QuerySystem`, `delta::IncrementalSystem`) build budgets from options
+/// fixed at *creation* time, but a serving dispatcher admits each request
+/// with its own deadline and node ceiling decided at *dispatch* time.
+/// Installing a `ScopedCallLimits` around the call makes every budget the
+/// call builds respect the tighter of the two configurations:
+///
+///   limits::CallLimits admitted;
+///   admitted.deadline_ms = 50;           // this request's admission slice
+///   {
+///     limits::ScopedCallLimits guard(admitted);
+///     system->CheckConsistency();        // per-call budgets now run with
+///   }                                    // min(option, ambient) limits
+///
+/// Merging always tightens: a nonzero ambient deadline/node budget caps
+/// the option value (min of the two nonzero values); it never loosens a
+/// configured limit and never touches budgets built on other threads.
+/// Workers reached through `exec` fan-out inherit the *budget*, which was
+/// built on the installing thread, so no per-worker reinstallation is
+/// needed. With empty limits the guard is a no-op and budget construction
+/// keeps the historical zero-overhead null path.
+/// @{
+
+struct CallLimits {
+  /// Wall-clock ceiling for budgets built under the guard; 0 = none.
+  int64_t deadline_ms = 0;
+  /// Explored-node ceiling for budgets built under the guard; 0 = none.
+  uint64_t node_budget = 0;
+
+  bool any() const { return deadline_ms > 0 || node_budget > 0; }
+};
+
+/// RAII installation on the current thread; nests (the previous overlay
+/// is reinstalled on destruction). Empty limits install nothing.
+class ScopedCallLimits {
+ public:
+  explicit ScopedCallLimits(const CallLimits& limits);
+  ~ScopedCallLimits();
+
+  ScopedCallLimits(const ScopedCallLimits&) = delete;
+  ScopedCallLimits& operator=(const ScopedCallLimits&) = delete;
+
+ private:
+  bool installed_ = false;
+  CallLimits limits_;
+  const CallLimits* previous_ = nullptr;
+};
+
+/// The overlay installed on the calling thread, or nullptr. Facades use
+/// this to keep building the zero-overhead null budget when neither their
+/// options nor the ambient overlay configure any limit.
+const CallLimits* AmbientCallLimits();
+
+/// @}
 
 }  // namespace limits
 }  // namespace psc

@@ -445,13 +445,25 @@ std::shared_ptr<const QueryPlan> GetOrCompilePlan(const ConjunctiveQuery& query,
   }
   PSC_OBS_COUNTER_INC("eval.plan_cache.misses");
   auto plan = QueryPlan::Compile(query, bound_vars);
-  GlobalPlanCache().Insert(key, plan);
+  const size_t evicted = GlobalPlanCache().Insert(key, plan);
+  if (evicted > 0) {
+    PSC_OBS_COUNTER_ADD("eval.plan_cache_evictions", evicted);
+  }
   return plan;
 }
 
 void ClearQueryPlanCache() { GlobalPlanCache().Clear(); }
 
 size_t QueryPlanCacheSize() { return GlobalPlanCache().size(); }
+
+void SetQueryPlanCacheCapacity(size_t capacity) {
+  const size_t evicted = GlobalPlanCache().SetCapacity(capacity);
+  if (evicted > 0) {
+    PSC_OBS_COUNTER_ADD("eval.plan_cache_evictions", evicted);
+  }
+}
+
+size_t QueryPlanCacheCapacity() { return GlobalPlanCache().capacity(); }
 
 }  // namespace eval
 }  // namespace psc

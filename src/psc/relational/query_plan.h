@@ -172,6 +172,16 @@ std::shared_ptr<const QueryPlan> GetOrCompilePlan(const ConjunctiveQuery& query,
 void ClearQueryPlanCache();
 size_t QueryPlanCacheSize();
 
+/// \brief Caps the plan cache entry count (0 = unbounded, the default).
+///
+/// Long-lived processes (pscd) serve unbounded query streams, so the memo
+/// must not grow without bound; over the cap the oldest plans are evicted
+/// FIFO and recompiled on next use (correctness is unaffected — plans are
+/// pure functions of the query text). Every eviction increments the
+/// `eval.plan_cache_evictions` counter. Thread-safe.
+void SetQueryPlanCacheCapacity(size_t capacity);
+size_t QueryPlanCacheCapacity();
+
 /// \brief Relations at least this large get a hash index when a probe is
 /// possible; smaller extensions are scanned (a build would cost more than
 /// it saves, and world-enumeration workloads churn tiny databases).

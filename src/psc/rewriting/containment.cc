@@ -170,13 +170,27 @@ Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
   Result<bool> verdict = search.Run();
   // Only ok verdicts are cached: error statuses (e.g. arity mismatch)
   // stay cheap to recompute and keep the cache value type trivial.
-  if (verdict.ok()) ContainmentCache().Insert(key, *verdict);
+  if (verdict.ok()) {
+    const size_t evicted = ContainmentCache().Insert(key, *verdict);
+    if (evicted > 0) {
+      PSC_OBS_COUNTER_ADD("rewriting.memo_evictions", evicted);
+    }
+  }
   return verdict;
 }
 
 void ClearContainmentCache() { ContainmentCache().Clear(); }
 
 size_t ContainmentCacheSize() { return ContainmentCache().size(); }
+
+void SetContainmentCacheCapacity(size_t capacity) {
+  const size_t evicted = ContainmentCache().SetCapacity(capacity);
+  if (evicted > 0) {
+    PSC_OBS_COUNTER_ADD("rewriting.memo_evictions", evicted);
+  }
+}
+
+size_t ContainmentCacheCapacity() { return ContainmentCache().capacity(); }
 
 Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) {

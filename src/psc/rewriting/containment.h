@@ -43,6 +43,15 @@ void ClearContainmentCache();
 /// Number of memoized containment verdicts currently cached.
 size_t ContainmentCacheSize();
 
+/// \brief Caps the containment memo entry count (0 = unbounded, the
+/// default). A resident pscd re-poses containment tests for as long as it
+/// lives, so the memo must be boundable; over the cap the oldest verdicts
+/// are evicted FIFO (and recomputed on next use — verdicts are pure
+/// functions of the canonical query pair). Every eviction increments the
+/// `rewriting.memo_evictions` counter. Thread-safe.
+void SetContainmentCacheCapacity(size_t capacity);
+size_t ContainmentCacheCapacity();
+
 /// Q₁ ≡ Q₂: containment in both directions.
 Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2);

@@ -1,0 +1,213 @@
+#include "psc/serve/protocol.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "psc/obs/json.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace serve {
+
+namespace {
+
+/// Known verbs in wire order; kept in sync with the Verb enum.
+struct VerbName {
+  Verb verb;
+  const char* name;
+};
+
+constexpr VerbName kVerbNames[] = {
+    {Verb::kLoad, "load"},           {Verb::kCheck, "check"},
+    {Verb::kAnswer, "answer"},       {Verb::kApplyDelta, "apply-delta"},
+    {Verb::kStats, "stats"},         {Verb::kShutdown, "shutdown"},
+};
+
+/// The member must be a string when present; empty string when absent.
+Result<std::string> OptionalString(const obs::JsonValue& object,
+                                   const char* key) {
+  const obs::JsonValue* member = object.Find(key);
+  if (member == nullptr) return std::string();
+  if (!member->is_string()) {
+    return Status::InvalidArgument(StrCat("'", key, "' must be a string"));
+  }
+  return member->string();
+}
+
+/// The member must be a non-negative integral number when present.
+Result<uint64_t> OptionalUint(const obs::JsonValue& object, const char* key) {
+  const obs::JsonValue* member = object.Find(key);
+  if (member == nullptr) return uint64_t{0};
+  if (!member->is_number()) {
+    return Status::InvalidArgument(
+        StrCat("'", key, "' must be a non-negative integer"));
+  }
+  const double value = member->number();
+  if (value < 0 || value != std::floor(value) ||
+      value > 9007199254740992.0 /* 2^53: exact doubles end here */) {
+    return Status::InvalidArgument(
+        StrCat("'", key, "' must be a non-negative integer"));
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace
+
+const char* VerbToString(Verb verb) {
+  for (const VerbName& entry : kVerbNames) {
+    if (entry.verb == verb) return entry.name;
+  }
+  return "?";
+}
+
+Result<Request> ParseRequest(const std::string& line,
+                             const ParseLimits& limits) {
+  if (line.size() > limits.max_line_bytes) {
+    return Status::InvalidArgument(
+        StrCat("oversized request line: ", line.size(), " bytes > limit of ",
+               limits.max_line_bytes));
+  }
+  auto document = obs::ParseJson(line);
+  if (!document.ok()) {
+    return Status::InvalidArgument(
+        StrCat("malformed or truncated JSON: ", document.status().message()));
+  }
+  if (!document->is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  Request request;
+
+  const obs::JsonValue* verb = document->Find("verb");
+  if (verb == nullptr || !verb->is_string()) {
+    return Status::InvalidArgument("missing or non-string 'verb'");
+  }
+  bool known = false;
+  for (const VerbName& entry : kVerbNames) {
+    if (verb->string() == entry.name) {
+      request.verb = entry.verb;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Status::InvalidArgument(
+        StrCat("unknown verb '", verb->string(), "'"));
+  }
+
+  if (const obs::JsonValue* id = document->Find("id"); id != nullptr) {
+    if (id->is_string()) {
+      request.id = id->string();
+    } else if (id->is_number() && id->number() == std::floor(id->number())) {
+      request.id = StrCat(static_cast<int64_t>(id->number()));
+    } else {
+      return Status::InvalidArgument("'id' must be a string or an integer");
+    }
+  }
+
+  PSC_ASSIGN_OR_RETURN(const std::string collection,
+                       OptionalString(*document, "collection"));
+  if (!collection.empty()) request.collection = collection;
+  PSC_ASSIGN_OR_RETURN(request.text, OptionalString(*document, "text"));
+  PSC_ASSIGN_OR_RETURN(request.query, OptionalString(*document, "query"));
+  PSC_ASSIGN_OR_RETURN(request.script, OptionalString(*document, "script"));
+
+  if (const obs::JsonValue* domain = document->Find("domain");
+      domain != nullptr) {
+    if (!domain->is_array()) {
+      return Status::InvalidArgument(
+          "'domain' must be an array of integers and strings");
+    }
+    request.domain_given = true;
+    for (const obs::JsonValue& entry : domain->array()) {
+      if (entry.is_string()) {
+        request.domain.emplace_back(entry.string());
+      } else if (entry.is_number() &&
+                 entry.number() == std::floor(entry.number())) {
+        request.domain.emplace_back(static_cast<int64_t>(entry.number()));
+      } else {
+        return Status::InvalidArgument(
+            "'domain' entries must be integers or strings");
+      }
+    }
+  }
+
+  PSC_ASSIGN_OR_RETURN(const uint64_t deadline,
+                       OptionalUint(*document, "deadline_ms"));
+  request.deadline_ms = static_cast<int64_t>(deadline);
+  PSC_ASSIGN_OR_RETURN(request.node_budget,
+                       OptionalUint(*document, "node_budget"));
+
+  // Verb-specific required members, validated here so the engine can
+  // assume a well-formed request.
+  switch (request.verb) {
+    case Verb::kLoad:
+      if (request.text.empty()) {
+        return Status::InvalidArgument("'load' requires non-empty 'text'");
+      }
+      break;
+    case Verb::kAnswer:
+      if (request.query.empty()) {
+        return Status::InvalidArgument("'answer' requires non-empty 'query'");
+      }
+      break;
+    case Verb::kApplyDelta:
+      if (request.script.empty()) {
+        return Status::InvalidArgument(
+            "'apply-delta' requires non-empty 'script'");
+      }
+      break;
+    case Verb::kCheck:
+    case Verb::kStats:
+    case Verb::kShutdown:
+      break;
+  }
+  return request;
+}
+
+JsonObjectWriter& JsonObjectWriter::String(const char* key,
+                                           const std::string& value) {
+  return Raw(key, StrCat("\"", obs::JsonEscape(value), "\""));
+}
+
+JsonObjectWriter& JsonObjectWriter::Uint(const char* key, uint64_t value) {
+  return Raw(key, StrCat(value));
+}
+
+JsonObjectWriter& JsonObjectWriter::Int(const char* key, int64_t value) {
+  return Raw(key, StrCat(value));
+}
+
+JsonObjectWriter& JsonObjectWriter::Bool(const char* key, bool value) {
+  return Raw(key, value ? "true" : "false");
+}
+
+JsonObjectWriter& JsonObjectWriter::Raw(const char* key,
+                                        const std::string& raw) {
+  if (!body_.empty()) body_.push_back(',');
+  body_.append(StrCat("\"", obs::JsonEscape(key), "\":", raw));
+  return *this;
+}
+
+std::string JsonObjectWriter::Finish() const {
+  return StrCat("{", body_, "}");
+}
+
+std::string FormatFixed6(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+std::string ErrorResponseLine(const Request* request, const Status& status) {
+  JsonObjectWriter writer;
+  writer.String("id", request != nullptr ? request->id : "");
+  writer.String("verb", request != nullptr ? VerbToString(request->verb) : "?");
+  writer.Bool("ok", false);
+  writer.String("error", status.ToString());
+  return writer.Finish();
+}
+
+}  // namespace serve
+}  // namespace psc

@@ -1,0 +1,144 @@
+#ifndef PSC_SERVE_PROTOCOL_H_
+#define PSC_SERVE_PROTOCOL_H_
+
+/// \file
+/// The pscd wire protocol: newline-delimited JSON requests and responses.
+///
+/// One request per line, one JSON object per request; one response line
+/// per request, in general NOT in request order (the dispatcher batches
+/// and reorders across sessions), so every request may carry a client
+/// correlation `id` that its response echoes verbatim. A client that
+/// keeps at most one request outstanding needs no ids at all.
+///
+/// Request grammar (unknown members are ignored for forward
+/// compatibility):
+///
+///   {"verb": "load" | "check" | "answer" | "apply-delta" | "stats"
+///          | "shutdown",
+///    "id": <string or integer>,            // optional, echoed
+///    "collection": <string>,               // optional, default "default"
+///    "text": <string>,                     // load: collection source text
+///    "query": <string>,                    // answer: "Ans(x) <- R(x)"
+///    "domain": [<int or string>, ...],     // answer: optional domain
+///    "script": <string>,                   // apply-delta: delta script
+///    "deadline_ms": <integer>,             // optional per-request limits;
+///    "node_budget": <integer>}             //   capped by the server
+///
+/// Responses are JSON objects with at least {"id", "verb", "ok"}; failed
+/// requests carry {"ok": false, "error": <message>} and verb-specific
+/// payload members otherwise (see serve/engine.cc). Example session:
+///
+///   -> {"verb":"load","collection":"m","text":"source S1 { ... }"}
+///   <- {"id":"","verb":"load","ok":true,"collection":"m","sources":2}
+///   -> {"id":1,"verb":"answer","collection":"m","query":"A(x) <- R(x)"}
+///   <- {"id":"1","verb":"answer","ok":true,"method":"exact-enumeration",
+///       "certain":["(\"b\")"],"confidences":[["(\"b\")",1.000000]],...}
+///
+/// Parsing is strict about the envelope (size cap, well-formed JSON, one
+/// object, known verb, verb-specific required members) and lenient about
+/// extras, so a malformed or truncated line yields one error response
+/// instead of desynchronizing the stream.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psc/relational/value.h"
+#include "psc/util/result.h"
+
+namespace psc {
+namespace serve {
+
+/// Protocol verbs, mapping 1:1 onto the one-shot CLI's solving commands
+/// (`load` replaces the CLI's positional file argument; `stats` and
+/// `shutdown` are service-only).
+enum class Verb {
+  kLoad,
+  kCheck,
+  kAnswer,
+  kApplyDelta,
+  kStats,
+  kShutdown,
+};
+
+const char* VerbToString(Verb verb);
+
+/// Envelope limits enforced before any JSON work happens.
+struct ParseLimits {
+  /// Hard cap on one request line; longer lines are rejected without
+  /// being parsed (and the socket layer closes the connection, since an
+  /// oversized line means the stream can no longer be framed reliably).
+  size_t max_line_bytes = size_t{1} << 20;
+};
+
+/// A parsed request. String members not applicable to `verb` are empty.
+struct Request {
+  Verb verb = Verb::kCheck;
+  /// Client correlation id, echoed in the response ("" when absent).
+  std::string id;
+  /// Target collection name in the server's registry.
+  std::string collection = "default";
+  /// load: source-collection text (parser.h grammar).
+  std::string text;
+  /// answer: conjunctive query text.
+  std::string query;
+  /// answer: explicit finite domain; when not given the server uses the
+  /// current collection snapshot's mentioned constants (matching the
+  /// CLI's `--apply-delta` streaming default).
+  std::vector<Value> domain;
+  bool domain_given = false;
+  /// apply-delta: delta-script text (delta_script.h grammar).
+  std::string script;
+  /// Requested per-request limits; 0 = server default. The server clamps
+  /// both to its configured ceilings — a client can tighten its own
+  /// budget, never widen it.
+  int64_t deadline_ms = 0;
+  uint64_t node_budget = 0;
+};
+
+/// Parses one request line. Errors (oversized line, malformed/truncated
+/// JSON, non-object document, missing or unknown verb, wrong member
+/// types, missing verb-specific members) come back as InvalidArgument
+/// with a message suitable for the error response.
+Result<Request> ParseRequest(const std::string& line,
+                             const ParseLimits& limits = {});
+
+/// \name Response assembly
+///
+/// A minimal ordered JSON-object writer — just enough for the engine's
+/// one-line responses, keeping serve/ free of a JSON-library dependency
+/// the rest of the codebase does not have.
+/// @{
+
+class JsonObjectWriter {
+ public:
+  /// Appends "key":"<escaped value>".
+  JsonObjectWriter& String(const char* key, const std::string& value);
+  JsonObjectWriter& Uint(const char* key, uint64_t value);
+  JsonObjectWriter& Int(const char* key, int64_t value);
+  JsonObjectWriter& Bool(const char* key, bool value);
+  /// Appends "key":<raw> with `raw` emitted verbatim (caller guarantees
+  /// it is valid JSON — a nested object/array built separately).
+  JsonObjectWriter& Raw(const char* key, const std::string& raw);
+  /// The accumulated "{...}" document.
+  std::string Finish() const;
+
+ private:
+  std::string body_;
+};
+
+/// `value` with six fractional digits, the CLI's confidence precision —
+/// responses and `psc answer` output stay digit-identical.
+std::string FormatFixed6(double value);
+
+/// The uniform failure response: {"id","verb","ok":false,"error"}.
+/// `request` may be null (the line never parsed); `verb_hint` then labels
+/// the verb member as "?".
+std::string ErrorResponseLine(const Request* request, const Status& status);
+
+/// @}
+
+}  // namespace serve
+}  // namespace psc
+
+#endif  // PSC_SERVE_PROTOCOL_H_

@@ -1,0 +1,215 @@
+#include "psc/serve/socket_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "psc/obs/metrics.h"
+#include "psc/util/string_util.h"
+
+namespace psc {
+namespace serve {
+
+/// One client connection: the socket, the write-side mutex serializing
+/// response lines, and the reader thread. Held by shared_ptr so response
+/// callbacks outlive an already-closed connection harmlessly.
+struct SocketServer::Connection {
+  int fd = -1;
+  uint64_t session = 0;
+  std::mutex write_mutex;
+  std::thread reader;
+
+  void WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      // MSG_NOSIGNAL: a client that hung up mid-response must not kill
+      // the server with SIGPIPE; the EPIPE is simply dropped.
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  void ShutdownSocket() {
+    // Unblocks a reader parked in read(); idempotent.
+    ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+SocketServer::SocketServer(Engine* engine, SocketServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() {
+  Wake();
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) connection->ShutdownSocket();
+  for (const auto& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+    ::close(connection->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+Status SocketServer::Start() {
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Internal(StrCat("pipe: ", std::strerror(errno)));
+  }
+  if (!options_.unix_path.empty()) {
+    sockaddr_un address;
+    std::memset(&address, 0, sizeof(address));
+    address.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(address.sun_path)) {
+      return Status::InvalidArgument(
+          StrCat("socket path too long: ", options_.unix_path));
+    }
+    std::strncpy(address.sun_path, options_.unix_path.c_str(),
+                 sizeof(address.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+    }
+    ::unlink(options_.unix_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof(address)) != 0) {
+      return Status::Internal(StrCat("bind(", options_.unix_path,
+                                     "): ", std::strerror(errno)));
+    }
+    endpoint_ = StrCat("unix:", options_.unix_path);
+  } else if (options_.tcp_port > 0 || options_.ephemeral_tcp) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+    }
+    const int enable = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable));
+    sockaddr_in address;
+    std::memset(&address, 0, sizeof(address));
+    address.sin_family = AF_INET;
+    // Loopback only: pscd has no authentication; never expose it beyond
+    // the local host by default.
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof(address)) != 0) {
+      return Status::Internal(
+          StrCat("bind(port ", options_.tcp_port, "): ", std::strerror(errno)));
+    }
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+    endpoint_ = StrCat("tcp:", port_);
+  } else {
+    return Status::InvalidArgument(
+        "socket server needs a unix path or a tcp port");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Internal(StrCat("listen: ", std::strerror(errno)));
+  }
+  // A client 'shutdown' verb must wake the accept loop, too.
+  engine_->SetShutdownNotify([this] { Wake(); });
+  return Status::OK();
+}
+
+void SocketServer::Wake() {
+  if (wake_pipe_[1] < 0) return;
+  const char byte = 'x';
+  // Single write to a pipe: async-signal-safe, so signal handlers may
+  // call Wake() directly. A full pipe just means a wake-up is already
+  // pending.
+  [[maybe_unused]] const ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void SocketServer::Serve() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        if (engine_->draining()) return;
+        continue;
+      }
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || engine_->draining()) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    auto connection = std::make_shared<Connection>();
+    connection->fd = client;
+    connection->session = ++next_session_;
+    PSC_OBS_COUNTER_INC("serve.connections");
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(connection);
+    }
+    connection->reader =
+        std::thread([this, connection] { HandleConnection(connection); });
+  }
+}
+
+void SocketServer::HandleConnection(
+    const std::shared_ptr<Connection>& connection) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(connection->fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF or error: client is gone
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t newline = buffer.find('\n', start);
+         newline != std::string::npos; newline = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      engine_->Submit(connection->session, line,
+                      [connection](const std::string& response) {
+                        connection->WriteLine(response);
+                      });
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      // No newline within the framing cap: the stream is unframeable.
+      connection->WriteLine(ErrorResponseLine(
+          nullptr, Status::InvalidArgument(StrCat(
+                       "request line exceeds ", options_.max_line_bytes,
+                       " bytes without a newline; closing connection"))));
+      connection->ShutdownSocket();
+      return;
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace psc

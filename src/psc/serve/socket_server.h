@@ -1,0 +1,94 @@
+#ifndef PSC_SERVE_SOCKET_SERVER_H_
+#define PSC_SERVE_SOCKET_SERVER_H_
+
+/// \file
+/// POSIX socket front-end for `serve::Engine`: accepts client connections
+/// on a Unix-domain socket or a loopback TCP port and speaks the
+/// newline-delimited protocol from protocol.h.
+///
+/// Threading model: `Serve()` runs the accept loop on the calling thread
+/// (pscd's main thread) and spawns one reader thread per connection. Each
+/// connection is one protocol *session* — its requests are FIFO among
+/// themselves and fair-share scheduled against other connections by the
+/// engine. Responses are written under a per-connection mutex, so
+/// concurrent completions interleave whole lines, never bytes.
+///
+/// Shutdown: the accept loop polls a self-pipe alongside the listener.
+/// `Wake()` writes one byte to it — async-signal-safe, so pscd's
+/// SIGINT/SIGTERM handler may call it directly — and `Serve()` returns
+/// once woken (it also wires itself into `Engine::SetShutdownNotify`, so
+/// a client's `shutdown` verb wakes it the same way). The caller then
+/// drains the engine and destroys the server; destruction closes the
+/// listener, shuts down every connection socket and joins the readers.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psc/serve/engine.h"
+#include "psc/util/status.h"
+
+namespace psc {
+namespace serve {
+
+struct SocketServerOptions {
+  /// Unix-domain socket path; mutually exclusive with tcp_port.
+  std::string unix_path;
+  /// TCP port (loopback only); 0 with empty unix_path is an error, while
+  /// an explicit 0 port with `ephemeral_tcp` picks a free port.
+  int tcp_port = 0;
+  bool ephemeral_tcp = false;
+  /// Framing cap: a connection that exceeds this many bytes without a
+  /// newline is sent one error response and closed (the stream can no
+  /// longer be framed reliably).
+  size_t max_line_bytes = size_t{1} << 20;
+};
+
+class SocketServer {
+ public:
+  /// `engine` must outlive the server.
+  SocketServer(Engine* engine, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. On success `endpoint()` describes the address.
+  Status Start();
+
+  /// Accept loop; returns after `Wake()` (signal, shutdown verb, or stop
+  /// from another thread). Call `Engine::Drain()` afterwards to let
+  /// accepted requests finish.
+  void Serve();
+
+  /// Wakes the accept loop. Async-signal-safe (one `write` to a pipe).
+  void Wake();
+
+  /// "unix:<path>" or "tcp:<port>" once started.
+  const std::string& endpoint() const { return endpoint_; }
+  /// Bound TCP port (after Start with ephemeral_tcp), 0 for unix.
+  int port() const { return port_; }
+
+ private:
+  struct Connection;
+
+  void HandleConnection(const std::shared_ptr<Connection>& connection);
+
+  Engine* const engine_;
+  const SocketServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::string endpoint_;
+  uint64_t next_session_ = 0;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace serve
+}  // namespace psc
+
+#endif  // PSC_SERVE_SOCKET_SERVER_H_

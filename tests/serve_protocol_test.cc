@@ -1,0 +1,187 @@
+// Wire-protocol parsing tests (serve/protocol.h): the envelope must
+// reject oversized, truncated and malformed lines with one error apiece
+// (never desynchronizing the stream), accept both id forms, and enforce
+// verb-specific required members while ignoring unknown ones.
+
+#include "psc/serve/protocol.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace psc::serve {
+namespace {
+
+TEST(ServeProtocolTest, ParsesMinimalCheck) {
+  PSC_ASSERT_OK_AND_ASSIGN(const Request request,
+                           ParseRequest("{\"verb\":\"check\"}"));
+  EXPECT_EQ(request.verb, Verb::kCheck);
+  EXPECT_EQ(request.id, "");
+  EXPECT_EQ(request.collection, "default");
+  EXPECT_EQ(request.deadline_ms, 0);
+  EXPECT_EQ(request.node_budget, 0u);
+  EXPECT_FALSE(request.domain_given);
+}
+
+TEST(ServeProtocolTest, ParsesFullAnswerRequest) {
+  PSC_ASSERT_OK_AND_ASSIGN(
+      const Request request,
+      ParseRequest("{\"verb\":\"answer\",\"id\":\"q7\",\"collection\":\"m\","
+                   "\"query\":\"Ans(x) <- R(x)\",\"domain\":[1,\"a\",2],"
+                   "\"deadline_ms\":250,\"node_budget\":1000}"));
+  EXPECT_EQ(request.verb, Verb::kAnswer);
+  EXPECT_EQ(request.id, "q7");
+  EXPECT_EQ(request.collection, "m");
+  EXPECT_EQ(request.query, "Ans(x) <- R(x)");
+  ASSERT_TRUE(request.domain_given);
+  ASSERT_EQ(request.domain.size(), 3u);
+  EXPECT_EQ(request.domain[0], Value(int64_t{1}));
+  EXPECT_EQ(request.domain[1], Value(std::string("a")));
+  EXPECT_EQ(request.deadline_ms, 250);
+  EXPECT_EQ(request.node_budget, 1000u);
+}
+
+TEST(ServeProtocolTest, IntegerIdIsNormalizedToItsDecimalString) {
+  PSC_ASSERT_OK_AND_ASSIGN(
+      const Request request,
+      ParseRequest("{\"verb\":\"stats\",\"id\":42}"));
+  EXPECT_EQ(request.id, "42");
+}
+
+TEST(ServeProtocolTest, RejectsNonIntegralId) {
+  const auto parsed = ParseRequest("{\"verb\":\"stats\",\"id\":1.5}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("'id'"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, RejectsTruncatedJson) {
+  const auto parsed = ParseRequest("{\"verb\":\"check\"");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("malformed or truncated JSON"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ServeProtocolTest, RejectsNonObjectDocument) {
+  EXPECT_FALSE(ParseRequest("[\"check\"]").ok());
+  EXPECT_FALSE(ParseRequest("\"check\"").ok());
+}
+
+TEST(ServeProtocolTest, RejectsMissingVerb) {
+  const auto parsed = ParseRequest("{\"id\":\"1\"}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("missing or non-string 'verb'"),
+            std::string::npos);
+}
+
+TEST(ServeProtocolTest, RejectsUnknownVerb) {
+  const auto parsed = ParseRequest("{\"verb\":\"reticulate\"}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unknown verb 'reticulate'"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ServeProtocolTest, RejectsOversizedLine) {
+  ParseLimits limits;
+  limits.max_line_bytes = 64;
+  // Well-formed but over the envelope cap: rejected before any JSON work.
+  std::string line = "{\"verb\":\"load\",\"text\":\"";
+  line.append(128, 'x');
+  line.append("\"}");
+  const auto parsed = ParseRequest(line, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("oversized request line"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ServeProtocolTest, VerbSpecificRequiredMembers) {
+  EXPECT_FALSE(ParseRequest("{\"verb\":\"load\"}").ok());
+  EXPECT_FALSE(ParseRequest("{\"verb\":\"answer\"}").ok());
+  EXPECT_FALSE(ParseRequest("{\"verb\":\"apply-delta\"}").ok());
+  PSC_EXPECT_OK(ParseRequest("{\"verb\":\"check\"}").status());
+  PSC_EXPECT_OK(ParseRequest("{\"verb\":\"stats\"}").status());
+  PSC_EXPECT_OK(ParseRequest("{\"verb\":\"shutdown\"}").status());
+}
+
+TEST(ServeProtocolTest, RejectsWrongMemberTypes) {
+  EXPECT_FALSE(ParseRequest("{\"verb\":\"load\",\"text\":7}").ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"verb\":\"answer\",\"query\":\"A(x) <- R(x)\","
+                   "\"domain\":\"abc\"}")
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"verb\":\"answer\",\"query\":\"A(x) <- R(x)\","
+                   "\"domain\":[1.5]}")
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"verb\":\"check\",\"deadline_ms\":-1}").ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"verb\":\"check\",\"node_budget\":\"many\"}").ok());
+}
+
+TEST(ServeProtocolTest, EmptyDomainArrayStillCountsAsGiven) {
+  // domain:[] pins the answer to the empty domain; it must not silently
+  // fall back to the server-side default.
+  PSC_ASSERT_OK_AND_ASSIGN(
+      const Request request,
+      ParseRequest("{\"verb\":\"answer\",\"query\":\"A(x) <- R(x)\","
+                   "\"domain\":[]}"));
+  EXPECT_TRUE(request.domain_given);
+  EXPECT_TRUE(request.domain.empty());
+}
+
+TEST(ServeProtocolTest, UnknownMembersAreIgnored) {
+  PSC_ASSERT_OK_AND_ASSIGN(
+      const Request request,
+      ParseRequest("{\"verb\":\"check\",\"future_member\":{\"x\":[1]}}"));
+  EXPECT_EQ(request.verb, Verb::kCheck);
+}
+
+TEST(ServeProtocolTest, JsonObjectWriterEscapesAndOrders) {
+  JsonObjectWriter writer;
+  writer.String("a", "line\n\"quote\"");
+  writer.Uint("b", 7);
+  writer.Bool("c", false);
+  writer.Raw("d", "[1,2]");
+  EXPECT_EQ(writer.Finish(),
+            "{\"a\":\"line\\n\\\"quote\\\"\",\"b\":7,\"c\":false,\"d\":[1,2]}");
+}
+
+TEST(ServeProtocolTest, FormatFixed6MatchesCliPrecision) {
+  EXPECT_EQ(FormatFixed6(0.5), "0.500000");
+  EXPECT_EQ(FormatFixed6(2.0 / 3.0), "0.666667");
+  EXPECT_EQ(FormatFixed6(1.0), "1.000000");
+}
+
+TEST(ServeProtocolTest, ErrorResponseLineShapes) {
+  const Status status = Status::InvalidArgument("boom");
+  // With no parsed request the verb is labeled "?" and the id is empty.
+  const std::string unparsed = ErrorResponseLine(nullptr, status);
+  EXPECT_NE(unparsed.find("\"verb\":\"?\""), std::string::npos) << unparsed;
+  EXPECT_NE(unparsed.find("\"ok\":false"), std::string::npos) << unparsed;
+  EXPECT_NE(unparsed.find("boom"), std::string::npos) << unparsed;
+
+  Request request;
+  request.verb = Verb::kAnswer;
+  request.id = "q1";
+  const std::string parsed = ErrorResponseLine(&request, status);
+  EXPECT_NE(parsed.find("\"id\":\"q1\""), std::string::npos) << parsed;
+  EXPECT_NE(parsed.find("\"verb\":\"answer\""), std::string::npos) << parsed;
+}
+
+TEST(ServeProtocolTest, VerbRoundTrip) {
+  for (const Verb verb : {Verb::kLoad, Verb::kCheck, Verb::kAnswer,
+                          Verb::kApplyDelta, Verb::kStats, Verb::kShutdown}) {
+    const std::string line =
+        std::string("{\"verb\":\"") + VerbToString(verb) + "\"," +
+        "\"text\":\"t\",\"query\":\"q\",\"script\":\"s\"}";
+    PSC_ASSERT_OK_AND_ASSIGN(const Request request, ParseRequest(line));
+    EXPECT_EQ(request.verb, verb);
+  }
+}
+
+}  // namespace
+}  // namespace psc::serve

@@ -39,7 +39,8 @@ MAX_SCHEMA_VERSION = 2
 # typo'd or undocumented metric fails CI instead of silently shipping.
 # Keep in sync with the PSC_OBS_* call sites; `delta.` covers the
 # incremental engine (batch application, index maintenance, dirty-scoped
-# consistency and the group-scoped answer cache).
+# consistency and the group-scoped answer cache); `serve.` covers the
+# resident query service (admission, batching, per-verb latency).
 KNOWN_PREFIXES = (
     "algebra.",
     "brute_force.",
@@ -53,6 +54,7 @@ KNOWN_PREFIXES = (
     "obs.",
     "query.",
     "rewriting.",
+    "serve.",
     "tableau.",
     "trace.",
 )

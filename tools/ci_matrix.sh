@@ -43,7 +43,7 @@ echo "=== PSC_SANITIZE=thread -> ${tsan_dir} ==="
 cmake -B "${tsan_dir}" -S . -DPSC_SANITIZE=thread >/dev/null
 cmake --build "${tsan_dir}" -j "${jobs}"
 (cd "${tsan_dir}" && ctest --output-on-failure -j "${jobs}" \
-  -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache|EvalDifferential|DeltaConcurrency')
+  -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache|EvalDifferential|DeltaConcurrency|ServeEngine|ServeConcurrency')
 
 # ASan+UBSan pass over the subsystems where integer overflow and
 # lifetime bugs have actually bitten: rational/bigint arithmetic, the
@@ -152,13 +152,93 @@ python3 tools/check_metrics_schema.py \
   --require-counter delta.consistency.revalidations \
   "${delta_metrics}"
 
+# Serving bench smoke: the warm-vs-cold sweep cross-checks every warm
+# response byte-for-byte against a cold engine (non-zero exit on
+# mismatch), and its metrics must show the serving machinery firing:
+# per-verb request counters and cross-session batch dedup.
+echo "=== bench_serving smoke ==="
+serving_metrics="$(mktemp)"
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}" "${serving_metrics}"' EXIT
+PSC_BENCH_METRICS_OUT="${serving_metrics}" \
+  "${smoke_build}/bench/bench_serving" --smoke
+python3 tools/check_metrics_schema.py \
+  --require-counter serve.requests.answer \
+  --require-counter serve.requests.apply_delta \
+  --require-counter serve.batch.dedup_hits \
+  "${serving_metrics}"
+
+# Resident-service smoke: start pscd on a Unix socket, race a streaming
+# answer client against a delta-toggling client (an even toggle count
+# restores the base state), then require the final base-state answer to
+# match the one-shot CLI digit-for-digit and the daemon to drain and
+# exit 0 on the shutdown verb.
+echo "=== pscd end-to-end serving smoke ==="
+serve_dir="$(mktemp -d)"
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}" "${serving_metrics}"; rm -rf "${serve_dir}"' EXIT
+serve_sock="${serve_dir}/pscd.sock"
+"${smoke_build}/tools/pscd" --unix "${serve_sock}" \
+  --load data/example51.psc > "${serve_dir}/pscd.log" 2>&1 &
+pscd_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "${serve_sock}" ]] && break
+  sleep 0.1
+done
+[[ -S "${serve_sock}" ]] || { cat "${serve_dir}/pscd.log" >&2; exit 1; }
+for _ in $(seq 1 40); do
+  printf '{"verb":"answer","query":"Ans(x) <- R(x)"}\n'
+done > "${serve_dir}/answers.jsonl"
+for _ in $(seq 1 10); do
+  printf '{"verb":"apply-delta","script":"+ S1(\\"c\\")"}\n'
+  printf '{"verb":"apply-delta","script":"- S1(\\"c\\")"}\n'
+done > "${serve_dir}/deltas.jsonl"
+"${smoke_build}/tools/pscd_client" --unix "${serve_sock}" --check-ok \
+  --script "${serve_dir}/answers.jsonl" > "${serve_dir}/answers.out" &
+answer_client=$!
+"${smoke_build}/tools/pscd_client" --unix "${serve_sock}" --check-ok \
+  --script "${serve_dir}/deltas.jsonl" > "${serve_dir}/deltas.out" &
+delta_client=$!
+wait "${answer_client}"
+wait "${delta_client}"
+printf '{"verb":"answer","query":"Ans(x) <- R(x)"}\n' | \
+  "${smoke_build}/tools/pscd_client" --unix "${serve_sock}" --check-ok \
+  > "${serve_dir}/final.out"
+"${smoke_build}/tools/psc" answer data/example51.psc "Ans(x) <- R(x)" \
+  --quiet > "${serve_dir}/cli.out"
+python3 - "${serve_dir}/final.out" "${serve_dir}/cli.out" <<'PY'
+import json, sys
+response = json.loads(open(sys.argv[1]).read().strip())
+assert response["ok"], response
+served = {t: "%.6f" % c for t, c in response["confidences"]}
+cli = {}
+in_confidences = False
+for line in open(sys.argv[2]):
+    if line.startswith("possible answer"):
+        in_confidences = True
+        continue
+    if in_confidences and line.startswith("  "):
+        tuple_text, confidence = line.rsplit(None, 1)
+        cli[tuple_text.strip()] = confidence
+if served != cli:
+    sys.exit("served confidences %r != one-shot CLI %r" % (served, cli))
+print("pscd answers match the one-shot CLI digit-for-digit")
+PY
+printf '{"verb":"shutdown"}\n' | \
+  "${smoke_build}/tools/pscd_client" --unix "${serve_sock}" --check-ok \
+  > /dev/null
+wait "${pscd_pid}"
+grep -q "draining complete" "${serve_dir}/pscd.log" || {
+  cat "${serve_dir}/pscd.log" >&2
+  exit 1
+}
+echo "pscd served racing clients and drained cleanly (exit 0)"
+
 # Delta streaming smoke: `psc check --apply-delta` replays a script of
 # extension mutations, re-deciding consistency after every batch through
 # the incremental engine; like every other CLI path it must be
 # thread-count independent.
 echo "=== --apply-delta streaming smoke ==="
 delta_script="$(mktemp)"
-trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}" "${delta_script}"' EXIT
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}" "${serving_metrics}" "${delta_script}"; rm -rf "${serve_dir}"' EXIT
 cat > "${delta_script}" <<'EOF'
 + S1("c")
 --
@@ -175,7 +255,7 @@ run_smoke "psc check --apply-delta (example 5.1)" \
 echo "=== --deadline-ms graceful-degradation smoke ==="
 deadline_input="$(mktemp)"
 deadline_metrics="$(mktemp)"
-trap 'rm -f "${smoke_input}" "${bench_metrics}" "${deadline_input}" "${deadline_metrics}"' EXIT
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}" "${serving_metrics}" "${deadline_input}" "${deadline_metrics}"; rm -rf "${serve_dir}"' EXIT
 {
   printf 'source Blocker {\n  view: V0(x) <- R(x), M(x)\n'
   printf '  completeness: 1\n  soundness: 0\n}\n'
@@ -203,7 +283,7 @@ python3 tools/check_metrics_schema.py \
 echo "=== query-scoped telemetry smoke ==="
 telemetry_trace="$(mktemp)"
 telemetry_metrics="$(mktemp)"
-trap 'rm -f "${smoke_input}" "${bench_metrics}" "${deadline_input}" "${deadline_metrics}" "${telemetry_trace}" "${telemetry_metrics}"' EXIT
+trap 'rm -f "${smoke_input}" "${bench_metrics}" "${delta_metrics}" "${serving_metrics}" "${deadline_input}" "${deadline_metrics}" "${telemetry_trace}" "${telemetry_metrics}"; rm -rf "${serve_dir}"' EXIT
 "${smoke_build}/tools/psc" answer data/example51.psc "Ans(x) <- R(x)" \
   --method mc --samples 20000 --threads 4 --quiet \
   --trace-out "${telemetry_trace}" --metrics-out "${telemetry_metrics}"
@@ -214,4 +294,4 @@ python3 tools/check_metrics_schema.py \
   "${telemetry_metrics}"
 python3 tools/psc_trace_summary.py --k 5 "${telemetry_trace}"
 
-echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence, deadline degradation, query-scoped telemetry and incremental-delta smokes green"
+echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence, deadline degradation, query-scoped telemetry, incremental-delta and resident-serving smokes green"

@@ -49,6 +49,7 @@
 // examples in the repository README.
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +80,31 @@
 
 namespace psc {
 namespace {
+
+/// ^C / SIGTERM handling. The handler must not printf, allocate or lock —
+/// it only calls `CancelToken::Cancel()`, a relaxed atomic store, which is
+/// async-signal-safe. Every solver call adopts this token (via
+/// QuerySystem::Options::cancel / CliBudget), so an interrupt degrades the
+/// in-flight command gracefully (UNKNOWN verdict, truncated answer,
+/// DeadlineExceeded) and control returns to Main, where the
+/// --metrics-out/--trace-out artifact writers still run instead of the
+/// process dying with the report unwritten. A second signal restores the
+/// default disposition, so a wedged run can still be killed.
+limits::CancelToken& InterruptToken() {
+  static limits::CancelToken token;
+  return token;
+}
+
+void HandleInterrupt(int signo) {
+  InterruptToken().Cancel();
+  std::signal(signo, SIG_DFL);
+}
+
+void InstallInterruptHandler() {
+  (void)InterruptToken();  // construct before any signal can arrive
+  std::signal(SIGINT, HandleInterrupt);
+  std::signal(SIGTERM, HandleInterrupt);
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -284,18 +310,19 @@ QuerySystem::Options SystemOptions(const CliOptions& options) {
   system_options.use_compiled_eval = options.use_compiled_eval;
   system_options.deadline_ms = options.deadline_ms;
   system_options.node_budget = options.node_budget;
+  system_options.cancel = InterruptToken();
   system_options.scope = options.scope;
   return system_options;
 }
 
 /// Budget for the commands that bypass QuerySystem (certain, audit).
+/// Always active: it adopts the interrupt token so ^C unwinds these
+/// commands through their graceful-degradation paths too.
 limits::Budget CliBudget(const CliOptions& options) {
-  if (options.deadline_ms <= 0 && options.node_budget == 0) {
-    return limits::Budget();
-  }
   limits::BudgetOptions budget_options;
   budget_options.deadline_ms = options.deadline_ms;
   budget_options.node_budget = options.node_budget;
+  budget_options.cancel = InterruptToken();
   return limits::Budget(budget_options);
 }
 
@@ -578,6 +605,7 @@ void PrintStatsLine(uint64_t start_us) {
 }
 
 int Main(int argc, char** argv) {
+  InstallInterruptHandler();
   auto options = ParseArgs(argc, argv);
   if (!options.ok()) {
     std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());

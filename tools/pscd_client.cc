@@ -1,0 +1,170 @@
+// pscd_client — minimal scripted client for pscd.
+//
+//   pscd_client --unix /tmp/pscd.sock < session.jsonl
+//   pscd_client --port 7411 --script session.jsonl
+//
+// Reads one protocol request per line (blank lines and `#` comments are
+// skipped), sends each to the server, waits for its response line and
+// prints it to stdout — strict request/response lockstep, so the output
+// order equals the script order and concurrent clients can be compared
+// line-for-line against one-shot CLI runs. Exits nonzero on connection
+// failure, on a truncated response stream, or (with --check-ok) on any
+// response with "ok":false.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pscd_client (--unix PATH | --port N) "
+               "[--script FILE] [--check-ok]\n");
+  return 2;
+}
+
+int ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un address;
+  std::memset(&address, 0, sizeof(address));
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(address.sun_path, path.c_str(), sizeof(address.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of the next newline-terminated response.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int port = -1;
+  std::string script;
+  bool check_ok = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--script" && i + 1 < argc) {
+      script = argv[++i];
+    } else if (arg == "--check-ok") {
+      check_ok = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (unix_path.empty() && port < 0) return Usage();
+
+  const int fd = unix_path.empty() ? ConnectTcp(port) : ConnectUnix(unix_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect (%s)\n", std::strerror(errno));
+    return 1;
+  }
+
+  std::istream* input = &std::cin;
+  std::ifstream file;
+  if (!script.empty()) {
+    file.open(script);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", script.c_str());
+      ::close(fd);
+      return 1;
+    }
+    input = &file;
+  }
+
+  int exit_code = 0;
+  std::string buffer;
+  std::string request;
+  while (std::getline(*input, request)) {
+    if (request.empty() || request[0] == '#') continue;
+    if (!SendLine(fd, request)) {
+      std::fprintf(stderr, "error: send failed (%s)\n", std::strerror(errno));
+      exit_code = 1;
+      break;
+    }
+    std::string response;
+    if (!ReadLine(fd, &buffer, &response)) {
+      std::fprintf(stderr, "error: server closed before responding\n");
+      exit_code = 1;
+      break;
+    }
+    std::printf("%s\n", response.c_str());
+    if (check_ok && response.find("\"ok\":false") != std::string::npos) {
+      exit_code = 3;
+    }
+  }
+  ::close(fd);
+  return exit_code;
+}
