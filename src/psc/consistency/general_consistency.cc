@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -15,6 +13,7 @@
 #include "psc/obs/scope.h"
 #include "psc/obs/trace.h"
 #include "psc/source/measures.h"
+#include "psc/sync/mutex.h"
 #include "psc/tableau/template_builder.h"
 #include "psc/util/string_util.h"
 
@@ -133,20 +132,20 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
   const size_t max_outstanding = 4 * pool->size();
 
   struct SearchState {
-    std::mutex mu;
+    sync::Mutex mu{"consistency.search", sync::kRankSearchOutcome};
     /// Index of the best (minimal) decided combination; its outcome.
-    uint64_t best_index;
-    Status error;
-    std::optional<Database> witness;
+    uint64_t best_index PSC_GUARDED_BY(mu);
+    Status error PSC_GUARDED_BY(mu);
+    std::optional<Database> witness PSC_GUARDED_BY(mu);
     /// Combinations with index >= bound cannot win; they may be skipped.
     std::atomic<uint64_t> bound;
     std::atomic<uint64_t> combinations_tried{0};
     std::atomic<uint64_t> candidates_checked{0};
     std::atomic<bool> hit_limits{false};
     /// Outstanding-block throttle and completion latch.
-    std::mutex blocks_mu;
-    std::condition_variable blocks_cv;
-    size_t outstanding_blocks = 0;
+    sync::Mutex blocks_mu{"consistency.blocks", sync::kRankSearchBlocks};
+    sync::CondVar blocks_cv;
+    size_t outstanding_blocks PSC_GUARDED_BY(blocks_mu) = 0;
   };
   SearchState state;
   state.best_index = kNoIndex;
@@ -155,7 +154,7 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
   // Records a decided combination; the minimal index wins.
   auto record = [&state](uint64_t index, Status error,
                          std::optional<Database> witness) {
-    std::lock_guard<std::mutex> lock(state.mu);
+    sync::MutexLock lock(&state.mu);
     if (index >= state.best_index) return;
     state.best_index = index;
     state.error = std::move(error);
@@ -208,10 +207,10 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
   auto flush = [&] {
     if (block.empty()) return;
     {
-      std::unique_lock<std::mutex> lock(state.blocks_mu);
-      state.blocks_cv.wait(lock, [&] {
-        return state.outstanding_blocks < max_outstanding;
-      });
+      sync::MutexLock lock(&state.blocks_mu);
+      while (state.outstanding_blocks >= max_outstanding) {
+        state.blocks_cv.Wait(state.blocks_mu);
+      }
       ++state.outstanding_blocks;
     }
     auto shipped = std::make_shared<Block>(std::move(block));
@@ -226,12 +225,12 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
         }
       }
       {
-        std::lock_guard<std::mutex> lock(state.blocks_mu);
+        sync::MutexLock lock(&state.blocks_mu);
         --state.outstanding_blocks;
         // Notify while holding the lock: once the producer observes the
         // decrement it may destroy `state`, so the cv must not be
         // touched after the unlock.
-        state.blocks_cv.notify_all();
+        state.blocks_cv.NotifyAll();
       }
     });
   };
@@ -257,8 +256,8 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
   flush();
   {
     // All blocks reference this frame; drain them before returning.
-    std::unique_lock<std::mutex> lock(state.blocks_mu);
-    state.blocks_cv.wait(lock, [&] { return state.outstanding_blocks == 0; });
+    sync::MutexLock lock(&state.blocks_mu);
+    while (state.outstanding_blocks != 0) state.blocks_cv.Wait(state.blocks_mu);
   }
   PSC_RETURN_NOT_OK(enumerated.status());
 
@@ -267,7 +266,7 @@ Result<std::optional<Database>> TryCanonicalFreezeParallel(
   report->candidates_checked =
       state.candidates_checked.load(std::memory_order_relaxed);
   if (state.hit_limits.load(std::memory_order_relaxed)) *hit_limits = true;
-  std::lock_guard<std::mutex> lock(state.mu);
+  sync::MutexLock lock(&state.mu);
   PSC_RETURN_NOT_OK(state.error);
   return std::move(state.witness);
 }

@@ -32,7 +32,8 @@ IncrementalSystem::IncrementalSystem(IncrementalSystem&& o) noexcept
       report_(std::move(o.report_)),
       answers_(std::move(o.answers_)) {}
 
-IncrementalSystem& IncrementalSystem::operator=(IncrementalSystem&& o) noexcept {
+IncrementalSystem& IncrementalSystem::operator=(
+    IncrementalSystem&& o) noexcept {
   if (this == &o) return *this;
   collection_ = std::move(o.collection_);
   options_ = std::move(o.options_);
@@ -50,12 +51,17 @@ Result<IncrementalSystem> IncrementalSystem::Create(
   PSC_ASSIGN_OR_RETURN(QuerySystem probe,
                        QuerySystem::Create(collection, options));
   IncrementalSystem system(std::move(collection), std::move(options));
-  system.system_.emplace(std::move(probe));
+  {
+    // Uncontended (the object is local) but keeps the guarded-field
+    // access provable to the thread-safety analysis.
+    sync::MutexLock lock(&system.cache_mutex_);
+    system.system_.emplace(std::move(probe));
+  }
   return system;
 }
 
 Result<const QuerySystem*> IncrementalSystem::GetOrBuildSystem() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  sync::MutexLock lock(&cache_mutex_);
   if (!system_.has_value()) {
     PSC_ASSIGN_OR_RETURN(QuerySystem system,
                          QuerySystem::Create(collection_, options_));
@@ -85,13 +91,13 @@ std::vector<size_t> IncrementalSystem::RelevantSources(
 
 Result<CollectionDeltaSummary> IncrementalSystem::ApplyDelta(
     const CollectionDelta& delta) {
-  std::unique_lock<std::shared_mutex> data_lock(data_mutex_);
+  sync::WriterLock data_lock(&data_mutex_);
   PSC_OBS_SPAN("delta.apply");
   PSC_ASSIGN_OR_RETURN(const CollectionDeltaSummary summary,
                        collection_.ApplyDelta(delta));
   PSC_OBS_COUNTER_INC("delta.batches_applied");
   if (summary.changed()) {
-    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    sync::MutexLock cache_lock(&cache_mutex_);
     // The QuerySystem snapshots the collection, so it must be rebuilt; the
     // report and answer caches self-invalidate through their generation
     // stamps and stay for dirty-scoped reuse.
@@ -101,12 +107,12 @@ Result<CollectionDeltaSummary> IncrementalSystem::ApplyDelta(
 }
 
 Result<ConsistencyReport> IncrementalSystem::CheckConsistency() const {
-  std::shared_lock<std::shared_mutex> data_lock(data_mutex_);
+  sync::ReaderLock data_lock(&data_mutex_);
   PSC_OBS_SPAN("delta.check_consistency");
   const uint64_t now = collection_.generation();
   CachedReport snapshot;
   {
-    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    sync::MutexLock cache_lock(&cache_mutex_);
     snapshot = report_;
   }
 
@@ -142,7 +148,7 @@ Result<ConsistencyReport> IncrementalSystem::CheckConsistency() const {
       report.method = "delta-revalidate";
       report.candidates_checked = 1;
       report.combinations_skipped = snapshot.last_full_combinations;
-      std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+      sync::MutexLock cache_lock(&cache_mutex_);
       report_ = CachedReport{true, now, report, snapshot.last_full_combinations};
       return report;
     }
@@ -171,7 +177,7 @@ Result<ConsistencyReport> IncrementalSystem::CheckConsistency() const {
         report.method = "delta-repair";
         report.candidates_checked = 2;
         report.combinations_skipped = snapshot.last_full_combinations;
-        std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+        sync::MutexLock cache_lock(&cache_mutex_);
         report_ =
             CachedReport{true, now, report, snapshot.last_full_combinations};
         return report;
@@ -182,21 +188,21 @@ Result<ConsistencyReport> IncrementalSystem::CheckConsistency() const {
   PSC_ASSIGN_OR_RETURN(const QuerySystem* system, GetOrBuildSystem());
   PSC_ASSIGN_OR_RETURN(ConsistencyReport report, system->CheckConsistency());
   PSC_OBS_COUNTER_INC("delta.consistency.full_checks");
-  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+  sync::MutexLock cache_lock(&cache_mutex_);
   report_ = CachedReport{true, now, report, report.combinations_tried};
   return report;
 }
 
 Result<QueryAnswer> IncrementalSystem::AnswerExact(
     const ConjunctiveQuery& query, const std::vector<Value>& domain) const {
-  std::shared_lock<std::shared_mutex> data_lock(data_mutex_);
+  sync::ReaderLock data_lock(&data_mutex_);
   PSC_OBS_SPAN("delta.answer_exact");
   const uint64_t now = collection_.generation();
   std::string key = query.ToString();
   for (const Value& value : domain) key += StrCat("|", value.ToString());
 
   {
-    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    sync::MutexLock cache_lock(&cache_mutex_);
     const auto it = answers_.find(key);
     if (it != answers_.end()) {
       // Group-scoped reuse is only sound while the collection is known
@@ -232,23 +238,23 @@ Result<QueryAnswer> IncrementalSystem::AnswerExact(
   cached.answer = answer;
   cached.generation = now;
   cached.relevant_sources = RelevantSources(relations);
-  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+  sync::MutexLock cache_lock(&cache_mutex_);
   answers_[key] = std::move(cached);
   return answer;
 }
 
 SourceCollection IncrementalSystem::CollectionSnapshot() const {
-  std::shared_lock<std::shared_mutex> data_lock(data_mutex_);
+  sync::ReaderLock data_lock(&data_mutex_);
   return collection_;
 }
 
 uint64_t IncrementalSystem::generation() const {
-  std::shared_lock<std::shared_mutex> data_lock(data_mutex_);
+  sync::ReaderLock data_lock(&data_mutex_);
   return collection_.generation();
 }
 
 size_t IncrementalSystem::AnswerCacheSize() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  sync::MutexLock lock(&cache_mutex_);
   return answers_.size();
 }
 

@@ -42,15 +42,14 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "psc/core/query_system.h"
 #include "psc/source/source_collection.h"
+#include "psc/sync/mutex.h"
 #include "psc/util/result.h"
 
 namespace psc {
@@ -64,8 +63,12 @@ class IncrementalSystem {
   static Result<IncrementalSystem> Create(SourceCollection collection,
                                           QuerySystem::Options options = {});
 
+  // Moves transfer guarded state without locks: the contract (as for any
+  // std type) is that no other thread touches either operand during the
+  // move, so the analysis is waived for both.
   IncrementalSystem(IncrementalSystem&&) noexcept;
-  IncrementalSystem& operator=(IncrementalSystem&&) noexcept;
+  IncrementalSystem& operator=(IncrementalSystem&&) noexcept
+      PSC_NO_THREAD_SAFETY_ANALYSIS;
 
   /// \brief Applies a batched extension delta (exclusive; serializes with
   /// queries). Validation is all-or-nothing (see
@@ -118,27 +121,30 @@ class IncrementalSystem {
 
   /// Builds (once per mutation) the QuerySystem over the current
   /// collection. Caller must hold the shared data lock.
-  Result<const QuerySystem*> GetOrBuildSystem() const;
+  Result<const QuerySystem*> GetOrBuildSystem() const
+      PSC_REQUIRES_SHARED(data_mutex_);
 
   /// Source indices whose generation is newer than `since`.
-  std::vector<size_t> DirtySourcesSince(uint64_t since) const;
+  std::vector<size_t> DirtySourcesSince(uint64_t since) const
+      PSC_REQUIRES_SHARED(data_mutex_);
 
   /// Sources in every relation group that mentions one of `relations`.
   std::vector<size_t> RelevantSources(
       const std::set<std::string>& relations) const;
 
-  mutable std::shared_mutex data_mutex_;
-  SourceCollection collection_;
+  mutable sync::SharedMutex data_mutex_{"delta.data", sync::kRankDeltaData};
+  SourceCollection collection_ PSC_GUARDED_BY(data_mutex_);
   QuerySystem::Options options_;
   /// Source index → relation-group id, fixed at Create (views are
   /// immutable; only extensions drift).
   std::vector<std::vector<size_t>> groups_;
   std::map<std::string, std::vector<size_t>> relation_to_group_;
 
-  mutable std::mutex cache_mutex_;
-  mutable std::optional<QuerySystem> system_;
-  mutable CachedReport report_;
-  mutable std::map<std::string, CachedAnswer> answers_;
+  mutable sync::Mutex cache_mutex_{"delta.cache", sync::kRankDeltaCache};
+  mutable std::optional<QuerySystem> system_ PSC_GUARDED_BY(cache_mutex_);
+  mutable CachedReport report_ PSC_GUARDED_BY(cache_mutex_);
+  mutable std::map<std::string, CachedAnswer> answers_
+      PSC_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace delta

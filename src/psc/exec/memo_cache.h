@@ -26,11 +26,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "psc/sync/mutex.h"
 
 namespace psc {
 namespace exec {
@@ -54,8 +55,8 @@ class ShardedMemoCache {
   ShardedMemoCache& operator=(const ShardedMemoCache&) = delete;
 
   std::optional<Value> Lookup(const std::string& key) const {
-    const Shard& shard = ShardOf(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    Shard& shard = ShardOf(key);
+    sync::MutexLock lock(&shard.mutex);
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) return std::nullopt;
     return it->second;
@@ -67,7 +68,7 @@ class ShardedMemoCache {
   /// uncapped or the insert was a duplicate no-op).
   size_t Insert(const std::string& key, Value value) {
     Shard& shard = ShardOf(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    sync::MutexLock lock(&shard.mutex);
     const auto [it, inserted] = shard.map.emplace(key, std::move(value));
     if (!inserted) return 0;
     shard.order.push_back(it->first);
@@ -86,7 +87,7 @@ class ShardedMemoCache {
     per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
     size_t evicted = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      sync::MutexLock lock(&shard->mutex);
       evicted += TrimLocked(*shard);
     }
     return evicted;
@@ -101,7 +102,7 @@ class ShardedMemoCache {
 
   void Clear() {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      sync::MutexLock lock(&shard->mutex);
       shard->map.clear();
       shard->order.clear();
     }
@@ -110,7 +111,7 @@ class ShardedMemoCache {
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      sync::MutexLock lock(&shard->mutex);
       total += shard->map.size();
     }
     return total;
@@ -118,18 +119,17 @@ class ShardedMemoCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, Value> map;
+    sync::Mutex mutex{"exec.memo_shard", sync::kRankMemoShard};
+    std::unordered_map<std::string, Value> map PSC_GUARDED_BY(mutex);
     /// Keys in insertion order; front() is the next eviction victim.
     /// Stores copies: unordered_map references stay valid under erase of
     /// *other* keys, but the deque must outlive its map entry anyway when
     /// that entry is the one being evicted.
-    std::deque<std::string> order;
+    std::deque<std::string> order PSC_GUARDED_BY(mutex);
   };
 
   /// Evicts oldest entries until the shard respects the per-shard cap.
-  /// Caller holds the shard lock.
-  size_t TrimLocked(Shard& shard) {
+  size_t TrimLocked(Shard& shard) PSC_REQUIRES(shard.mutex) {
     const size_t cap = per_shard_capacity_.load(std::memory_order_relaxed);
     if (cap == 0) return 0;
     size_t evicted = 0;

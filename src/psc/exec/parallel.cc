@@ -1,12 +1,11 @@
 #include "psc/exec/parallel.h"
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "psc/obs/metrics.h"
 #include "psc/obs/scope.h"
 #include "psc/obs/trace.h"
+#include "psc/sync/mutex.h"
 
 namespace psc {
 namespace exec {
@@ -16,20 +15,20 @@ namespace {
 /// Countdown latch for fork-join completion (C++20 std::latch is not yet
 /// universally available on the supported toolchains).
 struct Latch {
-  std::mutex mutex;
-  std::condition_variable cv;
-  size_t remaining;
+  sync::Mutex mutex{"exec.parallel.latch", sync::kRankExecLatch};
+  sync::CondVar cv;
+  size_t remaining PSC_GUARDED_BY(mutex);
 
   explicit Latch(size_t count) : remaining(count) {}
 
   void CountDown() {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (--remaining == 0) cv.notify_all();
+    sync::MutexLock lock(&mutex);
+    if (--remaining == 0) cv.NotifyAll();
   }
 
   void Wait() {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return remaining == 0; });
+    sync::MutexLock lock(&mutex);
+    while (remaining != 0) cv.Wait(mutex);
   }
 };
 

@@ -1,11 +1,11 @@
 #include "psc/exec/thread_pool.h"
 
-#include <chrono>
 #include <cstdlib>
 #include <string>
 
 #include "psc/obs/log.h"
 #include "psc/obs/metrics.h"
+#include "psc/obs/trace.h"
 #include "psc/util/string_util.h"
 
 namespace psc {
@@ -18,13 +18,6 @@ namespace {
 /// thread only ever belongs to one pool, so a plain thread-local suffices.
 thread_local size_t tls_worker_index = SIZE_MAX;
 thread_local const void* tls_worker_pool = nullptr;
-
-uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 }  // namespace
 
@@ -75,10 +68,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    sync::MutexLock lock(&wake_mutex_);
     stopping_.store(true, std::memory_order_relaxed);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -91,22 +84,22 @@ void ThreadPool::Submit(std::function<void()> task) {
              queues_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    sync::MutexLock lock(&queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
   unclaimed_.fetch_add(1, std::memory_order_release);
   {
     // Taking the wake mutex orders this notify against the predicate
     // check inside the workers' wait, preventing lost wakeups.
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    sync::MutexLock lock(&wake_mutex_);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
   PSC_OBS_COUNTER_INC("exec.tasks_submitted");
 }
 
 bool ThreadPool::TryPopOwn(size_t index, std::function<void()>* task) {
   Queue& queue = *queues_[index];
-  std::lock_guard<std::mutex> lock(queue.mutex);
+  sync::MutexLock lock(&queue.mutex);
   if (queue.tasks.empty()) return false;
   *task = std::move(queue.tasks.front());
   queue.tasks.pop_front();
@@ -117,7 +110,7 @@ bool ThreadPool::TrySteal(size_t thief, std::function<void()>* task) {
   const size_t n = queues_.size();
   for (size_t offset = 1; offset < n; ++offset) {
     Queue& victim = *queues_[(thief + offset) % n];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    sync::MutexLock lock(&victim.mutex);
     if (victim.tasks.empty()) continue;
     *task = std::move(victim.tasks.back());
     victim.tasks.pop_back();
@@ -134,18 +127,19 @@ void ThreadPool::WorkerLoop(size_t index) {
   while (true) {
     if (TryPopOwn(index, &task) || TrySteal(index, &task)) {
       unclaimed_.fetch_sub(1, std::memory_order_acquire);
-      const uint64_t started = NowMicros();
+      const uint64_t started = obs::TraceNowMicros();
       task();
       task = nullptr;  // release captured state promptly
-      PSC_OBS_HISTOGRAM_RECORD("exec.task_micros", NowMicros() - started);
+      PSC_OBS_HISTOGRAM_RECORD("exec.task_micros",
+                               obs::TraceNowMicros() - started);
       PSC_OBS_COUNTER_INC("exec.tasks_executed");
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait(lock, [this] {
-      return stopping_.load(std::memory_order_relaxed) ||
-             unclaimed_.load(std::memory_order_acquire) > 0;
-    });
+    sync::MutexLock lock(&wake_mutex_);
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           unclaimed_.load(std::memory_order_acquire) == 0) {
+      wake_cv_.Wait(wake_mutex_);
+    }
     if (stopping_.load(std::memory_order_relaxed) &&
         unclaimed_.load(std::memory_order_acquire) == 0) {
       return;

@@ -24,14 +24,14 @@
 /// reproducible regardless of thread count.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "psc/sync/mutex.h"
 
 namespace psc {
 namespace exec {
@@ -89,8 +89,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    sync::Mutex mutex{"exec.pool.queue", sync::kRankExecQueue};
+    std::deque<std::function<void()>> tasks PSC_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(size_t index);
@@ -101,8 +101,8 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  sync::Mutex wake_mutex_{"exec.pool.wake", sync::kRankExecWake};
+  sync::CondVar wake_cv_;
   /// Tasks submitted but not yet claimed by a worker.
   std::atomic<uint64_t> unclaimed_{0};
   std::atomic<uint64_t> next_queue_{0};

@@ -1,19 +1,19 @@
 #include "psc/obs/log.h"
 
 #include <cstdio>
-#include <mutex>
 #include <set>
 #include <utility>
 
 #include "psc/obs/metrics.h"
+#include "psc/sync/mutex.h"
 
 namespace psc {
 namespace obs {
 
 namespace {
 
-std::mutex& SinkMutex() {
-  static std::mutex mutex;
+sync::Mutex& SinkMutex() {
+  static sync::Mutex mutex{"obs.log.sink", sync::kRankObsLogSink};
   return mutex;
 }
 
@@ -25,14 +25,20 @@ WarningSink& CurrentSink() {
 }  // namespace
 
 void SetWarningSink(WarningSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  sync::MutexLock lock(&SinkMutex());
   CurrentSink() = std::move(sink);
 }
 
 void LogWarning(const std::string& message) {
   PSC_OBS_COUNTER_INC("obs.warnings");
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  const WarningSink& sink = CurrentSink();
+  // Copy the sink out and invoke it unlocked: the sink is user code and
+  // obs.log.sink is the innermost rank — calling back into obs (or
+  // anything else) under it would invert the hierarchy.
+  WarningSink sink;
+  {
+    sync::MutexLock lock(&SinkMutex());
+    sink = CurrentSink();
+  }
   if (sink) {
     sink(message);
   } else {
@@ -42,9 +48,9 @@ void LogWarning(const std::string& message) {
 
 void LogWarningOnce(const std::string& message) {
   {
-    static std::mutex seen_mutex;
+    static sync::Mutex seen_mutex{"obs.log.seen", sync::kRankObsLogSeen};
     static std::set<std::string> seen;
-    std::lock_guard<std::mutex> lock(seen_mutex);
+    sync::MutexLock lock(&seen_mutex);
     if (!seen.insert(message).second) return;
   }
   LogWarning(message);

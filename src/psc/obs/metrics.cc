@@ -150,21 +150,21 @@ void Histogram::Reset() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
@@ -172,7 +172,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::vector<std::pair<std::string, uint64_t>>
 MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   std::vector<std::pair<std::string, uint64_t>> values;
   values.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -183,7 +183,7 @@ MetricsRegistry::CounterValues() const {
 
 std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeValues()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   std::vector<std::pair<std::string, int64_t>> values;
   values.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -194,7 +194,7 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeValues()
 
 std::vector<std::pair<std::string, HistogramSnapshot>>
 MetricsRegistry::HistogramValues() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   std::vector<std::pair<std::string, HistogramSnapshot>> values;
   values.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -204,13 +204,13 @@ MetricsRegistry::HistogramValues() const {
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -27,9 +27,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "psc/sync/mutex.h"
 
 #ifndef PSC_OBS_ENABLED
 #define PSC_OBS_ENABLED 1
@@ -156,10 +157,17 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Innermost lock of the obs leaf group: any subsystem may look up an
+  // instrument while holding its own locks, so nothing may be acquired
+  // under this one. Instrument pointers are stable, so the lock guards
+  // only map shape — hot-path hits are lock-free atomics.
+  mutable sync::Mutex mutex_{"obs.metrics.registry", sync::kRankObsMetrics};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PSC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PSC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PSC_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry used by the `PSC_OBS_*` macros.

@@ -24,8 +24,8 @@ std::atomic<uint64_t> g_next_scope_id{1};
 /// Weak registry of every scope created, for RunReport::Capture. Expired
 /// entries are pruned on each capture.
 struct ScopeRegistry {
-  std::mutex mutex;
-  std::vector<std::weak_ptr<ScopeState>> scopes;
+  sync::Mutex mutex{"obs.scope.registry", sync::kRankObsScopeRegistry};
+  std::vector<std::weak_ptr<ScopeState>> scopes PSC_GUARDED_BY(mutex);
 };
 
 ScopeRegistry& Registry() {
@@ -115,7 +115,7 @@ Scope Scope::Create(const std::string& name) {
       internal::g_next_scope_id.fetch_add(1, std::memory_order_relaxed);
   {
     internal::ScopeRegistry& registry = internal::Registry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    sync::MutexLock lock(&registry.mutex);
     registry.scopes.emplace_back(state);
   }
   return Scope(std::move(state));
@@ -141,7 +141,7 @@ ScopeSnapshot SnapshotState(const std::shared_ptr<internal::ScopeState>&
   snapshot.spans = state->spans.Snapshot();
   snapshot.spans_dropped = state->spans.dropped();
   {
-    std::lock_guard<std::mutex> lock(state->trip_mutex);
+    sync::MutexLock lock(&state->trip_mutex);
     snapshot.trip_reason = state->trip_reason;
   }
   return snapshot;
@@ -156,7 +156,7 @@ ScopeSnapshot Scope::Snapshot() const {
 
 void Scope::SetTripReason(const std::string& reason) const {
   if (state_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(state_->trip_mutex);
+  sync::MutexLock lock(&state_->trip_mutex);
   if (state_->trip_reason.empty()) state_->trip_reason = reason;
 }
 
@@ -180,7 +180,7 @@ std::vector<ScopeSnapshot> CaptureScopeSnapshots() {
   std::vector<std::shared_ptr<internal::ScopeState>> alive;
   {
     internal::ScopeRegistry& registry = internal::Registry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    sync::MutexLock lock(&registry.mutex);
     std::vector<std::weak_ptr<internal::ScopeState>> remaining;
     remaining.reserve(registry.scopes.size());
     for (const std::weak_ptr<internal::ScopeState>& weak : registry.scopes) {

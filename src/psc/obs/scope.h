@@ -61,9 +61,9 @@ struct ScopeState {
   MetricsRegistry metrics;
   /// Per-scope span buffer; spans recorded while the scope is installed.
   TraceBuffer spans;
-  std::mutex trip_mutex;
+  sync::Mutex trip_mutex{"obs.scope.trip", sync::kRankObsScopeTrip};
   /// First `limits` trip attributed to this scope ("deadline", ...).
-  std::string trip_reason;
+  std::string trip_reason PSC_GUARDED_BY(trip_mutex);
 };
 
 }  // namespace internal

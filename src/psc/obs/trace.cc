@@ -67,7 +67,7 @@ uint64_t TraceNowMicros() {
 }
 
 void TraceBuffer::Append(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   if (records_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -76,17 +76,17 @@ void TraceBuffer::Append(SpanRecord record) {
 }
 
 std::vector<SpanRecord> TraceBuffer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   return records_;
 }
 
 uint64_t TraceBuffer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   return dropped_;
 }
 
 void TraceBuffer::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   capacity_ = capacity;
   if (records_.size() > capacity_) {
     // Shrinking applies retroactively: the newest records go, counted as
@@ -97,7 +97,7 @@ void TraceBuffer::SetCapacity(size_t capacity) {
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   records_.clear();
   dropped_ = 0;
 }

@@ -19,11 +19,11 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "psc/obs/metrics.h"
+#include "psc/sync/mutex.h"
 
 namespace psc {
 namespace obs {
@@ -60,10 +60,10 @@ class TraceBuffer {
   void Clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> records_;
-  size_t capacity_ = 1 << 16;
-  uint64_t dropped_ = 0;
+  mutable sync::Mutex mutex_{"obs.trace.buffer", sync::kRankObsTraceBuffer};
+  std::vector<SpanRecord> records_ PSC_GUARDED_BY(mutex_);
+  size_t capacity_ PSC_GUARDED_BY(mutex_) = 1 << 16;
+  uint64_t dropped_ PSC_GUARDED_BY(mutex_) = 0;
 };
 
 TraceBuffer& GlobalTrace();

@@ -76,7 +76,7 @@ std::shared_ptr<const RelationIndex> IndexCache::GetOrBuild(
     const std::set<Tuple>& extension, uint64_t relation_generation,
     const std::string& relation, size_t arity,
     const std::vector<uint32_t>& positions) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   Key key{relation, arity, positions};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -97,7 +97,7 @@ void IndexCache::ApplyRelationDelta(const std::string& relation,
                                     size_t size_after, uint64_t old_generation,
                                     uint64_t new_generation) {
   const size_t churn = inserted.size() + retracted.size();
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   auto it = entries_.lower_bound(Key{relation, 0, {}});
   while (it != entries_.end() && it->first.relation == relation) {
     Entry& entry = it->second;
@@ -127,12 +127,12 @@ void IndexCache::ApplyRelationDelta(const std::string& relation,
 }
 
 void IndexCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   entries_.clear();
 }
 
 size_t IndexCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   return entries_.size();
 }
 

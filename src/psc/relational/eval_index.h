@@ -33,13 +33,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "psc/relational/value.h"
+#include "psc/sync/mutex.h"
 
 namespace psc {
 namespace eval {
@@ -161,8 +161,8 @@ class IndexCache {
     std::shared_ptr<RelationIndex> index;
   };
 
-  mutable std::mutex mutex_;
-  std::map<Key, Entry> entries_;
+  mutable sync::Mutex mutex_{"eval.index_cache", sync::kRankEvalIndexCache};
+  std::map<Key, Entry> entries_ PSC_GUARDED_BY(mutex_);
 };
 
 }  // namespace eval

@@ -1,13 +1,13 @@
 #include "psc/serve/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "psc/delta/delta_script.h"
 #include "psc/obs/json.h"
 #include "psc/obs/metrics.h"
 #include "psc/obs/scope.h"
+#include "psc/obs/trace.h"
 #include "psc/parser/parser.h"
 #include "psc/relational/query_plan.h"
 #include "psc/rewriting/containment.h"
@@ -17,13 +17,6 @@ namespace psc {
 namespace serve {
 
 namespace {
-
-uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 /// min of two "0 = unlimited" limits: the tighter nonzero value wins, so
 /// a client can only tighten the server ceiling.
@@ -179,7 +172,7 @@ limits::CallLimits Engine::AdmittedLimits(const Request& request) const {
 
 void Engine::Submit(uint64_t session, const std::string& line,
                     Callback callback) {
-  const uint64_t start = NowMicros();
+  const uint64_t start = obs::TraceNowMicros();
   auto parsed = ParseRequest(line, options_.parse_limits);
   if (!parsed.ok()) {
     PSC_OBS_COUNTER_INC("serve.errors");
@@ -194,7 +187,7 @@ void Engine::Submit(uint64_t session, const std::string& line,
 
   Status rejection = Status::OK();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(&mutex_);
     if (shutdown_) {
       rejection = Status::ResourceExhausted("server is draining");
     } else if (options_.max_queue > 0 && queued_ >= options_.max_queue) {
@@ -215,7 +208,7 @@ void Engine::Submit(uint64_t session, const std::string& line,
     Deliver(pending, Fail(pending.request, rejection));
     return;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 std::vector<Engine::Pending> Engine::CollectBatchLocked() {
@@ -282,8 +275,8 @@ void Engine::DispatchLoop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return queued_ > 0 || shutdown_; });
+      sync::MutexLock lock(&mutex_);
+      while (queued_ == 0 && !shutdown_) cv_.Wait(mutex_);
       if (queued_ == 0 && shutdown_) return;
       batch = CollectBatchLocked();
       if (batch.empty()) continue;
@@ -292,9 +285,9 @@ void Engine::DispatchLoop() {
     const size_t executed = batch.size();
     ExecuteBatch(std::move(batch));
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(&mutex_);
       in_flight_ -= executed;
-      if (queued_ == 0 && in_flight_ == 0) drained_cv_.notify_all();
+      if (queued_ == 0 && in_flight_ == 0) drained_cv_.NotifyAll();
     }
   }
 }
@@ -302,7 +295,7 @@ void Engine::DispatchLoop() {
 bool Engine::PumpOne() {
   std::vector<Pending> batch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(&mutex_);
     batch = CollectBatchLocked();
     if (batch.empty()) return false;
     in_flight_ += batch.size();
@@ -310,50 +303,52 @@ bool Engine::PumpOne() {
   const size_t executed = batch.size();
   ExecuteBatch(std::move(batch));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(&mutex_);
     in_flight_ -= executed;
-    if (queued_ == 0 && in_flight_ == 0) drained_cv_.notify_all();
+    if (queued_ == 0 && in_flight_ == 0) drained_cv_.NotifyAll();
   }
   return true;
 }
 
 std::string Engine::Call(uint64_t session, const std::string& line) {
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  sync::Mutex done_mutex{"serve.engine.call_done", sync::kRankServeDone};
+  sync::CondVar done_cv;
   std::string response;
   bool done = false;
   Submit(session, line, [&](const std::string& response_line) {
-    {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      response = response_line;
-      done = true;
-    }
-    done_cv.notify_one();
+    // Notify *under* the lock: done_mutex/done_cv live on Call's stack,
+    // and the waiter frees them the moment it observes `done` — which it
+    // cannot do before this critical section ends, so the signal always
+    // completes against a live condition variable.
+    sync::MutexLock lock(&done_mutex);
+    response = response_line;
+    done = true;
+    done_cv.NotifyOne();
   });
   if (options_.dispatch_threads == 0) {
     for (;;) {
       {
-        std::lock_guard<std::mutex> lock(done_mutex);
+        sync::MutexLock lock(&done_mutex);
         if (done) return response;
       }
       if (!PumpOne()) break;  // delivered by this pump or already rejected
     }
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done; });
+  sync::MutexLock lock(&done_mutex);
+  while (!done) done_cv.Wait(done_mutex);
   return response;
 }
 
 void Engine::BeginShutdown() {
   std::function<void()> notify;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(&mutex_);
     if (shutdown_) return;
     shutdown_ = true;
     notify = shutdown_notify_;
   }
   drain_token_.Cancel();
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (notify) notify();
 }
 
@@ -363,17 +358,17 @@ void Engine::Drain() {
     }
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_cv_.wait(lock, [this] { return queued_ == 0 && in_flight_ == 0; });
+  sync::MutexLock lock(&mutex_);
+  while (queued_ > 0 || in_flight_ > 0) drained_cv_.Wait(mutex_);
 }
 
 bool Engine::draining() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   return shutdown_;
 }
 
 void Engine::SetShutdownNotify(std::function<void()> notify) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(&mutex_);
   shutdown_notify_ = std::move(notify);
 }
 
@@ -419,7 +414,7 @@ std::string Engine::Execute(Pending& pending) {
 
 Result<std::shared_ptr<delta::IncrementalSystem>> Engine::FindSystem(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(collections_mutex_);
+  sync::MutexLock lock(&collections_mutex_);
   auto it = collections_.find(name);
   if (it == collections_.end()) {
     return Status::NotFound(
@@ -437,7 +432,7 @@ std::string Engine::DoLoad(const Request& request) {
   if (!system.ok()) return Fail(request, system.status());
   bool reloaded = false;
   {
-    std::lock_guard<std::mutex> lock(collections_mutex_);
+    sync::MutexLock lock(&collections_mutex_);
     reloaded = collections_.count(request.collection) > 0;
     collections_[request.collection] =
         std::make_shared<delta::IncrementalSystem>(std::move(*system));
@@ -600,7 +595,7 @@ void Engine::ExecuteAnswerBatch(std::vector<Pending>& batch) {
 std::string Engine::StatsJson() {
   JsonObjectWriter stats;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(&mutex_);
     stats.Bool("accepting", !shutdown_);
     stats.Uint("queue_depth", queued_);
     stats.Uint("in_flight", in_flight_);
@@ -616,7 +611,7 @@ std::string Engine::StatsJson() {
     stats.Raw("containment_cache", containment_cache.Finish());
   }
   {
-    std::lock_guard<std::mutex> lock(collections_mutex_);
+    sync::MutexLock lock(&collections_mutex_);
     JsonObjectWriter collections;
     for (const auto& [name, system] : collections_) {
       JsonObjectWriter entry;
@@ -632,7 +627,7 @@ std::string Engine::StatsJson() {
 
 void Engine::Deliver(Pending& pending, const std::string& response) {
   CountRequest(pending.request.verb);
-  const uint64_t now = NowMicros();
+  const uint64_t now = obs::TraceNowMicros();
   RecordLatency(pending.request.verb,
                 now > pending.submit_micros ? now - pending.submit_micros : 0);
   if (pending.callback) pending.callback(response);

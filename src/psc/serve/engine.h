@@ -52,7 +52,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,9 +60,8 @@
 #include "psc/exec/parallel.h"
 #include "psc/limits/budget.h"
 #include "psc/serve/protocol.h"
+#include "psc/sync/mutex.h"
 #include "psc/util/result.h"
-
-#include <condition_variable>
 
 namespace psc {
 namespace serve {
@@ -160,9 +158,8 @@ class Engine {
   };
 
   void DispatchLoop();
-  /// Pops the next fair-share batch. Caller holds mutex_. Empty result
-  /// when no work is queued.
-  std::vector<Pending> CollectBatchLocked();
+  /// Pops the next fair-share batch. Empty result when no work is queued.
+  std::vector<Pending> CollectBatchLocked() PSC_REQUIRES(mutex_);
   void ExecuteBatch(std::vector<Pending> batch);
   void ExecuteOne(Pending& pending);
   /// Runs the verb and returns the response line (ok or error).
@@ -189,21 +186,24 @@ class Engine {
   const EngineOptions options_;
   limits::CancelToken drain_token_;
 
-  std::mutex collections_mutex_;
+  sync::Mutex collections_mutex_{"serve.engine.collections",
+                                 sync::kRankServeCollections};
   std::map<std::string, std::shared_ptr<delta::IncrementalSystem>>
-      collections_;
+      collections_ PSC_GUARDED_BY(collections_mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  std::map<uint64_t, std::deque<Pending>> queues_;
+  /// The outermost lock of the process: dispatch holds it while touching
+  /// the queues and may emit obs metrics (inner ranks) before releasing.
+  mutable sync::Mutex mutex_{"serve.engine.queue", sync::kRankServeQueue};
+  sync::CondVar cv_;
+  sync::CondVar drained_cv_;
+  std::map<uint64_t, std::deque<Pending>> queues_ PSC_GUARDED_BY(mutex_);
   /// Sessions with queued work, in round-robin service order.
-  std::deque<uint64_t> rr_order_;
-  size_t queued_ = 0;
-  size_t in_flight_ = 0;
-  uint64_t next_seq_ = 0;
-  bool shutdown_ = false;
-  std::function<void()> shutdown_notify_;
+  std::deque<uint64_t> rr_order_ PSC_GUARDED_BY(mutex_);
+  size_t queued_ PSC_GUARDED_BY(mutex_) = 0;
+  size_t in_flight_ PSC_GUARDED_BY(mutex_) = 0;
+  uint64_t next_seq_ PSC_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ PSC_GUARDED_BY(mutex_) = false;
+  std::function<void()> shutdown_notify_ PSC_GUARDED_BY(mutex_);
 
   /// Pool for fanning one answer batch's distinct queries out in a single
   /// exec pass (solvers keep their own per-call pools).

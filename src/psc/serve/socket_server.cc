@@ -10,7 +10,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 
 #include "psc/obs/metrics.h"
 #include "psc/util/string_util.h"
@@ -24,11 +23,11 @@ namespace serve {
 struct SocketServer::Connection {
   int fd = -1;
   uint64_t session = 0;
-  std::mutex write_mutex;
+  sync::Mutex write_mutex{"serve.socket.write", sync::kRankServeWrite};
   std::thread reader;
 
   void WriteLine(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mutex);
+    sync::MutexLock lock(&write_mutex);
     std::string framed = line;
     framed.push_back('\n');
     size_t sent = 0;
@@ -58,7 +57,7 @@ SocketServer::~SocketServer() {
   Wake();
   std::vector<std::shared_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    sync::MutexLock lock(&connections_mutex_);
     connections.swap(connections_);
   }
   for (const auto& connection : connections) connection->ShutdownSocket();
@@ -169,7 +168,7 @@ void SocketServer::Serve() {
     connection->session = ++next_session_;
     PSC_OBS_COUNTER_INC("serve.connections");
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      sync::MutexLock lock(&connections_mutex_);
       connections_.push_back(connection);
     }
     connection->reader =

@@ -84,8 +84,10 @@ class SocketServer {
   std::string endpoint_;
   uint64_t next_session_ = 0;
 
-  std::mutex connections_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  sync::Mutex connections_mutex_{"serve.socket.connections",
+                                 sync::kRankServeConnections};
+  std::vector<std::shared_ptr<Connection>> connections_
+      PSC_GUARDED_BY(connections_mutex_);
 };
 
 }  // namespace serve

@@ -1,0 +1,92 @@
+#ifndef PSC_SYNC_ANNOTATIONS_H_
+#define PSC_SYNC_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety annotation macros (PSC_GUARDED_BY and friends).
+///
+/// Under Clang, `-Wthread-safety` turns these into a compile-time proof
+/// obligation: every access to a `PSC_GUARDED_BY(mu)` field must happen
+/// with `mu` held, every caller of a `PSC_REQUIRES(mu)` function must
+/// hold `mu`, and the RAII lock types in mutex.h discharge those
+/// obligations mechanically. Under any other compiler the macros expand
+/// to nothing, so the annotations are free documentation there and a
+/// static race detector wherever Clang builds the tree (CMake adds
+/// `-Wthread-safety` automatically for Clang; with the default
+/// PSC_WERROR=ON every violation is a build break).
+///
+/// The vocabulary mirrors the Clang documentation's canonical mutex.h so
+/// the analysis semantics are exactly the documented ones:
+///
+///   PSC_CAPABILITY("mutex")      class is a lockable capability
+///   PSC_SCOPED_CAPABILITY        RAII class acquiring in ctor, releasing
+///                                in dtor (MutexLock, ReaderLock, ...)
+///   PSC_GUARDED_BY(mu)           field needs `mu` held for any access
+///   PSC_PT_GUARDED_BY(mu)        pointee needs `mu` held (field itself
+///                                freely readable)
+///   PSC_REQUIRES(mu...)          function must be called with `mu` held
+///                                exclusively (PSC_REQUIRES_SHARED: held
+///                                at least shared)
+///   PSC_ACQUIRE / PSC_RELEASE    function acquires/releases `mu` itself
+///                                (+ _SHARED variants)
+///   PSC_EXCLUDES(mu...)          function must NOT be called with `mu`
+///                                held (non-reentrant entry points)
+///   PSC_ASSERT_CAPABILITY(mu)    runtime assertion that `mu` is held;
+///                                teaches the analysis the fact
+///   PSC_RETURN_CAPABILITY(mu)    accessor returning a reference to `mu`
+///   PSC_ACQUIRED_BEFORE/AFTER    declared lock ordering (the static
+///                                sibling of the runtime rank checker)
+///   PSC_NO_THREAD_SAFETY_ANALYSIS  opt a function out (used only where
+///                                exclusivity is external by contract,
+///                                e.g. move assignment)
+///
+/// Keep these macros attribute-thin: no code, no includes beyond the
+/// attribute test, so they are safe in any header.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PSC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PSC_THREAD_ANNOTATION
+#define PSC_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+#define PSC_CAPABILITY(x) PSC_THREAD_ANNOTATION(capability(x))
+#define PSC_SCOPED_CAPABILITY PSC_THREAD_ANNOTATION(scoped_lockable)
+
+#define PSC_GUARDED_BY(x) PSC_THREAD_ANNOTATION(guarded_by(x))
+#define PSC_PT_GUARDED_BY(x) PSC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define PSC_REQUIRES(...) \
+  PSC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PSC_REQUIRES_SHARED(...) \
+  PSC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define PSC_ACQUIRE(...) \
+  PSC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PSC_ACQUIRE_SHARED(...) \
+  PSC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PSC_RELEASE(...) \
+  PSC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PSC_RELEASE_SHARED(...) \
+  PSC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define PSC_TRY_ACQUIRE(...) \
+  PSC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define PSC_EXCLUDES(...) PSC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define PSC_ASSERT_CAPABILITY(x) PSC_THREAD_ANNOTATION(assert_capability(x))
+#define PSC_ASSERT_SHARED_CAPABILITY(x) \
+  PSC_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define PSC_RETURN_CAPABILITY(x) PSC_THREAD_ANNOTATION(lock_returned(x))
+
+#define PSC_ACQUIRED_BEFORE(...) \
+  PSC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PSC_ACQUIRED_AFTER(...) \
+  PSC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define PSC_NO_THREAD_SAFETY_ANALYSIS \
+  PSC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PSC_SYNC_ANNOTATIONS_H_

@@ -1,0 +1,124 @@
+#include "psc/sync/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace psc::sync {
+namespace {
+
+// This file deliberately depends on nothing but the C library: every
+// other subsystem (including obs logging) sits above psc::sync in the
+// lock hierarchy, so diagnostics go straight to stderr and abort().
+
+bool RankCheckingDefault() {
+  if (const char* env = std::getenv("PSC_SYNC_RANK_CHECKS")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+        std::strcmp(env, "off") == 0) {
+      return false;
+    }
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+        std::strcmp(env, "on") == 0) {
+      return true;
+    }
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool> g_rank_checks{RankCheckingDefault()};
+
+struct HeldLock {
+  const void* mu;
+  const char* name;
+  int rank;
+};
+
+// Deep enough for every legitimate nesting in the tree (the deepest real
+// chain is ~6: serve queue -> delta data -> delta cache -> eval index ->
+// memo shard -> obs metrics). Overflow aborts rather than silently
+// dropping entries.
+constexpr int kMaxHeld = 64;
+
+thread_local HeldLock t_held[kMaxHeld];
+thread_local int t_held_count = 0;
+
+[[noreturn]] void Die(const char* format, const char* a, int ra,
+                      const char* b, int rb) {
+  std::fprintf(stderr, format, a, ra, b, rb);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool RankCheckingEnabled() {
+  return g_rank_checks.load(std::memory_order_relaxed);
+}
+
+void SetRankCheckingEnabled(bool enabled) {
+  g_rank_checks.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void PushHeld(const void* mu, const char* name, int rank) {
+  if (!RankCheckingEnabled()) return;
+  if (t_held_count > 0) {
+    const HeldLock& top = t_held[t_held_count - 1];
+    if (rank <= top.rank) {
+      Die(
+          "psc::sync lock rank inversion: acquiring \"%s\" (rank %d) "
+          "while holding \"%s\" (rank %d); see src/psc/sync/rank.h for "
+          "the lock hierarchy\n",
+          name, rank, top.name, top.rank);
+    }
+  }
+  if (t_held_count >= kMaxHeld) {
+    Die(
+        "psc::sync held-lock stack overflow acquiring \"%s\" (rank %d) "
+        "with innermost held lock \"%s\" (rank %d)\n",
+        name, rank, t_held[t_held_count - 1].name,
+        t_held[t_held_count - 1].rank);
+  }
+  t_held[t_held_count++] = HeldLock{mu, name, rank};
+}
+
+void PopHeld(const void* mu) {
+  if (t_held_count == 0) return;  // acquired while checking was off
+  // Almost always the top of the stack; search downward to tolerate
+  // checking being toggled between acquire and release.
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i].mu == mu) {
+      for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+      --t_held_count;
+      return;
+    }
+  }
+}
+
+bool IsHeld(const void* mu) {
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i].mu == mu) return true;
+  }
+  return false;
+}
+
+void CheckHeld(const void* mu, const char* name, const char* what) {
+  if (!RankCheckingEnabled()) return;
+  if (!IsHeld(mu)) {
+    std::fprintf(stderr,
+                 "psc::sync %s failed: thread does not hold \"%s\" "
+                 "(%d lock(s) currently held)\n",
+                 what, name, t_held_count);
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace psc::sync

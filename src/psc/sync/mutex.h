@@ -1,0 +1,226 @@
+#ifndef PSC_SYNC_MUTEX_H_
+#define PSC_SYNC_MUTEX_H_
+
+/// \file
+/// Annotated locking primitives: the only mutexes allowed in psc.
+///
+/// `psc::sync::Mutex` and `SharedMutex` wrap the standard primitives with
+/// three additions:
+///   1. Clang thread-safety capabilities (annotations.h), so Clang builds
+///      statically verify that every `PSC_GUARDED_BY` field is accessed
+///      under its lock and every `PSC_REQUIRES` contract is met.
+///   2. A name and a static rank (rank.h). Debug builds maintain a
+///      thread-local stack of held locks and abort — printing both lock
+///      names and ranks — the moment any thread acquires locks out of
+///      rank order. That is the dynamic deadlock detector for the one
+///      property the annotations cannot express.
+///   3. A linter-enforced monopoly: tools/psc_lint.py rejects raw
+///      `std::mutex` / `std::lock_guard` / `std::unique_lock` anywhere in
+///      `src/psc/` outside this directory, so nothing bypasses the
+///      annotations or the rank checker.
+///
+/// Locking style used throughout the tree:
+///
+///   class Cache {
+///     mutable sync::Mutex mu_{"eval.index_cache", sync::kRankEvalIndexCache};
+///     std::map<Key, Entry> entries_ PSC_GUARDED_BY(mu_);
+///    public:
+///     const Entry* Find(const Key& k) const {
+///       sync::MutexLock lock(&mu_);
+///       ...
+///     }
+///   };
+///
+/// Condition waits are written as explicit loops so the analysis can see
+/// the guarded reads happen under the lock:
+///
+///   sync::MutexLock lock(&mu_);
+///   while (!done_) cv_.Wait(mu_);
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "psc/sync/annotations.h"
+#include "psc/sync/rank.h"
+
+namespace psc::sync {
+
+/// Returns true when lock-rank bookkeeping is active. Defaults to on in
+/// debug builds (!NDEBUG) and to the PSC_SYNC_RANK_CHECKS environment
+/// variable otherwise ("1"/"true"/"on" enable, "0"/"false"/"off"
+/// disable).
+bool RankCheckingEnabled();
+
+/// Force rank checking on or off at runtime (tests use this to exercise
+/// the checker in Release builds).
+void SetRankCheckingEnabled(bool enabled);
+
+namespace internal {
+// Thread-local held-lock stack maintenance. `mu` is used only as an
+// identity key; these never dereference it.
+void PushHeld(const void* mu, const char* name, int rank);
+void PopHeld(const void* mu);
+bool IsHeld(const void* mu);
+// Aborts (when checking is on) unless `mu` is on this thread's held
+// stack; `what` names the violated contract in the diagnostic.
+void CheckHeld(const void* mu, const char* name, const char* what);
+}  // namespace internal
+
+/// A standard exclusive mutex with a name, a rank, and thread-safety
+/// capability annotations. Not recursive, not copyable, not movable.
+class PSC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(const char* name, int rank) : name_(name), rank_(rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PSC_ACQUIRE() {
+    mu_.lock();
+    internal::PushHeld(this, name_, rank_);
+  }
+
+  void Unlock() PSC_RELEASE() {
+    internal::PopHeld(this);
+    mu_.unlock();
+  }
+
+  /// Runtime + static assertion that the calling thread holds this lock.
+  /// (Runtime part is a no-op when rank checking is disabled.)
+  void AssertHeld() const PSC_ASSERT_CAPABILITY(this) {
+    internal::CheckHeld(this, name_, "AssertHeld");
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+  std::mutex& native() { return mu_; }
+
+  std::mutex mu_;
+  const char* const name_;
+  const int rank_;
+};
+
+/// A readers-writer mutex. Shared holders participate in rank checking
+/// exactly like exclusive holders: acquiring any lock — shared or not —
+/// requires a rank above everything already held.
+class PSC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex(const char* name, int rank) : name_(name), rank_(rank) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PSC_ACQUIRE() {
+    mu_.lock();
+    internal::PushHeld(this, name_, rank_);
+  }
+
+  void Unlock() PSC_RELEASE() {
+    internal::PopHeld(this);
+    mu_.unlock();
+  }
+
+  void LockShared() PSC_ACQUIRE_SHARED() {
+    mu_.lock_shared();
+    internal::PushHeld(this, name_, rank_);
+  }
+
+  void UnlockShared() PSC_RELEASE_SHARED() {
+    internal::PopHeld(this);
+    mu_.unlock_shared();
+  }
+
+  void AssertHeld() const PSC_ASSERT_CAPABILITY(this) {
+    internal::CheckHeld(this, name_, "AssertHeld");
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* const name_;
+  const int rank_;
+};
+
+/// RAII exclusive lock over Mutex.
+class PSC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PSC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() PSC_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive lock over SharedMutex.
+class PSC_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) PSC_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() PSC_RELEASE() { mu_->Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (read) lock over SharedMutex.
+class PSC_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) PSC_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() PSC_RELEASE() { mu_->UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to psc::sync::Mutex. Wait() requires the
+/// mutex held and keeps its rank-stack entry in place while blocked: a
+/// waiting thread acquires nothing, and on wakeup it again holds exactly
+/// what it held before, so the recorded state stays accurate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Callers loop: `while (!pred) cv.Wait(mu);`.
+  void Wait(Mutex& mu) PSC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// As Wait, but gives up after `timeout`. Returns false on timeout.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      PSC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    bool signalled = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return signalled;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace psc::sync
+
+#endif  // PSC_SYNC_MUTEX_H_

@@ -1,0 +1,74 @@
+# Negative-compilation harness for the thread-safety annotations
+# (ISSUE 9 / DESIGN.md §14). Run as a ctest:
+#
+#   cmake -DSOURCE_ROOT=<repo> -P tests/run_annotation_check.cmake
+#
+# Requires a Clang compiler (the analysis is Clang-only). When none is on
+# PATH the script prints "SKIP: ...", which the ctest registration maps
+# to SKIPPED via SKIP_REGULAR_EXPRESSION — GCC-only environments stay
+# green without pretending to have verified anything.
+#
+# Contract:
+#   * sync_negative/good_locked_access.cc compiles cleanly with
+#     -Wthread-safety -Werror (harness control).
+#   * every sync_negative/bad_*.cc FAILS to compile, and the diagnostic
+#     mentions -Wthread-safety-analysis (so a failure for an unrelated
+#     reason — a typo, a missing include — does not masquerade as the
+#     analysis working).
+
+if(NOT DEFINED SOURCE_ROOT)
+  message(FATAL_ERROR "pass -DSOURCE_ROOT=<repo root>")
+endif()
+
+find_program(PSC_CLANGXX NAMES clang++ clang++-18 clang++-17 clang++-16
+             clang++-15 clang++-14)
+if(NOT PSC_CLANGXX)
+  # Matched by the test's SKIP_REGULAR_EXPRESSION → reported as SKIPPED.
+  message(STATUS "SKIP: no clang++ on PATH; thread-safety analysis "
+                 "is Clang-only")
+  return()
+endif()
+
+set(FLAGS -std=c++17 -fsyntax-only -Wthread-safety -Werror
+    -I${SOURCE_ROOT}/src)
+set(SNIPPET_DIR ${SOURCE_ROOT}/tests/sync_negative)
+
+# Control: correct code must pass.
+execute_process(
+  COMMAND ${PSC_CLANGXX} ${FLAGS} ${SNIPPET_DIR}/good_locked_access.cc
+  RESULT_VARIABLE good_result
+  ERROR_VARIABLE good_stderr)
+if(NOT good_result EQUAL 0)
+  message(FATAL_ERROR
+      "good_locked_access.cc failed to compile under -Wthread-safety "
+      "-Werror; the harness or annotations are broken:\n${good_stderr}")
+endif()
+message(STATUS "PASS good_locked_access.cc compiles cleanly")
+
+# Every bad_*.cc must fail, with a thread-safety diagnostic.
+file(GLOB bad_snippets ${SNIPPET_DIR}/bad_*.cc)
+list(LENGTH bad_snippets bad_count)
+if(bad_count EQUAL 0)
+  message(FATAL_ERROR "no bad_*.cc snippets found in ${SNIPPET_DIR}")
+endif()
+foreach(snippet IN LISTS bad_snippets)
+  get_filename_component(name ${snippet} NAME)
+  execute_process(
+    COMMAND ${PSC_CLANGXX} ${FLAGS} ${snippet}
+    RESULT_VARIABLE bad_result
+    ERROR_VARIABLE bad_stderr)
+  if(bad_result EQUAL 0)
+    message(FATAL_ERROR
+        "${name} COMPILED but must be rejected by -Wthread-safety "
+        "-Werror: the annotations are not catching the violation")
+  endif()
+  if(NOT bad_stderr MATCHES "thread-safety")
+    message(FATAL_ERROR
+        "${name} failed for the wrong reason (expected a "
+        "-Wthread-safety-analysis diagnostic):\n${bad_stderr}")
+  endif()
+  message(STATUS "PASS ${name} rejected with a thread-safety diagnostic")
+endforeach()
+
+message(STATUS "annotation check: 1 control + ${bad_count} negative "
+               "snippet(s) ok")

@@ -1,0 +1,35 @@
+// Negative-compilation snippet: calls a PSC_REQUIRES(mu_) function
+// without holding the mutex, and unlocks a mutex it never locked. MUST
+// FAIL to compile under `clang++ -Wthread-safety -Werror`
+// (-Wthread-safety-analysis: calling function requires holding mutex /
+// releasing mutex that was not held).
+
+#include "psc/sync/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() PSC_REQUIRES(mu_) { ++value_; }
+
+  void Increment() {
+    IncrementLocked();  // BAD: contract requires mu_ held
+  }
+
+  void BrokenUnlock() {
+    mu_.Unlock();  // BAD: releasing a lock this path never acquired
+  }
+
+ private:
+  psc::sync::Mutex mu_{"test.counter", 10};
+  int value_ PSC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.BrokenUnlock();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Negative-compilation snippet: reads and writes a PSC_GUARDED_BY field
+// without holding its mutex. MUST FAIL to compile under
+// `clang++ -Wthread-safety -Werror` (-Wthread-safety-analysis: reading /
+// writing variable requires holding mutex). The harness
+// (run_annotation_check.cmake) asserts the failure.
+
+#include "psc/sync/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BAD: mu_ not held
+  }
+
+  int Get() const {
+    return value_;  // BAD: mu_ not held
+  }
+
+ private:
+  mutable psc::sync::Mutex mu_{"test.counter", 10};
+  int value_ PSC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get();
+}

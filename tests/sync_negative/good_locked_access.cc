@@ -1,0 +1,41 @@
+// Control snippet for the annotation harness: correct locking that MUST
+// compile cleanly under `clang++ -Wthread-safety -Werror`. If this file
+// fails, the harness (or the annotations) is broken, not the bad_*.cc
+// snippets' code.
+
+#include "psc/sync/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    psc::sync::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() const {
+    psc::sync::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  void IncrementLocked() PSC_REQUIRES(mu_) { ++value_; }
+
+  void IncrementViaHelper() {
+    psc::sync::MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+
+ private:
+  mutable psc::sync::Mutex mu_{"test.counter", 10};
+  int value_ PSC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.IncrementViaHelper();
+  return counter.Get() == 2 ? 0 : 1;
+}

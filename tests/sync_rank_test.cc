@@ -1,0 +1,147 @@
+// Death tests for the debug lock-rank deadlock detector
+// (src/psc/sync/mutex.cc). Each EXPECT_DEATH forks, so rank checking is
+// force-enabled inside the death statement to make the tests meaningful
+// in Release builds too.
+
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "psc/sync/mutex.h"
+#include "psc/sync/rank.h"
+
+namespace psc::sync {
+namespace {
+
+class RankDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Forked death statements inherit the parent's style; threadsafe
+    // re-executes the binary, which is required because the suite (and
+    // the process under test) is multi-threaded.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    was_enabled_ = RankCheckingEnabled();
+    SetRankCheckingEnabled(true);
+  }
+  void TearDown() override { SetRankCheckingEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(RankDeathTest, AscendingOrderIsAllowed) {
+  Mutex outer("test.outer", 10);
+  Mutex inner("test.inner", 20);
+  {
+    MutexLock lock_outer(&outer);
+    MutexLock lock_inner(&inner);
+  }
+  // Releasing and re-acquiring in the other order is fine too, as long as
+  // they are never *nested* out of rank.
+  {
+    MutexLock lock_inner(&inner);
+  }
+  {
+    MutexLock lock_outer(&outer);
+  }
+  SUCCEED();
+}
+
+TEST_F(RankDeathTest, InversionAborts) {
+  Mutex outer("test.outer", 10);
+  Mutex inner("test.inner", 20);
+  EXPECT_DEATH(
+      {
+        SetRankCheckingEnabled(true);
+        MutexLock lock_inner(&inner);
+        MutexLock lock_outer(&outer);  // 10 while holding 20: inversion
+      },
+      "lock rank inversion.*test\\.outer.*test\\.inner");
+}
+
+TEST_F(RankDeathTest, ReverseInversionAlsoAborts) {
+  // The A->B / B->A pair: one order must abort no matter which the
+  // checker sees first, because the rule is structural (strict ascent),
+  // not history-based.
+  Mutex a("test.a", 30);
+  Mutex b("test.b", 40);
+  {
+    MutexLock lock_a(&a);
+    MutexLock lock_b(&b);  // ascending: fine
+  }
+  EXPECT_DEATH(
+      {
+        SetRankCheckingEnabled(true);
+        MutexLock lock_b(&b);
+        MutexLock lock_a(&a);  // descending: abort
+      },
+      "lock rank inversion.*test\\.a.*test\\.b");
+}
+
+TEST_F(RankDeathTest, EqualRankNestingAborts) {
+  // Same-rank nesting is forbidden (strict >): two locks at one rank must
+  // never be held together, which is what makes same-rank classes (e.g.
+  // per-shard memo locks, per-connection write locks) deadlock-free.
+  Mutex first("test.first", 50);
+  Mutex second("test.second", 50);
+  EXPECT_DEATH(
+      {
+        SetRankCheckingEnabled(true);
+        MutexLock lock_first(&first);
+        MutexLock lock_second(&second);
+      },
+      "lock rank inversion.*test\\.second.*test\\.first");
+}
+
+TEST_F(RankDeathTest, SharedAcquisitionParticipates) {
+  SharedMutex data("test.data", 40);
+  Mutex cache("test.cache", 50);
+  {
+    ReaderLock read(&data);
+    MutexLock lock(&cache);  // ascending through a shared hold: fine
+  }
+  EXPECT_DEATH(
+      {
+        SetRankCheckingEnabled(true);
+        MutexLock lock(&cache);
+        ReaderLock read(&data);  // shared acquire below held rank: abort
+      },
+      "lock rank inversion.*test\\.data.*test\\.cache");
+}
+
+TEST_F(RankDeathTest, AssertHeldAbortsWhenNotHeld) {
+  Mutex mu("test.assert", 10);
+  EXPECT_DEATH(
+      {
+        SetRankCheckingEnabled(true);
+        mu.AssertHeld();
+      },
+      "AssertHeld.*test\\.assert");
+}
+
+TEST_F(RankDeathTest, RanksAreThreadLocal) {
+  // A second thread holding a high-rank lock must not poison this
+  // thread's ordering: the held stack is thread-local.
+  Mutex low("test.low", 10);
+  Mutex high("test.high", 90);
+  high.Lock();
+  std::thread other([&] {
+    MutexLock lock(&low);  // fresh stack: rank 10 with nothing held is fine
+  });
+  other.join();
+  high.Unlock();
+  SUCCEED();
+}
+
+TEST_F(RankDeathTest, DisabledCheckingDoesNotAbort) {
+  SetRankCheckingEnabled(false);
+  Mutex outer("test.outer", 10);
+  Mutex inner("test.inner", 20);
+  {
+    MutexLock lock_inner(&inner);
+    MutexLock lock_outer(&outer);  // inversion, but checking is off
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace psc::sync

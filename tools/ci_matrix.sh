@@ -6,8 +6,15 @@
 #   PSC_SANITIZE=thread (ThreadSanitizer over the concurrency-heavy tests)
 #   PSC_SANITIZE=address,undefined (ASan+UBSan over the overflow-prone
 #     parsing/arithmetic tests and the limits machinery)
+#   Debug (lock-rank deadlock detection on over the tsan-labelled suites)
+#   clang++ -Wthread-safety (static lock verification; skipped w/o clang)
+#   clang-tidy (.clang-tidy profile; skipped when not installed)
+# plus tools/psc_lint.py up front (raw primitives, clocks, metric
+# prefixes, detached threads).
 # All configurations must build warning-free (-Werror) and pass their
-# tests. The matrix finishes with a --threads 1 vs --threads 4 CLI
+# tests. Sanitizer test selection is label-driven (`ctest -L tsan` /
+# `-L asan`; labels declared in tests/CMakeLists.txt). The matrix
+# finishes with a --threads 1 vs --threads 4 CLI
 # output-equivalence smoke check (the parallel runtime's determinism
 # contract made executable), a --deadline-ms smoke (a search that
 # would run for minutes must exit cleanly within seconds, reporting
@@ -23,6 +30,13 @@ cd "$(dirname "$0")/.."
 build_root="${1:-build-matrix}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
+# Project-invariant lint runs first: it needs no build and fails fast on
+# a raw std::mutex, a stray sleep/clock in solver code, an unregistered
+# metric prefix or a detached thread (see tools/psc_lint.py --help).
+echo "=== psc_lint ==="
+python3 tools/psc_lint.py --self-test
+python3 tools/psc_lint.py
+
 for obs in ON OFF; do
   build_dir="${build_root}/obs-${obs}"
   echo "=== PSC_OBS=${obs} -> ${build_dir} ==="
@@ -31,30 +45,74 @@ for obs in ON OFF; do
   (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
 done
 
-# ThreadSanitizer pass over the subsystems that exercise the parallel
-# runtime: the exec pool/facade tests, the parallel consistency search,
-# the sharded counters, the Monte-Carlo block sampler, and the
-# incremental delta engine's readers-writer path (queries streaming
-# against concurrent ApplyDelta calls). A full-suite TSan run is
-# prohibitively slow; these tests are where threads actually run
-# concurrently.
+# ThreadSanitizer pass over the suites where threads actually run
+# concurrently (a full-suite TSan run is prohibitively slow). Suite
+# selection lives with the suites themselves: tests/CMakeLists.txt
+# labels them `tsan` (exec pool/facade, eval caches, rewriting caches,
+# the delta engine's readers-writer path, the serving engine, and
+# psc::sync itself), so adding a suite there picks it up here with no
+# regex to keep in sync.
 tsan_dir="${build_root}/tsan"
 echo "=== PSC_SANITIZE=thread -> ${tsan_dir} ==="
 cmake -B "${tsan_dir}" -S . -DPSC_SANITIZE=thread >/dev/null
 cmake --build "${tsan_dir}" -j "${jobs}"
-(cd "${tsan_dir}" && ctest --output-on-failure -j "${jobs}" \
-  -R 'ThreadPool|ParallelFor|ParallelReduce|Determinism|MemoCache|ContainmentCache|EvalDifferential|DeltaConcurrency|ServeEngine|ServeConcurrency')
+(cd "${tsan_dir}" && ctest --output-on-failure -j "${jobs}" -L tsan)
 
-# ASan+UBSan pass over the subsystems where integer overflow and
-# lifetime bugs have actually bitten: rational/bigint arithmetic, the
-# parsers (domain lists, decimal bounds), the budget/limits machinery
-# and the world enumerators that honour it.
+# ASan+UBSan pass over the suites where integer overflow and lifetime
+# bugs have actually bitten: arithmetic, the parsers, the budget/limits
+# machinery, the counting enumerators — labelled `asan` in
+# tests/CMakeLists.txt.
 asan_dir="${build_root}/asan-ubsan"
 echo "=== PSC_SANITIZE=address,undefined -> ${asan_dir} ==="
 cmake -B "${asan_dir}" -S . -DPSC_SANITIZE=address,undefined >/dev/null
 cmake --build "${asan_dir}" -j "${jobs}"
-(cd "${asan_dir}" && ctest --output-on-failure -j "${jobs}" \
-  -R 'Rational|BigInt|ParseDomainList|Parser|Lexer|Budget|CancelToken|Deadline|NodeBudget|WorldEnumerator')
+(cd "${asan_dir}" && ctest --output-on-failure -j "${jobs}" -L asan)
+
+# Debug build: rank checking defaults ON there (see
+# src/psc/sync/mutex.cc RankCheckingDefault), so running the
+# concurrency-labelled suites under it exercises the lock-rank deadlock
+# detector against every real nesting in the tree — any inversion
+# aborts the test binary. The sync suite's death tests additionally
+# prove the detector itself fires.
+debug_dir="${build_root}/debug-rank"
+echo "=== CMAKE_BUILD_TYPE=Debug (lock-rank checks on) -> ${debug_dir} ==="
+cmake -B "${debug_dir}" -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build "${debug_dir}" -j "${jobs}"
+(cd "${debug_dir}" && ctest --output-on-failure -j "${jobs}" -L tsan)
+
+# Clang thread-safety build: the PSC_GUARDED_BY/PSC_REQUIRES contracts
+# are statically verified by Clang only (-Wthread-safety is added by the
+# top-level CMakeLists for Clang, and PSC_WERROR promotes violations to
+# build breaks). Also runs the negative-compilation harness, which
+# proves broken snippets FAIL. Skips when no clang++ is installed.
+if command -v clang++ >/dev/null 2>&1; then
+  clang_dir="${build_root}/clang-thread-safety"
+  echo "=== clang++ -Wthread-safety -Werror -> ${clang_dir} ==="
+  cmake -B "${clang_dir}" -S . -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build "${clang_dir}" -j "${jobs}"
+  (cd "${clang_dir}" && ctest --output-on-failure -R sync_annotation_check)
+else
+  echo "=== SKIP clang thread-safety build: no clang++ on PATH ==="
+fi
+
+# clang-tidy (.clang-tidy at the repo root: bugprone/concurrency/
+# performance families) over every src/ translation unit in the exported
+# compilation database. Skips when clang-tidy is not installed.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy over src/ ==="
+  tidy_db="${build_root}/obs-ON"
+  mapfile -t tidy_files < <(python3 - "${tidy_db}/compile_commands.json" <<'PY'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    path = entry["file"]
+    if "/src/" in path and not path.endswith(".S"):
+        print(path)
+PY
+)
+  clang-tidy -p "${tidy_db}" --quiet "${tidy_files[@]}"
+else
+  echo "=== SKIP clang-tidy: not installed ==="
+fi
 
 # Determinism smoke: the CLI must print byte-identical reports at
 # --threads 1 and --threads 4. --quiet suppresses the wall-clock stats
@@ -294,4 +352,4 @@ python3 tools/check_metrics_schema.py \
   "${telemetry_metrics}"
 python3 tools/psc_trace_summary.py --k 5 "${telemetry_trace}"
 
-echo "ci matrix passed: PSC_OBS on/off, TSan, ASan+UBSan, --threads/eval-engine equivalence, deadline degradation, query-scoped telemetry, incremental-delta and resident-serving smokes green"
+echo "ci matrix passed: lint, PSC_OBS on/off, TSan, ASan+UBSan, Debug lock-rank checks, clang stages (or skipped), --threads/eval-engine equivalence, deadline degradation, query-scoped telemetry, incremental-delta and resident-serving smokes green"
